@@ -1,0 +1,35 @@
+// Ablation: vertical layers vs the CUDA-aware staging threshold (paper
+// §IV-C, stencil discussion). The MPI-CUDA variant packs each halo into one
+// message of k x 1 kB; once that message crosses the 20 kB staging
+// threshold, host staging lifts its bandwidth. The dCUDA variant always
+// sends k separate 1 kB messages. "Introducing additional vertical layers
+// improves the relative performance of the MPI-CUDA variant."
+
+#include "apps/stencil.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace dcuda;
+  bench::header("Ablation", "vertical layers vs staging threshold (paper SIV-C)");
+  bench::row({"k_layers", "packed_halo_kb", "dcuda_ms", "mpi_cuda_ms",
+              "dcuda_over_mpicuda"});
+  for (int k : {8, 16, 32, 64}) {
+    apps::stencil::Config cfg;
+    cfg.ksize = k;
+    cfg.jlocal = 1;  // keep per-device work constant-ish across k
+    cfg.iterations = bench::iterations(10);
+    const double scale = 100.0 / cfg.iterations;
+    double d, m;
+    {
+      Cluster c(bench::machine(4));
+      d = sim::to_millis(apps::stencil::run_dcuda(c, cfg).elapsed) * scale;
+    }
+    {
+      Cluster c(bench::machine(4));
+      m = sim::to_millis(apps::stencil::run_mpi_cuda(c, cfg).elapsed) * scale;
+    }
+    bench::row({bench::fmt(k, "%.0f"), bench::fmt(k * 1.0, "%.0f"), bench::fmt(d),
+                bench::fmt(m), bench::fmt(d / m, "%.2f")});
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: network latency sensitivity. The paper's introduction argues
+// that dCUDA's latency hiding makes programs "less network latency
+// sensitive", potentially motivating throughput-oriented network designs.
+// We sweep the wire latency for the stencil workload at 4 nodes: the
+// MPI-CUDA variant pays every extra microsecond on its critical path; the
+// dCUDA variant absorbs it with spare parallelism until the exchange time
+// exceeds the compute time.
+
+#include "apps/stencil.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace dcuda;
+  bench::header("Ablation", "network latency sensitivity (paper SI)");
+  apps::stencil::Config cfg;
+  cfg.iterations = bench::iterations(15);
+  const double scale = 100.0 / cfg.iterations;
+  bench::row({"wire_latency_us", "dcuda_ms", "mpi_cuda_ms", "dcuda_slowdown",
+              "mpi_cuda_slowdown"});
+  double base_d = 0.0, base_m = 0.0;
+  for (double lat_us : {1.4, 5.0, 10.0, 20.0, 40.0}) {
+    sim::MachineConfig mc = bench::machine(4);
+    mc.net.latency = sim::micros(lat_us);
+    double d, m;
+    {
+      Cluster c(mc);
+      d = sim::to_millis(apps::stencil::run_dcuda(c, cfg).elapsed) * scale;
+    }
+    {
+      Cluster c(mc);
+      m = sim::to_millis(apps::stencil::run_mpi_cuda(c, cfg).elapsed) * scale;
+    }
+    if (base_d == 0.0) {
+      base_d = d;
+      base_m = m;
+    }
+    bench::row({bench::fmt(lat_us, "%.1f"), bench::fmt(d), bench::fmt(m),
+                bench::fmt(d / base_d, "%.2fx"), bench::fmt(m / base_m, "%.2fx")});
+  }
+  return 0;
+}

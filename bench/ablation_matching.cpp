@@ -1,0 +1,69 @@
+// Ablation: cost of the device-side notification matcher. The paper blames
+// the imperfect overlap of compute-bound workloads on the matcher being
+// "relatively compute heavy" (§IV-B). Idealizing it to zero cost closes
+// that gap; the memory-bound workload is unaffected (its overlap was
+// already perfect).
+
+#include "bench/common.h"
+#include "bench/overlap.h"
+
+namespace dcuda {
+namespace {
+
+double overhead_at_crossover(bench::Workload w, bool charge, int rounds) {
+  // Units near the compute/exchange crossover for each workload.
+  const int units = w == bench::Workload::kNewton ? 2 : 4;
+  sim::MachineConfig cfg = bench::machine(8);
+  cfg.runtime.charge_matching_cost = charge;
+  // run_overlap builds its own cluster; replicate with the config knob.
+  auto run = [&](bool compute, bool exchange) {
+    Cluster c(cfg);
+    const int rpd = c.ranks_per_device();
+    std::vector<std::span<std::byte>> dst(static_cast<size_t>(8 * rpd));
+    std::vector<std::span<std::byte>> src(static_cast<size_t>(8 * rpd));
+    for (int n = 0; n < 8; ++n)
+      for (int r = 0; r < rpd; ++r) {
+        dst[static_cast<size_t>(n * rpd + r)] = c.device(n).alloc<std::byte>(2048);
+        src[static_cast<size_t>(n * rpd + r)] = c.device(n).alloc<std::byte>(1024);
+      }
+    const double t = c.run([&](Context& ctx) -> sim::Proc<void> {
+      const int g = ctx.world_rank;
+      Window win = co_await win_create(ctx, kCommWorld, dst[static_cast<size_t>(g)]);
+      const bool hl = g > 0, hr = g + 1 < ctx.world_size;
+      for (int it = 0; it < rounds; ++it) {
+        if (compute) {
+          for (int u = 0; u < units; ++u) co_await bench::workload_unit(*ctx.block, w);
+        }
+        if (exchange) {
+          auto mine = src[static_cast<size_t>(g)];
+          if (hl) co_await put_notify(ctx, win, g - 1, 1024, 1024, mine.data(), 0);
+          if (hr) co_await put_notify(ctx, win, g + 1, 0, 1024, mine.data(), 0);
+          co_await wait_notifications(ctx, win, kAnySource, 0, (hl ? 1 : 0) + (hr ? 1 : 0));
+        }
+      }
+      co_await win_free(ctx, win);
+    });
+    return sim::to_millis(t);
+  };
+  const double full = run(true, true);
+  const double comp = run(true, false);
+  const double exch = run(false, true);
+  return full - std::max(comp, exch);  // overhead over perfect overlap
+}
+
+}  // namespace
+}  // namespace dcuda
+
+int main() {
+  using namespace dcuda;
+  bench::header("Ablation", "notification-matching cost vs idealized matcher (paper SIV-B)");
+  const int rounds = bench::iterations(40);
+  bench::row({"workload", "overhead_ms_with_matching_cost", "overhead_ms_idealized"});
+  for (auto [w, name] : {std::pair{bench::Workload::kNewton, "newton"},
+                         std::pair{bench::Workload::kMemcopy, "memcopy"}}) {
+    const double with_cost = overhead_at_crossover(w, true, rounds);
+    const double ideal = overhead_at_crossover(w, false, rounds);
+    bench::row({name, bench::fmt(with_cost), bench::fmt(ideal)});
+  }
+  return 0;
+}

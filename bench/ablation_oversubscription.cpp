@@ -1,0 +1,69 @@
+// Ablation: over-subscription factor vs achieved overlap (the Little's-law
+// argument of §II). With one block per SM there is no spare parallelism to
+// hide communication latency; with 16 blocks per SM (the paper's launch
+// configuration) waiting blocks are fully absorbed by runnable ones.
+//
+// Metric: overlap efficiency = (compute + exchange - full) / min(compute,
+// exchange); 1.0 = perfect overlap, 0.0 = fully serialized.
+
+#include "bench/common.h"
+#include "dcuda/dcuda.h"
+
+namespace dcuda {
+namespace {
+
+struct Times {
+  double full, compute, exchange;
+};
+
+Times run(int blocks_per_sm, bool compute, bool exchange, int rounds, int units) {
+  // Workload per rank is fixed; the rank count scales with the
+  // over-subscription factor, and so does the device's total work — this is
+  // over-decomposition of the same problem into more, smaller ranks.
+  sim::MachineConfig cfg = bench::machine(2);
+  const int rpd = cfg.device.num_sms * blocks_per_sm;
+  const int total_units = 16 * cfg.device.num_sms * 16;  // constant per device
+  const int units_per_rank = std::max(1, total_units / rpd) * units;
+  Cluster c(cfg, rpd);
+  std::vector<std::span<std::byte>> dst(static_cast<size_t>(2 * rpd));
+  for (int n = 0; n < 2; ++n)
+    for (int r = 0; r < rpd; ++r)
+      dst[static_cast<size_t>(n * rpd + r)] = c.device(n).alloc<std::byte>(2048);
+  const double elapsed = c.run([&](Context& ctx) -> sim::Proc<void> {
+    const int g = ctx.world_rank;
+    const int size = ctx.world_size;
+    Window w = co_await win_create(ctx, kCommWorld, dst[static_cast<size_t>(g)]);
+    const bool hl = g > 0, hr = g + 1 < size;
+    for (int it = 0; it < rounds; ++it) {
+      if (compute) {
+        co_await ctx.block->compute_flops(1024.0 * 10.0 * units_per_rank);
+      }
+      if (exchange) {
+        if (hl) co_await put_notify(ctx, w, g - 1, 1024, 1024, dst[static_cast<size_t>(g)].data(), 0);
+        if (hr) co_await put_notify(ctx, w, g + 1, 0, 1024, dst[static_cast<size_t>(g)].data(), 0);
+        co_await wait_notifications(ctx, w, kAnySource, 0, (hl ? 1 : 0) + (hr ? 1 : 0));
+      }
+    }
+    co_await win_free(ctx, w);
+  });
+  return Times{sim::to_millis(elapsed), 0, 0};
+}
+
+}  // namespace
+}  // namespace dcuda
+
+int main() {
+  using namespace dcuda;
+  bench::header("Ablation", "over-subscription factor vs overlap (Little's law, paper SII)");
+  const int rounds = bench::iterations(30);
+  bench::row({"blocks_per_sm", "full_ms", "compute_ms", "exchange_ms", "overlap_efficiency"});
+  for (int b : {1, 2, 4, 8, 16}) {
+    const double full = run(b, true, true, rounds, 1).full;
+    const double comp = run(b, true, false, rounds, 1).full;
+    const double exch = run(b, false, true, rounds, 1).full;
+    const double eff = (comp + exch - full) / std::min(comp, exch);
+    bench::row({bench::fmt(b, "%.0f"), bench::fmt(full), bench::fmt(comp),
+                bench::fmt(exch), bench::fmt(eff, "%.2f")});
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: queue design (§III-C). The sequence-number + credit scheme
+// needs one PCIe transaction per enqueue plus an occasional tail read; a
+// naive design would pay a head-pointer read per enqueue. We count actual
+// simulated PCIe transactions per enqueue for several ring sizes and
+// consumer speeds.
+
+#include "bench/common.h"
+#include "pcie/pcie.h"
+#include "queue/circular_queue.h"
+
+namespace dcuda {
+namespace {
+
+struct QueueStats {
+  double txns_per_enqueue = 0.0;
+  double tail_reads_per_enqueue = 0.0;
+};
+
+QueueStats run_queue(int ring, int n, sim::Dur consumer_delay) {
+  sim::Simulation s;
+  pcie::PcieLink link(s, sim::PcieConfig{});
+  queue::Transport t;
+  t.write = [&link](double bytes, std::function<void()> commit) -> sim::Proc<void> {
+    co_await link.post_write(pcie::Dir::kDeviceToHost, bytes, std::move(commit));
+  };
+  t.read_tail = [&link](double bytes) -> sim::Proc<void> {
+    co_await link.mapped_read(pcie::Dir::kHostToDevice, bytes);
+  };
+  queue::CircularQueue<int> q(s, ring, std::move(t));
+  auto producer = [&]() -> sim::Proc<void> {
+    for (int i = 0; i < n; ++i) co_await q.enqueue(i);
+  };
+  auto consumer = [&]() -> sim::Proc<void> {
+    for (int i = 0; i < n; ++i) {
+      (void)co_await q.dequeue();
+      co_await s.delay(consumer_delay);
+    }
+  };
+  s.spawn(producer(), "p");
+  s.spawn(consumer(), "c");
+  s.run();
+  QueueStats st;
+  const double total_txns = static_cast<double>(link.transactions(pcie::Dir::kDeviceToHost) +
+                                                link.transactions(pcie::Dir::kHostToDevice));
+  st.txns_per_enqueue = total_txns / n;
+  st.tail_reads_per_enqueue = static_cast<double>(q.tail_reads()) / n;
+  return st;
+}
+
+}  // namespace
+}  // namespace dcuda
+
+int main() {
+  using namespace dcuda;
+  bench::header("Ablation", "queue design: PCIe transactions per enqueue (paper SIII-C)");
+  const int n = 4096;
+  bench::row({"ring_entries", "consumer", "txns_per_enqueue", "tail_reads_per_enqueue"});
+  for (int ring : {4, 16, 64, 256}) {
+    for (auto [delay, name] : {std::pair{0.0, "fast"}, std::pair{sim::micros(3.0), "slow"}}) {
+      auto st = run_queue(ring, n, delay);
+      bench::row({bench::fmt(ring, "%.0f"), name, bench::fmt(st.txns_per_enqueue, "%.3f"),
+                  bench::fmt(st.tail_reads_per_enqueue, "%.3f")});
+    }
+  }
+  std::printf("# amortized cost approaches 1 transaction/enqueue as the ring grows —\n");
+  std::printf("# a head-pointer design would pay 2 transactions per enqueue regardless.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benchmarks. Every binary
+// prints the series the corresponding paper figure plots. Simulated time is
+// deterministic, so a single run per configuration replaces the paper's
+// median-of-30 methodology (documented in EXPERIMENTS.md).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sim/units.h"
+
+namespace dcuda::bench {
+
+// Iteration scale: benches default to fewer main-loop iterations than the
+// paper's 100 and report per-100-iteration numbers. DCUDA_BENCH_ITERS=100
+// reproduces the full runs.
+inline int iterations(int dflt = 20) {
+  if (const char* s = std::getenv("DCUDA_BENCH_ITERS")) return std::atoi(s);
+  return dflt;
+}
+
+inline sim::MachineConfig machine(int nodes) {
+  sim::MachineConfig cfg;
+  cfg.num_nodes = nodes;
+  return cfg;
+}
+
+inline void header(const char* fig, const char* title) {
+  std::printf("# %s: %s\n", fig, title);
+  std::printf("# simulated K80 cluster (13 SMs, 208 blocks in flight, 6 GB/s network)\n");
+}
+
+inline void row(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%s", i ? "\t" : "", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, const char* f = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+}  // namespace dcuda::bench

@@ -1,0 +1,40 @@
+// Figure 10: weak scaling of the stencil program (COSMO-style horizontal
+// diffusion; constant grid per device). Series: dCUDA, MPI-CUDA, and the
+// halo-exchange time measured by the MPI-CUDA variant.
+//
+// Paper shape: similar single-node performance; in multi-node runs the
+// MPI-CUDA scaling cost roughly equals the halo exchange time while dCUDA
+// overlaps it completely (perfect load balance).
+
+#include "apps/stencil.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace dcuda;
+  bench::header("Figure 10", "weak scaling of the stencil program");
+  apps::stencil::Config cfg;
+  cfg.iterations = bench::iterations(20);
+  const double scale = 100.0 / cfg.iterations;
+  bench::row({"nodes", "dcuda_ms", "mpi_cuda_ms", "halo_exchange_ms"});
+  for (int nodes : {1, 2, 3, 4, 6, 8}) {
+    apps::stencil::Result d, m, h;
+    {
+      Cluster c(bench::machine(nodes));
+      d = apps::stencil::run_dcuda(c, cfg);
+    }
+    {
+      Cluster c(bench::machine(nodes));
+      m = apps::stencil::run_mpi_cuda(c, cfg);
+    }
+    {
+      apps::stencil::Config hx = cfg;
+      hx.compute = false;
+      Cluster c(bench::machine(nodes));
+      h = apps::stencil::run_mpi_cuda(c, hx);
+    }
+    bench::row({bench::fmt(nodes, "%.0f"), bench::fmt(sim::to_millis(d.elapsed) * scale),
+                bench::fmt(sim::to_millis(m.elapsed) * scale),
+                bench::fmt(sim::to_millis(h.elapsed) * scale)});
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 11: weak scaling of sparse matrix-vector multiplication (square
+// 2-D decomposition: 1, 4, 9 nodes; one barrier per iteration). Series:
+// dCUDA, MPI-CUDA, and the communication time measured by the MPI-CUDA
+// variant (compute disabled).
+//
+// Paper shape: tight synchronization leaves no room for overlap — both
+// variants scale with the communication time; MPI-CUDA slightly ahead at
+// small node counts, dCUDA catching up at larger ones.
+
+#include "apps/spmv.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace dcuda;
+  bench::header("Figure 11", "weak scaling of the sparse matrix-vector example");
+  apps::spmv::Config cfg;
+  cfg.iterations = bench::iterations(20);
+  const double scale = 100.0 / cfg.iterations;
+  bench::row({"nodes", "dcuda_ms", "mpi_cuda_ms", "communication_ms"});
+  for (int nodes : {1, 4, 9}) {
+    apps::spmv::Result d, m, h;
+    {
+      Cluster c(bench::machine(nodes));
+      d = apps::spmv::run_dcuda(c, cfg);
+    }
+    {
+      Cluster c(bench::machine(nodes));
+      m = apps::spmv::run_mpi_cuda(c, cfg);
+    }
+    {
+      apps::spmv::Config hx = cfg;
+      hx.compute = false;
+      Cluster c(bench::machine(nodes));
+      h = apps::spmv::run_mpi_cuda(c, hx);
+    }
+    bench::row({bench::fmt(nodes, "%.0f"), bench::fmt(sim::to_millis(d.elapsed) * scale),
+                bench::fmt(sim::to_millis(m.elapsed) * scale),
+                bench::fmt(sim::to_millis(h.elapsed) * scale)});
+  }
+  return 0;
+}

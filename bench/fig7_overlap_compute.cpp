@@ -1,0 +1,20 @@
+// Figure 7: overlap of computation and communication for a compute-bound
+// workload (Newton-Raphson square root). Paper shape: good — but not
+// perfect — overlap: full ~ max(compute, exchange) plus a little, because
+// the notification matcher itself is compute-heavy (§IV-B).
+
+#include "bench/overlap.h"
+
+int main() {
+  using namespace dcuda;
+  bench::header("Figure 7", "overlap for square root calculation (Newton-Raphson)");
+  const int rounds = bench::iterations(40);
+  bench::row({"newton_iters_per_exchange", "compute_and_exchange_ms", "compute_only_ms",
+              "halo_exchange_ms"});
+  for (int units : {0, 1, 2, 4, 8, 16, 32}) {
+    auto p = bench::overlap_point(8, bench::Workload::kNewton, units, rounds);
+    bench::row({bench::fmt(units, "%.0f"), bench::fmt(p.full_ms), bench::fmt(p.compute_ms),
+                bench::fmt(p.exchange_ms)});
+  }
+  return 0;
+}

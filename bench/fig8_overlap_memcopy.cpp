@@ -1,0 +1,19 @@
+// Figure 8: overlap of computation and communication for a memory
+// bandwidth-bound workload (memory-to-memory copy). Paper shape: perfect
+// overlap — full == max(compute, exchange) throughout.
+
+#include "bench/overlap.h"
+
+int main() {
+  using namespace dcuda;
+  bench::header("Figure 8", "overlap for memory-to-memory copy");
+  const int rounds = bench::iterations(40);
+  bench::row({"copy_iters_per_exchange", "compute_and_exchange_ms", "compute_only_ms",
+              "halo_exchange_ms"});
+  for (int units : {0, 1, 2, 4, 8, 16, 32}) {
+    auto p = bench::overlap_point(8, bench::Workload::kMemcopy, units, rounds);
+    bench::row({bench::fmt(units, "%.0f"), bench::fmt(p.full_ms), bench::fmt(p.compute_ms),
+                bench::fmt(p.exchange_ms)});
+  }
+  return 0;
+}

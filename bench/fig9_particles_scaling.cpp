@@ -1,0 +1,46 @@
+// Figure 9: weak scaling of the particle simulation (constant cells and
+// particles per node; reduced cutoff interactions -> memory bound). Series:
+// dCUDA, MPI-CUDA, and the halo-exchange time measured by the MPI-CUDA
+// variant (runtime switch: exchange only).
+//
+// Paper shape: both variants similar up to ~3 nodes; beyond that MPI-CUDA's
+// scaling cost tracks the halo-exchange time while dCUDA hides part of it
+// (not all — the simulation develops load imbalance).
+
+#include "apps/particles.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace dcuda;
+  bench::header("Figure 9", "weak scaling of the particle simulation");
+  apps::particles::Config cfg;
+  cfg.iterations = bench::iterations(20);
+  // The paper reduces the cutoff below the cell width so that few particles
+  // interact and the simulation becomes memory-bound / communication
+  // sensitive (§IV-C).
+  cfg.cutoff = 0.25;
+  cfg.particles_per_cell = 60;
+  const double scale = 100.0 / cfg.iterations;  // report per-100-iteration ms
+  bench::row({"nodes", "dcuda_ms", "mpi_cuda_ms", "halo_exchange_ms"});
+  for (int nodes : {1, 2, 3, 4, 6, 8}) {
+    apps::particles::Result d, m, h;
+    {
+      Cluster c(bench::machine(nodes), cfg.cells_per_node);
+      d = apps::particles::run_dcuda(c, cfg);
+    }
+    {
+      Cluster c(bench::machine(nodes), cfg.cells_per_node);
+      m = apps::particles::run_mpi_cuda(c, cfg);
+    }
+    {
+      apps::particles::Config hx = cfg;
+      hx.compute = false;
+      Cluster c(bench::machine(nodes), cfg.cells_per_node);
+      h = apps::particles::run_mpi_cuda(c, hx);
+    }
+    bench::row({bench::fmt(nodes, "%.0f"), bench::fmt(sim::to_millis(d.elapsed) * scale),
+                bench::fmt(sim::to_millis(m.elapsed) * scale),
+                bench::fmt(sim::to_millis(h.elapsed) * scale)});
+  }
+  return 0;
+}

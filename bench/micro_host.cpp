@@ -1,0 +1,133 @@
+// Host-side microbenchmarks (google-benchmark, real wall-clock): the
+// simulator and runtime data structures themselves. These guard the
+// "simulation throughput" that makes the figure reproductions tractable
+// (~1M simulated events per second).
+
+#include <benchmark/benchmark.h>
+
+#include "queue/circular_queue.h"
+#include "sim/random.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "runtime/protocol.h"
+
+namespace dcuda {
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    sim::Rng rng(1);
+    for (int i = 0; i < n; ++i) {
+      s.schedule(rng.next_double(), [&fired] { ++fired; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    sim::Trigger ping(s), pong(s);
+    int rounds = static_cast<int>(state.range(0));
+    int count = 0;
+    auto a = [&]() -> sim::Proc<void> {
+      for (int i = 0; i < rounds; ++i) {
+        ping.notify_all();
+        co_await pong.wait();
+        ++count;
+      }
+    };
+    auto b = [&]() -> sim::Proc<void> {
+      for (int i = 0; i < rounds; ++i) {
+        co_await ping.wait();
+        pong.notify_all();
+      }
+    };
+    s.spawn(b(), "b");
+    s.spawn(a(), "a");
+    s.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutinePingPong)->Arg(1000);
+
+void BM_SharedResourceChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    sim::SharedResource res(s, 100.0, 10.0);
+    const int n = static_cast<int>(state.range(0));
+    auto job = [](sim::Simulation& sim, sim::SharedResource& r, double work,
+                  double delay) -> sim::Proc<void> {
+      co_await sim.delay(delay);
+      co_await r.use(work);
+    };
+    sim::Rng rng(7);
+    for (int i = 0; i < n; ++i) {
+      s.spawn(job(s, res, rng.uniform(1.0, 5.0), rng.uniform(0.0, 1.0)), "j");
+    }
+    s.run();
+    benchmark::DoNotOptimize(res.work_done());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SharedResourceChurn)->Arg(1000);
+
+void BM_CircularQueueLocal(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    queue::CircularQueue<rt::Command> q(s, 16, queue::local_transport(s));
+    const int n = static_cast<int>(state.range(0));
+    auto producer = [&]() -> sim::Proc<void> {
+      rt::Command c;
+      for (int i = 0; i < n; ++i) co_await q.enqueue(c);
+    };
+    auto consumer = [&]() -> sim::Proc<void> {
+      for (int i = 0; i < n; ++i) (void)co_await q.dequeue();
+    };
+    s.spawn(producer(), "p");
+    s.spawn(consumer(), "c");
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CircularQueueLocal)->Arg(10000);
+
+void BM_NotificationMatchScan(benchmark::State& state) {
+  // The matcher's host-side analogue: scan a pending deque for (win, src,
+  // tag) with wildcards, erase matches, keep mismatches.
+  const int n = static_cast<int>(state.range(0));
+  sim::Rng rng(3);
+  std::vector<rt::Notification> base(static_cast<size_t>(n));
+  for (auto& x : base) {
+    x.win_device_id = static_cast<int>(rng.next_below(4));
+    x.source = static_cast<int>(rng.next_below(16));
+    x.tag = static_cast<int>(rng.next_below(8));
+  }
+  for (auto _ : state) {
+    std::deque<rt::Notification> pending(base.begin(), base.end());
+    int matched = 0;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->win_device_id == 2 && it->tag == 3) {
+        it = pending.erase(it);
+        ++matched;
+      } else {
+        ++it;
+      }
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NotificationMatchScan)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace dcuda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+#pragma once
+
+// Shared driver for the overlap microbenchmarks (Figures 7 and 8): on 8
+// nodes, every rank alternates a compute phase (N workload units) with a
+// 1 kB halo exchange with its two neighbor ranks. Runtime switches disable
+// either phase; perfect overlap means time(full) == max(time(compute),
+// time(exchange)).
+
+#include "bench/common.h"
+#include "dcuda/dcuda.h"
+
+namespace dcuda::bench {
+
+enum class Workload { kNewton, kMemcopy };
+
+struct OverlapPoint {
+  double full_ms = 0.0;
+  double compute_ms = 0.0;
+  double exchange_ms = 0.0;
+};
+
+// One workload unit per rank and compute iteration:
+//  kNewton — 16384 double-precision divisions (Newton-Raphson square root,
+//            compute bound);
+//  kMemcopy — a 16 kB memory-to-memory copy (bandwidth bound).
+inline sim::Proc<void> workload_unit(gpu::BlockCtx& blk, Workload w) {
+  if (w == Workload::kNewton) {
+    co_await blk.compute_flops(16384.0 * 10.0);
+  } else {
+    co_await blk.mem_traffic(2.0 * 16.0 * 1024.0);
+  }
+}
+
+inline double run_overlap(int nodes, Workload w, int units_per_exchange,
+                          bool compute, bool exchange, int rounds) {
+  Cluster c(machine(nodes));
+  const int rpd = c.ranks_per_device();
+  // Distinct halo buffers per rank so that intra-device puts move data too
+  // (each exchange really transfers 1 kB per direction).
+  constexpr std::size_t kHalo = 1024;
+  std::vector<std::span<std::byte>> src(static_cast<size_t>(nodes * rpd));
+  std::vector<std::span<std::byte>> dst(static_cast<size_t>(nodes * rpd));
+  for (int n = 0; n < nodes; ++n) {
+    for (int r = 0; r < rpd; ++r) {
+      src[static_cast<size_t>(n * rpd + r)] = c.device(n).alloc<std::byte>(kHalo);
+      dst[static_cast<size_t>(n * rpd + r)] = c.device(n).alloc<std::byte>(2 * kHalo);
+    }
+  }
+  const double elapsed = c.run([&](Context& ctx) -> sim::Proc<void> {
+    const int g = ctx.world_rank;
+    const int size = ctx.world_size;
+    Window win = co_await win_create(ctx, kCommWorld, dst[static_cast<size_t>(g)]);
+    const bool has_l = g > 0, has_r = g + 1 < size;
+    for (int it = 0; it < rounds; ++it) {
+      if (compute) {
+        for (int u = 0; u < units_per_exchange; ++u) {
+          co_await workload_unit(*ctx.block, w);
+        }
+      }
+      if (exchange) {
+        auto mine = src[static_cast<size_t>(g)];
+        if (has_l) co_await put_notify(ctx, win, g - 1, kHalo, kHalo, mine.data(), 0);
+        if (has_r) co_await put_notify(ctx, win, g + 1, 0, kHalo, mine.data(), 0);
+        co_await wait_notifications(ctx, win, kAnySource, 0,
+                                    (has_l ? 1 : 0) + (has_r ? 1 : 0));
+      }
+    }
+    co_await win_free(ctx, win);
+  });
+  return sim::to_millis(elapsed);
+}
+
+inline OverlapPoint overlap_point(int nodes, Workload w, int units, int rounds) {
+  OverlapPoint p;
+  p.full_ms = run_overlap(nodes, w, units, true, true, rounds);
+  p.compute_ms = run_overlap(nodes, w, units, true, false, rounds);
+  p.exchange_ms = run_overlap(nodes, w, 0, false, true, rounds);
+  return p;
+}
+
+}  // namespace dcuda::bench

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every figure and ablation of EXPERIMENTS.md into results/.
+# Usage: scripts/run_figures.sh [build-dir] [iters]
+#   build-dir  defaults to ./build
+#   iters      main-loop iterations per run (DCUDA_BENCH_ITERS); 100
+#              reproduces the paper's full-length runs.
+set -euo pipefail
+
+BUILD="${1:-build}"
+export DCUDA_BENCH_ITERS="${2:-20}"
+
+mkdir -p results
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "== $name (iters=$DCUDA_BENCH_ITERS) =="
+  "$b" | tee "results/$name.txt"
+  echo
+done
+echo "results written to results/"

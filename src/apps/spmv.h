@@ -1,0 +1,56 @@
+#pragma once
+
+// Mini-application 3 (§IV-C): sparse matrix-vector multiplication followed
+// by a barrier — the worst case for dCUDA's overlap philosophy.
+//
+// The matrix is stored in CSR and distributed over a square 2-D grid of
+// devices (pr x pc, nodes = pr*pc). The input vector lives along the first
+// row, the output along the first column. Each iteration:
+//   1) broadcast the input chunk down the columns (manual binary tree),
+//   2) local matrix-vector product (each rank owns a slice of rows),
+//   3) reduce the partial outputs along the rows (manual binary tree),
+//   4) global barrier.
+// The dCUDA variant over-decomposes along the columns (deeper broadcast
+// tree, same message sizes) and reduces with one message per rank (more,
+// smaller messages) — both effects the paper discusses.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sim/proc.h"
+
+namespace dcuda::apps::spmv {
+
+struct Config {
+  int n_dev = 8320;        // rows/cols per device patch (divisible by ranks)
+  double density = 0.001;  // paper: 0.1% random population
+  int iterations = 100;
+  std::uint64_t seed = 7;
+  bool compute = true;
+  bool exchange = true;
+};
+
+struct Result {
+  sim::Dur elapsed = 0.0;
+  double checksum = 0.0;  // sum over the reduced output vector
+};
+
+// CSR patch for device grid position (brow, bcol); deterministic.
+struct CsrPatch {
+  std::vector<std::int32_t> row_ptr;  // n+1
+  std::vector<std::int32_t> col;
+  std::vector<double> val;
+};
+CsrPatch make_patch(const Config& cfg, int brow, int bcol);
+
+// Deterministic input vector entry (global index).
+double input_value(std::int64_t i);
+
+// Serial reference: y = A x on the assembled global matrix.
+double reference_checksum(const Config& cfg, int num_nodes);
+
+Result run_dcuda(Cluster& cluster, const Config& cfg);
+Result run_mpi_cuda(Cluster& cluster, const Config& cfg);
+
+}  // namespace dcuda::apps::spmv

@@ -1,0 +1,404 @@
+#include "apps/stencil.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "baseline/mpi_cuda.h"
+
+namespace dcuda::apps::stencil {
+
+namespace {
+
+// Stencil math shared by all variants (and the serial reference). Zero
+// boundary conditions in i; j neighbors come from halos.
+struct Field {
+  std::span<double> data;
+  Geometry g;
+  double at(int i, int j, int k) const {
+    if (i < 0 || i >= g.isize) return 0.0;
+    return data[g.at(i, j, k)];
+  }
+  double& ref(int i, int j, int k) { return data[g.at(i, j, k)]; }
+};
+
+void compute_lap(Field in, Field lap, int j0, int j1) {
+  for (int k = 0; k < lap.g.ksize; ++k)
+    for (int j = j0; j < j1; ++j)
+      for (int i = 0; i < lap.g.isize; ++i)
+        lap.ref(i, j, k) = 4.0 * in.at(i, j, k) - in.at(i + 1, j, k) -
+                           in.at(i - 1, j, k) - in.at(i, j + 1, k) -
+                           in.at(i, j - 1, k);
+}
+
+void compute_flxfly(Field in, Field lap, Field flx, Field fly, int j0, int j1) {
+  for (int k = 0; k < lap.g.ksize; ++k)
+    for (int j = j0; j < j1; ++j)
+      for (int i = 0; i < lap.g.isize; ++i) {
+        double fx = lap.at(i + 1, j, k) - lap.at(i, j, k);
+        if (fx * (in.at(i + 1, j, k) - in.at(i, j, k)) > 0.0) fx = 0.0;
+        flx.ref(i, j, k) = fx;
+        double fy = lap.at(i, j + 1, k) - lap.at(i, j, k);
+        if (fy * (in.at(i, j + 1, k) - in.at(i, j, k)) > 0.0) fy = 0.0;
+        fly.ref(i, j, k) = fy;
+      }
+}
+
+void compute_out(Field in, Field flx, Field fly, Field out, double coeff, int j0,
+                 int j1) {
+  for (int k = 0; k < out.g.ksize; ++k)
+    for (int j = j0; j < j1; ++j)
+      for (int i = 0; i < out.g.isize; ++i)
+        out.ref(i, j, k) = in.at(i, j, k) -
+                           coeff * (flx.at(i, j, k) - flx.at(i - 1, j, k) +
+                                    fly.at(i, j, k) - fly.at(i, j - 1, k));
+}
+
+// Simulated cost of one compute phase over `lines` j-lines: `passes` array
+// passes of memory traffic plus `flops_per_point` arithmetic.
+sim::Proc<void> charge_phase(gpu::BlockCtx& blk, const Config& cfg, int lines,
+                             double passes, double flops_per_point) {
+  const double points = static_cast<double>(cfg.isize) * lines * cfg.ksize;
+  co_await blk.compute_flops(points * (flops_per_point + cfg.extra_flops_per_point));
+  co_await blk.mem_traffic(points * sizeof(double) * passes);
+}
+
+struct DeviceArrays {
+  std::span<double> in, lap, flx, fly, out;
+  Geometry g;
+};
+
+DeviceArrays make_arrays(gpu::Device& dev, const Geometry& g, int node_jbase,
+                         int jtotal) {
+  DeviceArrays a;
+  a.g = g;
+  a.in = dev.alloc<double>(g.elems());
+  a.lap = dev.alloc<double>(g.elems());
+  a.flx = dev.alloc<double>(g.elems());
+  a.fly = dev.alloc<double>(g.elems());
+  a.out = dev.alloc<double>(g.elems());
+  for (auto s : {a.lap, a.flx, a.fly, a.out})
+    std::fill(s.begin(), s.end(), 0.0);
+  std::fill(a.in.begin(), a.in.end(), 0.0);
+  // Owned lines plus valid neighbor halos (boilerplate initialization).
+  for (int k = 0; k < g.ksize; ++k)
+    for (int j = -1; j <= g.jdev; ++j)
+      for (int i = 0; i < g.isize; ++i) {
+        const int jg = node_jbase + j;
+        a.in[g.at(i, j, k)] = jg >= 0 && jg < jtotal ? initial_value(i, jg, k) : 0.0;
+      }
+  return a;
+}
+
+}  // namespace
+
+double initial_value(int i, int jg, int k) {
+  if (jg < 0) return 0.0;  // global zero boundary (also used for halos)
+  return std::sin(0.1 * i) + 0.01 * jg + 0.001 * k;
+}
+
+std::vector<double> reference(const Config& cfg, int num_nodes, int rpd) {
+  const int jdev = rpd * cfg.jlocal;
+  const int jtotal = num_nodes * jdev;
+  Geometry g{cfg.isize, jtotal, cfg.ksize};  // one "device" spanning all
+  std::vector<double> in(g.elems(), 0.0), lap(g.elems(), 0.0), flx(g.elems(), 0.0),
+      fly(g.elems(), 0.0), out(g.elems(), 0.0);
+  for (int k = 0; k < g.ksize; ++k)
+    for (int j = -1; j <= g.jdev; ++j)
+      for (int i = 0; i < g.isize; ++i)
+        in[g.at(i, j, k)] = j < jtotal ? initial_value(i, j, k) : 0.0;
+  Field fin{in, g}, flap{lap, g}, fflx{flx, g}, ffly{fly, g}, fout{out, g};
+  for (int it = 0; it < cfg.iterations; ++it) {
+    compute_lap(fin, flap, 0, jtotal);
+    compute_flxfly(fin, flap, fflx, ffly, 0, jtotal);
+    compute_out(fin, fflx, ffly, fout, cfg.diffusion_coeff, 0, jtotal);
+    std::swap(fin.data, fout.data);
+  }
+  return std::vector<double>(fin.data.begin(), fin.data.end());
+}
+
+double reference_checksum(const Config& cfg, int num_nodes, int rpd) {
+  const int jdev = rpd * cfg.jlocal;
+  const int jtotal = num_nodes * jdev;
+  Geometry g{cfg.isize, jtotal, cfg.ksize};
+  auto final_in = reference(cfg, num_nodes, rpd);
+  double sum = 0.0;
+  for (int k = 0; k < g.ksize; ++k)
+    for (int j = 0; j < jtotal; ++j)
+      for (int i = 0; i < g.isize; ++i) sum += final_in[g.at(i, j, k)];
+  return sum;
+}
+
+Result run_dcuda(Cluster& cluster, const Config& cfg) {
+  const int nodes = cluster.num_nodes();
+  const int rpd = cluster.ranks_per_device();
+  const Geometry g{cfg.isize, rpd * cfg.jlocal, cfg.ksize};
+  std::vector<DeviceArrays> dev(static_cast<size_t>(nodes));
+  for (int n = 0; n < nodes; ++n)
+    dev[static_cast<size_t>(n)] = make_arrays(cluster.device(n), g, n * g.jdev, nodes * g.jdev);
+
+  const std::size_t line_bytes = static_cast<size_t>(g.isize) * sizeof(double);
+  const double phase_flops[3] = {5.0, 12.0, 9.0};
+  const double phase_passes[3] = {2.0, 4.0, 4.0};
+
+  Result res;
+  res.elapsed = cluster.run([&](Context& ctx) -> sim::Proc<void> {
+    const int grank = comm_rank(ctx, kCommWorld);
+    const int gsize = comm_size(ctx, kCommWorld);
+    const int node_id = ctx.node->node();
+    const int r = ctx.device_rank;
+    DeviceArrays& a = dev[static_cast<size_t>(node_id)];
+    // Double-buffered in/out field spans + windows.
+    std::span<double> f_in = a.in, f_out = a.out;
+
+    Window win = co_await win_create(ctx, kCommWorld, f_in);
+    Window wout = co_await win_create(ctx, kCommWorld, f_out);
+    Window wlap = co_await win_create(ctx, kCommWorld, a.lap);
+    Window wfly = co_await win_create(ctx, kCommWorld, a.fly);
+
+    const bool has_down = grank > 0;       // neighbor at smaller j
+    const bool has_up = grank + 1 < gsize; // neighbor at larger j
+    const int jb = r * cfg.jlocal;         // device-local bottom owned line
+    const int jt = jb + cfg.jlocal - 1;    // top owned line
+
+    // Sends one j-line (all k levels, one put per level, last one notified)
+    // of `span` into the neighbor's window. In-device targets resolve to the
+    // same array position: zero-copy, notification only.
+    auto send_line = [&](Window w, std::span<double> span, int target_rank,
+                         int my_j, int target_j, int tag) -> sim::Proc<void> {
+      for (int k = 0; k < g.ksize; ++k) {
+        const std::size_t src_off = g.at(0, my_j, k);
+        const std::size_t dst_off = g.at(0, target_j, k) * sizeof(double);
+        if (k + 1 < g.ksize) {
+          co_await put(ctx, w, target_rank, dst_off, line_bytes, &span[src_off]);
+        } else {
+          co_await put_notify(ctx, w, target_rank, dst_off, line_bytes,
+                              &span[src_off], tag);
+        }
+      }
+    };
+    // Target j-line (in the receiving device's coordinates) of my boundary
+    // lines. Windows span the whole device array, so an in-device target is
+    // the very same line (zero-copy overlap); a cross-device target is the
+    // neighbor device's halo line.
+    const int down_tgt_j = r > 0 ? jb : g.jdev;
+    const int up_tgt_j = r + 1 < rpd ? jt : -1;
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+      // Phase 1: lap on owned lines; then send bottom lap line down.
+      if (cfg.compute) {
+        compute_lap(Field{f_in, g}, Field{a.lap, g}, jb, jt + 1);
+        co_await charge_phase(*ctx.block, cfg, cfg.jlocal, phase_passes[0],
+                              phase_flops[0]);
+      }
+      if (cfg.exchange) {
+        if (has_down) {
+          co_await send_line(wlap, a.lap, grank - 1, jb, down_tgt_j, 0);
+        }
+        co_await wait_notifications(ctx, wlap, kAnySource, 0, has_up ? 1 : 0);
+      }
+
+      // Phase 2: flx/fly on owned lines; send top fly line up.
+      if (cfg.compute) {
+        compute_flxfly(Field{f_in, g}, Field{a.lap, g}, Field{a.flx, g},
+                       Field{a.fly, g}, jb, jt + 1);
+        co_await charge_phase(*ctx.block, cfg, cfg.jlocal, phase_passes[1],
+                              phase_flops[1]);
+      }
+      if (cfg.exchange) {
+        if (has_up) {
+          co_await send_line(wfly, a.fly, grank + 1, jt, up_tgt_j, 1);
+        }
+        co_await wait_notifications(ctx, wfly, kAnySource, 1, has_down ? 1 : 0);
+      }
+
+      // Phase 3: out on owned lines; exchange out both directions, swap.
+      if (cfg.compute) {
+        compute_out(Field{f_in, g}, Field{a.flx, g}, Field{a.fly, g},
+                    Field{f_out, g}, cfg.diffusion_coeff, jb, jt + 1);
+        co_await charge_phase(*ctx.block, cfg, cfg.jlocal, phase_passes[2],
+                              phase_flops[2]);
+      }
+      if (cfg.exchange) {
+        if (has_down) co_await send_line(wout, f_out, grank - 1, jb, down_tgt_j, 2);
+        if (has_up) co_await send_line(wout, f_out, grank + 1, jt, up_tgt_j, 2);
+        co_await wait_notifications(ctx, wout, kAnySource, 2,
+                                    (has_down ? 1 : 0) + (has_up ? 1 : 0));
+      }
+      std::swap(f_in, f_out);
+      std::swap(win, wout);
+    }
+
+    co_await win_free(ctx, win);
+    co_await win_free(ctx, wout);
+    co_await win_free(ctx, wlap);
+    co_await win_free(ctx, wfly);
+  });
+
+  // Checksum over owned lines of the final field (lives in `in` slot after an
+  // even number of swaps, `out` otherwise; per device both spans alias the
+  // same storage passed at window creation — resolve by iteration parity).
+  for (int n = 0; n < nodes; ++n) {
+    const DeviceArrays& a = dev[static_cast<size_t>(n)];
+    std::span<const double> fin = cfg.iterations % 2 == 0 ? a.in : a.out;
+    for (int k = 0; k < g.ksize; ++k)
+      for (int j = 0; j < g.jdev; ++j)
+        for (int i = 0; i < g.isize; ++i) res.checksum += fin[g.at(i, j, k)];
+  }
+  for (int n = 0; n < nodes; ++n)
+    res.bytes_on_wire += static_cast<std::uint64_t>(cluster.fabric().bytes_sent(n));
+  return res;
+}
+
+Result run_mpi_cuda(Cluster& cluster, const Config& cfg) {
+  const int nodes = cluster.num_nodes();
+  const int rpd = cluster.ranks_per_device();
+  const Geometry g{cfg.isize, rpd * cfg.jlocal, cfg.ksize};
+  std::vector<DeviceArrays> dev(static_cast<size_t>(nodes));
+  std::vector<std::span<double>> sendbuf(static_cast<size_t>(nodes));
+  std::vector<std::span<double>> recvbuf(static_cast<size_t>(nodes));
+  std::vector<std::unique_ptr<baseline::HostProgram>> progs;
+  const int halo_elems = g.isize * g.ksize;
+  for (int n = 0; n < nodes; ++n) {
+    dev[static_cast<size_t>(n)] = make_arrays(cluster.device(n), g, n * g.jdev, nodes * g.jdev);
+    // Two packed buffers per direction.
+    sendbuf[static_cast<size_t>(n)] = cluster.device(n).alloc<double>(2 * halo_elems);
+    recvbuf[static_cast<size_t>(n)] = cluster.device(n).alloc<double>(2 * halo_elems);
+    progs.push_back(std::make_unique<baseline::HostProgram>(cluster.device(n),
+                                                            cluster.mpi(n)));
+  }
+
+  const double phase_flops[3] = {5.0, 12.0, 9.0};
+  const double phase_passes[3] = {2.0, 4.0, 4.0};
+
+  Result res;
+  res.elapsed = cluster.run_hosts([&](int n) -> sim::Proc<void> {
+    baseline::HostProgram& hp = *progs[static_cast<size_t>(n)];
+    DeviceArrays& a = dev[static_cast<size_t>(n)];
+    std::span<double> f_in = a.in, f_out = a.out;
+    const bool has_down = n > 0, has_up = n + 1 < nodes;
+
+    // Fork-join compute kernel over one phase (each block takes jlocal lines).
+    auto phase_kernel = [&](int phase, std::span<double> pin,
+                            std::span<double> pout) -> sim::Proc<void> {
+      gpu::Kernel k = [&, phase, pin, pout](gpu::BlockCtx& blk) -> sim::Proc<void> {
+        const int jb = blk.block_id() * cfg.jlocal;
+        const int jt = jb + cfg.jlocal;
+        if (phase == 0) {
+          compute_lap(Field{pin, g}, Field{a.lap, g}, jb, jt);
+        } else if (phase == 1) {
+          compute_flxfly(Field{pin, g}, Field{a.lap, g}, Field{a.flx, g},
+                         Field{a.fly, g}, jb, jt);
+        } else {
+          compute_out(Field{pin, g}, Field{a.flx, g}, Field{a.fly, g},
+                      Field{pout, g}, cfg.diffusion_coeff, jb, jt);
+        }
+        co_await charge_phase(blk, cfg, cfg.jlocal,
+                              phase_passes[static_cast<size_t>(phase)],
+                              phase_flops[static_cast<size_t>(phase)]);
+      };
+      co_await hp.launch(gpu::LaunchConfig{rpd, 128, 26}, std::move(k), "phase");
+    };
+
+    // Packs device-local boundary j-lines of `span` into contiguous buffers
+    // (pack kernel), sends one message per direction, receives the mirrored
+    // lines into the halo lines (unpack kernel). `down_dir` exchanges bottom
+    // lines downward (received from up into halo jdev); `up_dir` exchanges
+    // top lines upward (received from down into halo -1).
+    auto exchange_line = [&](std::span<double> span, bool down_dir, bool up_dir,
+                             int tag) -> sim::Proc<void> {
+      std::vector<mpi::Request> reqs;
+      const std::size_t halo_bytes = static_cast<size_t>(halo_elems) * sizeof(double);
+      auto pack = [&](int j, std::span<double> buf) -> sim::Proc<void> {
+        gpu::Kernel k = [&, j, buf](gpu::BlockCtx& blk) -> sim::Proc<void> {
+          if (blk.block_id() != 0) co_return;
+          for (int kk = 0; kk < g.ksize; ++kk)
+            std::memcpy(&buf[static_cast<size_t>(kk) * g.isize], &span[g.at(0, j, kk)],
+                        static_cast<size_t>(g.isize) * sizeof(double));
+          co_await blk.mem_traffic(2.0 * static_cast<double>(halo_bytes));
+        };
+        co_await hp.launch(gpu::LaunchConfig{rpd, 128, 26}, std::move(k), "pack");
+      };
+      auto unpack = [&](int j, std::span<double> buf) -> sim::Proc<void> {
+        gpu::Kernel k = [&, j, buf](gpu::BlockCtx& blk) -> sim::Proc<void> {
+          if (blk.block_id() != 0) co_return;
+          for (int kk = 0; kk < g.ksize; ++kk)
+            std::memcpy(&span[g.at(0, j, kk)], &buf[static_cast<size_t>(kk) * g.isize],
+                        static_cast<size_t>(g.isize) * sizeof(double));
+          co_await blk.mem_traffic(2.0 * static_cast<double>(halo_bytes));
+        };
+        co_await hp.launch(gpu::LaunchConfig{rpd, 128, 26}, std::move(k), "unpack");
+      };
+
+      auto& devv = cluster.device(n);
+      mpi::Request r_up, r_down;
+      // Pre-post the receives for the mirrored lines: a down-directed
+      // exchange is received from the up-neighbor into halo line jdev, an
+      // up-directed one from the down-neighbor into halo line -1.
+      if (down_dir && has_up) {
+        r_up = hp.irecv(n + 1, tag,
+                        devv.ref(recvbuf[static_cast<size_t>(n)].subspan(0, halo_elems)));
+      }
+      if (up_dir && has_down) {
+        r_down = hp.irecv(n - 1, tag,
+                          devv.ref(recvbuf[static_cast<size_t>(n)].subspan(
+                              static_cast<size_t>(halo_elems), halo_elems)));
+      }
+      if (down_dir && has_down) {
+        co_await pack(0, sendbuf[static_cast<size_t>(n)].subspan(0, halo_elems));
+        reqs.push_back(
+            hp.isend(n - 1, tag,
+                     devv.ref(sendbuf[static_cast<size_t>(n)].subspan(0, halo_elems))));
+      }
+      if (up_dir && has_up) {
+        co_await pack(g.jdev - 1, sendbuf[static_cast<size_t>(n)].subspan(
+                                      static_cast<size_t>(halo_elems), halo_elems));
+        reqs.push_back(hp.isend(n + 1, tag,
+                                devv.ref(sendbuf[static_cast<size_t>(n)].subspan(
+                                    static_cast<size_t>(halo_elems), halo_elems))));
+      }
+      for (auto& rq : reqs) co_await rq.wait();
+      if (r_up.valid()) {
+        co_await r_up.wait();
+        co_await unpack(g.jdev, recvbuf[static_cast<size_t>(n)].subspan(0, halo_elems));
+      }
+      if (r_down.valid()) {
+        co_await r_down.wait();
+        co_await unpack(-1, recvbuf[static_cast<size_t>(n)].subspan(
+                                static_cast<size_t>(halo_elems), halo_elems));
+      }
+    };
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+      if (cfg.compute) co_await phase_kernel(0, f_in, f_out);
+      if (cfg.exchange) {
+        co_await exchange_line(a.lap, /*down_dir=*/true, /*up_dir=*/false,
+                               10 + it * 4);
+      }
+      if (cfg.compute) co_await phase_kernel(1, f_in, f_out);
+      if (cfg.exchange) {
+        co_await exchange_line(a.fly, /*down_dir=*/false, /*up_dir=*/true,
+                               11 + it * 4);
+      }
+      if (cfg.compute) co_await phase_kernel(2, f_in, f_out);
+      if (cfg.exchange) {
+        co_await exchange_line(f_out, /*down_dir=*/true, /*up_dir=*/true,
+                               12 + it * 4);
+      }
+      std::swap(f_in, f_out);
+    }
+  });
+
+  for (int n = 0; n < nodes; ++n) {
+    const DeviceArrays& a = dev[static_cast<size_t>(n)];
+    std::span<const double> fin = cfg.iterations % 2 == 0 ? a.in : a.out;
+    for (int k = 0; k < g.ksize; ++k)
+      for (int j = 0; j < g.jdev; ++j)
+        for (int i = 0; i < g.isize; ++i) res.checksum += fin[g.at(i, j, k)];
+  }
+  for (int n = 0; n < nodes; ++n)
+    res.bytes_on_wire += static_cast<std::uint64_t>(cluster.fabric().bytes_sent(n));
+  return res;
+}
+
+}  // namespace dcuda::apps::stencil

@@ -1,0 +1,74 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+namespace dcuda {
+
+Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
+    : cfg_(cfg), rpd_(ranks_per_device), host_ranks_(host_ranks) {
+  fabric_ = std::make_unique<net::Fabric>(sim_, cfg_.num_nodes, cfg_.net);
+  std::vector<gpu::Device*> dev_ptrs;
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    pcie_.push_back(std::make_unique<pcie::PcieLink>(sim_, cfg_.pcie));
+    devices_.push_back(std::make_unique<gpu::Device>(sim_, n, cfg_.device,
+                                                     pcie_.back().get(), &tracer_));
+    dev_ptrs.push_back(devices_.back().get());
+  }
+  world_ = std::make_unique<mpi::World>(sim_, *fabric_, cfg_.mpi, dev_ptrs);
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    runtimes_.push_back(std::make_unique<rt::NodeRuntime>(
+        sim_, *devices_[static_cast<size_t>(n)], world_->at(n),
+        *pcie_[static_cast<size_t>(n)], cfg_, rpd_, host_ranks_));
+  }
+}
+
+sim::Proc<void> Cluster::run_device(int n, const RankFn& fn) {
+  rt::NodeRuntime* runtime = runtimes_[static_cast<size_t>(n)].get();
+  // The kernel std::function owns its state for the whole launch; per-block
+  // invocations create one Context each (the paper's dcuda_context).
+  gpu::Kernel kernel = [runtime, &fn](gpu::BlockCtx& blk) -> sim::Proc<void> {
+    Context ctx;
+    co_await init(ctx, KernelParam{runtime}, blk);
+    co_await fn(ctx);
+    co_await finish(ctx);
+  };
+  co_await device(n).launch(launch_config(), std::move(kernel), "dcuda");
+}
+
+sim::Proc<void> Cluster::run_host_rank(int n, int host_index, const RankFn& fn) {
+  Context ctx;
+  co_await init_host(ctx, KernelParam{runtimes_[static_cast<size_t>(n)].get()},
+                     host_index);
+  co_await fn(ctx);
+  co_await finish(ctx);
+}
+
+sim::Dur Cluster::run(RankFn fn, RankFn host_fn) {
+  const sim::Time t0 = sim_.now();
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    sim_.spawn(run_device(n, fn), "host@" + std::to_string(n));
+    for (int h = 0; h < host_ranks_; ++h) {
+      sim_.spawn(run_host_rank(n, h, host_fn ? host_fn : fn),
+                 "hostrank@" + std::to_string(n) + "/" + std::to_string(h));
+    }
+  }
+  sim_.run();
+  return sim_.now() - t0;
+}
+
+namespace {
+// Spawned from a loop: must not be a capturing lambda (the closure would die
+// before the coroutine does); `fn` outlives sim_.run() in the caller frame.
+sim::Proc<void> host_body(const Cluster::HostFn& fn, int n) { co_await fn(n); }
+}  // namespace
+
+sim::Dur Cluster::run_hosts(HostFn fn) {
+  const sim::Time t0 = sim_.now();
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    sim_.spawn(host_body(fn, n), "host@" + std::to_string(n));
+  }
+  sim_.run();
+  return sim_.now() - t0;
+}
+
+}  // namespace dcuda

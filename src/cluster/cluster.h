@@ -1,0 +1,88 @@
+#pragma once
+
+// Simulated GPU cluster: N nodes, each with one device, one PCIe link, one
+// MPI endpoint and one dCUDA node runtime, connected by the network fabric.
+// This is the top-level entry point examples, tests and benchmarks build on.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dcuda/dcuda.h"
+#include "gpu/device.h"
+#include "mpi/mpi.h"
+#include "net/fabric.h"
+#include "pcie/pcie.h"
+#include "runtime/node_runtime.h"
+#include "sim/config.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+
+namespace dcuda {
+
+class Cluster {
+ public:
+  // ranks_per_device defaults to the paper's launch configuration: 208
+  // blocks per device (the maximum the K80 keeps in flight at 128 threads
+  // and 26 registers). host_ranks adds §V host ranks per node: local ranks
+  // [rpd, rpd + host_ranks) run on the host CPU.
+  explicit Cluster(sim::MachineConfig cfg = {}, int ranks_per_device = 208,
+                   int host_ranks = 0);
+
+  sim::Simulation& sim() { return sim_; }
+  sim::Tracer& tracer() { return tracer_; }
+  const sim::MachineConfig& config() const { return cfg_; }
+  int num_nodes() const { return cfg_.num_nodes; }
+  int ranks_per_device() const { return rpd_; }
+  int host_ranks() const { return host_ranks_; }
+  int ranks_per_node() const { return rpd_ + host_ranks_; }
+  int world_size() const { return cfg_.num_nodes * ranks_per_node(); }
+
+  gpu::Device& device(int node) { return *devices_[static_cast<size_t>(node)]; }
+  rt::NodeRuntime& node(int n) { return *runtimes_[static_cast<size_t>(n)]; }
+  mpi::Endpoint& mpi(int node) { return world_->at(node); }
+  net::Fabric& fabric() { return *fabric_; }
+  pcie::PcieLink& pcie(int node) { return *pcie_[static_cast<size_t>(node)]; }
+
+  // -- dCUDA execution -------------------------------------------------
+
+  // The per-rank program: the body of the single dCUDA kernel. The context
+  // is initialized (dcuda::init) before the function runs and finalized
+  // (dcuda::finish) after it returns, mirroring the paper's listing.
+  using RankFn = std::function<sim::Proc<void>(Context&)>;
+
+  // Launches the kernel on every device (and, when the cluster has host
+  // ranks, `host_fn` — or `fn` if none given — once per host rank) and runs
+  // the simulation to completion. Returns the simulated duration of the
+  // longest kernel invocation as timed host-side (the paper's methodology).
+  sim::Dur run(RankFn fn, RankFn host_fn = nullptr);
+
+  // -- Baseline (MPI-CUDA) execution ------------------------------------
+
+  // One host program per node (fork-join kernels + two-sided MPI).
+  using HostFn = std::function<sim::Proc<void>(int node)>;
+  sim::Dur run_hosts(HostFn fn);
+
+  // Paper launch configuration for auxiliary kernels.
+  gpu::LaunchConfig launch_config() const {
+    return gpu::LaunchConfig{rpd_, 128, 26};
+  }
+
+ private:
+  sim::Proc<void> run_device(int n, const RankFn& fn);
+  sim::Proc<void> run_host_rank(int n, int host_index, const RankFn& fn);
+
+  sim::MachineConfig cfg_;
+  int rpd_;
+  int host_ranks_;
+  sim::Simulation sim_;
+  sim::Tracer tracer_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<pcie::PcieLink>> pcie_;
+  std::vector<std::unique_ptr<gpu::Device>> devices_;
+  std::unique_ptr<mpi::World> world_;
+  std::vector<std::unique_ptr<rt::NodeRuntime>> runtimes_;
+};
+
+}  // namespace dcuda

@@ -1,0 +1,189 @@
+#include "dcuda/collectives.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dcuda {
+
+namespace {
+
+// Acks use a reserved tag offset so one user tag covers data + control.
+constexpr int kAckTagOffset = 1 << 20;
+
+int ceil_log2(int n) {
+  int r = 0;
+  while ((1 << r) < n) ++r;
+  return r;
+}
+
+}  // namespace
+
+sim::Proc<Collectives> Collectives::create(Context& ctx, std::size_t max_elems) {
+  Collectives c;
+  c.max_elems_ = max_elems;
+  const int rpn = ctx.node->ranks_per_node();
+  const int nodes = ctx.node->num_nodes();
+  c.rounds_ = ceil_log2(std::max(rpn, 1)) + ceil_log2(std::max(nodes, 1)) + 2;
+  c.scratch_ = ctx.node->device().alloc<double>(static_cast<std::size_t>(c.rounds_) *
+                                                max_elems);
+  c.win_ = co_await win_create(ctx, kCommWorld, c.scratch_);
+  co_return c;
+}
+
+sim::Proc<void> Collectives::destroy(Context& ctx) { co_await win_free(ctx, win_); }
+
+sim::Proc<void> Collectives::reduce_sum(Context& ctx, int root, double* data,
+                                        std::size_t elems, int tag) {
+  assert(elems <= max_elems_);
+  const int rpd = ctx.node->ranks_per_node();
+  const int nodes = ctx.node->num_nodes();
+  const int node_id = ctx.node->node();
+  const int root_node = root / rpd;
+  const int root_local = root % rpd;
+  const int my_local = ctx.world_rank % rpd;
+  // Representative (local rank) of each device for the cross-device stage:
+  // the root itself on its device, local rank 0 elsewhere.
+  const int rep_local = node_id == root_node ? root_local : 0;
+
+  // Stage A: in-device reduction to the representative. Rotate indices so
+  // the representative is member 0 of the tree.
+  if (rpd > 1) {
+    const int my_rel = (my_local - rep_local + rpd) % rpd;
+    // Member rel -> world rank.
+    const int base = node_id * rpd;
+    // Express rotation through an offset table: rank_of(rel) must be
+    // base + ((rel + rep_local) % rpd). A simple stride cannot express the
+    // wrap, so reduce within two contiguous runs is incorrect — instead use
+    // the generic loop below with explicit ranks.
+    int round = 0;
+    bool done = false;
+    for (int step = 1; step < rpd && !done; step *= 2, ++round) {
+      const int slot_round = round;
+      if (my_rel % (2 * step) == step) {
+        const int parent = base + (my_rel - step + rep_local) % rpd;
+        co_await put_notify(ctx, win_, parent, slot_offset(slot_round),
+                            elems * sizeof(double), data, tag);
+        co_await flush(ctx);
+        co_await wait_notifications(ctx, win_, parent, tag + kAckTagOffset, 1);
+        done = true;
+      } else if (my_rel % (2 * step) == 0 && my_rel + step < rpd) {
+        const int child = base + (my_rel + step + rep_local) % rpd;
+        co_await wait_notifications(ctx, win_, child, tag, 1);
+        double* slot = slot_ptr(slot_round);
+        for (std::size_t i = 0; i < elems; ++i) data[i] += slot[i];
+        co_await ctx.charge_memory(3.0 * static_cast<double>(elems) *
+                                        sizeof(double));
+        co_await put_notify(ctx, win_, child, slot_offset(slot_round), 0, nullptr,
+                            tag + kAckTagOffset);
+      }
+    }
+    if (done) co_return;  // non-representatives are finished
+  }
+  if (my_local != rep_local) co_return;
+
+  // Stage B: cross-device reduction over the representatives.
+  if (nodes > 1) {
+    const int round_base = ceil_log2(std::max(rpd, 1));
+    const int my_rel = (node_id - root_node + nodes) % nodes;
+    auto rep_rank = [&](int rel) {
+      const int dev = (rel + root_node) % nodes;
+      return dev * rpd + (dev == root_node ? root_local : 0);
+    };
+    int round = 0;
+    for (int step = 1; step < nodes; step *= 2, ++round) {
+      const int slot_round = round_base + round;
+      if (my_rel % (2 * step) == step) {
+        const int parent = rep_rank(my_rel - step);
+        co_await put_notify(ctx, win_, parent, slot_offset(slot_round),
+                            elems * sizeof(double), data, tag);
+        co_await flush(ctx);
+        co_await wait_notifications(ctx, win_, parent, tag + kAckTagOffset, 1);
+        co_return;
+      }
+      if (my_rel % (2 * step) == 0 && my_rel + step < nodes) {
+        const int child = rep_rank(my_rel + step);
+        co_await wait_notifications(ctx, win_, child, tag, 1);
+        double* slot = slot_ptr(slot_round);
+        for (std::size_t i = 0; i < elems; ++i) data[i] += slot[i];
+        co_await ctx.charge_memory(3.0 * static_cast<double>(elems) *
+                                        sizeof(double));
+        co_await put_notify(ctx, win_, child, slot_offset(slot_round), 0, nullptr,
+                            tag + kAckTagOffset);
+      }
+    }
+    co_await flush(ctx);
+  }
+}
+
+sim::Proc<void> Collectives::bcast(Context& ctx, int root, double* data,
+                                   std::size_t elems, int tag) {
+  assert(elems <= max_elems_);
+  const int rpd = ctx.node->ranks_per_node();
+  const int nodes = ctx.node->num_nodes();
+  const int node_id = ctx.node->node();
+  const int root_node = root / rpd;
+  const int root_local = root % rpd;
+  const int my_local = ctx.world_rank % rpd;
+  const int rep_local = node_id == root_node ? root_local : 0;
+  const int slot = rounds_ - 1;  // single landing slot: one sender per rank
+
+  // Stage A: cross-device binary tree over representatives (into the
+  // landing slot, copied to data, acked).
+  if (my_local == rep_local && nodes > 1) {
+    const int my_rel = (node_id - root_node + nodes) % nodes;
+    auto rep_rank = [&](int rel) {
+      const int dev = (rel + root_node) % nodes;
+      return dev * rpd + (dev == root_node ? root_local : 0);
+    };
+    if (my_rel != 0) {
+      const int parent_rel = (my_rel - 1) / 2;
+      const int parent = rep_rank(parent_rel);
+      co_await wait_notifications(ctx, win_, parent, tag, 1);
+      std::memcpy(data, slot_ptr(slot), elems * sizeof(double));
+      co_await ctx.charge_memory(2.0 * static_cast<double>(elems) * sizeof(double));
+      co_await put_notify(ctx, win_, parent, 0, 0, nullptr, tag + kAckTagOffset);
+    }
+    int acks_expected = 0;
+    for (int child_rel = 2 * my_rel + 1; child_rel <= 2 * my_rel + 2; ++child_rel) {
+      if (child_rel >= nodes) break;
+      co_await put_notify(ctx, win_, rep_rank(child_rel), slot_offset(slot),
+                          elems * sizeof(double), data, tag);
+      ++acks_expected;
+    }
+    co_await flush(ctx);
+    co_await wait_notifications(ctx, win_, kAnySource, tag + kAckTagOffset,
+                                acks_expected);
+  }
+
+  // Stage B: in-device binary tree from the representative.
+  if (rpd > 1) {
+    const int my_rel = (my_local - rep_local + rpd) % rpd;
+    const int base = node_id * rpd;
+    auto local_rank = [&](int rel) { return base + (rel + rep_local) % rpd; };
+    if (my_rel != 0) {
+      const int parent = local_rank((my_rel - 1) / 2);
+      co_await wait_notifications(ctx, win_, parent, tag, 1);
+      std::memcpy(data, slot_ptr(slot), elems * sizeof(double));
+      co_await ctx.charge_memory(2.0 * static_cast<double>(elems) * sizeof(double));
+      co_await put_notify(ctx, win_, parent, 0, 0, nullptr, tag + kAckTagOffset);
+    }
+    int acks_expected = 0;
+    for (int child_rel = 2 * my_rel + 1; child_rel <= 2 * my_rel + 2; ++child_rel) {
+      if (child_rel >= rpd) break;
+      co_await put_notify(ctx, win_, local_rank(child_rel), slot_offset(slot),
+                          elems * sizeof(double), data, tag);
+      ++acks_expected;
+    }
+    co_await flush(ctx);
+    co_await wait_notifications(ctx, win_, kAnySource, tag + kAckTagOffset,
+                                acks_expected);
+  }
+}
+
+sim::Proc<void> Collectives::allreduce_sum(Context& ctx, double* data,
+                                           std::size_t elems, int tag) {
+  co_await reduce_sum(ctx, /*root=*/0, data, elems, tag);
+  co_await bcast(ctx, /*root=*/0, data, elems, tag + 2);
+}
+
+}  // namespace dcuda

@@ -1,0 +1,63 @@
+#pragma once
+
+// Collectives over notified remote memory access (paper §V: "we suggest to
+// implement highly-efficient collectives that leverage shared memory").
+//
+// All operations are hierarchical: an intra-device stage uses device-local
+// transfers between the ranks of one device, and only device
+// representatives communicate across the network — one wire message per
+// device per tree edge instead of one per rank.
+//
+// Usage is collective: every rank of the communicator calls create(), then
+// the operations, with matching arguments; scratch windows are registered
+// once and reused. Every tree round receives into its own scratch slot
+// (payloads from different sources are unordered; sharing one landing
+// buffer across rounds would race).
+
+#include <cstdint>
+#include <span>
+
+#include "dcuda/dcuda.h"
+
+namespace dcuda {
+
+class Collectives {
+ public:
+  // Collectively creates the scratch windows for payloads of up to
+  // `max_elems` doubles. Every world rank must participate.
+  static sim::Proc<Collectives> create(Context& ctx, std::size_t max_elems);
+
+  // Collectively releases the scratch windows.
+  sim::Proc<void> destroy(Context& ctx);
+
+  // Sum-reduction of `elems` doubles into `root`'s (world rank) `data`
+  // buffer. Non-root buffers are consumed as partial inputs and left
+  // unspecified afterwards.
+  sim::Proc<void> reduce_sum(Context& ctx, int root, double* data,
+                             std::size_t elems, int tag);
+
+  // Broadcast of `elems` doubles from `root`'s `data` buffer into every
+  // rank's `data` buffer.
+  sim::Proc<void> bcast(Context& ctx, int root, double* data, std::size_t elems,
+                        int tag);
+
+  // reduce_sum to rank 0 followed by bcast (tree allreduce).
+  sim::Proc<void> allreduce_sum(Context& ctx, double* data, std::size_t elems,
+                                int tag);
+
+  std::size_t max_elems() const { return max_elems_; }
+
+ private:
+  // Scratch slot layout: `rounds` consecutive regions of max_elems doubles.
+  std::size_t slot_offset(int round) const {
+    return static_cast<std::size_t>(round) * max_elems_ * sizeof(double);
+  }
+  double* slot_ptr(int round) { return scratch_.data() + static_cast<std::size_t>(round) * max_elems_; }
+
+  Window win_;                 // over this rank's scratch
+  std::span<double> scratch_;  // rounds x max_elems
+  std::size_t max_elems_ = 0;
+  int rounds_ = 0;
+};
+
+}  // namespace dcuda

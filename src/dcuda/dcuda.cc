@@ -1,0 +1,398 @@
+#include "dcuda/dcuda.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dcuda {
+
+namespace {
+
+// Device-side cost of assembling and issuing a command (meta tuple build,
+// §III-B), charged to the rank's SM.
+sim::Proc<void> charge_issue(Context& ctx) {
+  co_await ctx.charge_compute_time(ctx.node->config().runtime.device_issue_cost);
+}
+
+bool notification_matches(const rt::Notification& n, std::int32_t win_filter,
+                          int source, int tag) {
+  if (win_filter != kAnyWindow && n.win_device_id != win_filter) return false;
+  if (source != kAnySource && n.source != source) return false;
+  if (tag != kAnyTag && n.tag != tag) return false;
+  return true;
+}
+
+// Core RMA issue path shared by put/get (notify optional).
+sim::Proc<void> issue_rma(Context& ctx, rt::CmdKind kind, Window win,
+                          int target_rank, std::size_t offset, std::size_t bytes,
+                          void* local_ptr, int tag, bool notify) {
+  assert(win.valid() && "window not created");
+  assert(target_rank >= 0 && target_rank < ctx.world_size);
+  rt::NodeRuntime& node = *ctx.node;
+  rt::RankState& rs = *ctx.rs;
+  co_await charge_issue(ctx);
+
+  const int rpn = node.ranks_per_node();
+  const int target_node = target_rank / rpn;
+  const bool shared_memory = target_node == node.node();
+
+  rt::Command c;
+  c.kind = kind;
+  c.win_device_id = win.device_id;
+  c.target_rank = target_rank;
+  c.offset = offset;
+  c.bytes = bytes;
+  c.local_ptr = static_cast<std::byte*>(local_ptr);
+  c.tag = tag;
+  c.notify = notify;
+
+  if (shared_memory) {
+    // Direct device-side execution (§III-A): resolve the target window
+    // registration from the device window table and copy locally. No copy if
+    // source and target addresses coincide (overlapping windows).
+    const int target_local = target_rank - node.node() * rpn;
+    const rt::NodeRuntime::WinRankInfo* peer =
+        node.window_peer(win.global_id, target_local);
+    assert(peer != nullptr && "shared-memory window not registered");
+    assert(offset + bytes <= peer->bytes && "window access out of bounds");
+    std::byte* remote = peer->base + offset;
+    std::byte* local = static_cast<std::byte*>(local_ptr);
+    if (remote != local && bytes > 0) {
+      if (kind == rt::CmdKind::kPut) {
+        std::memcpy(remote, local, bytes);
+      } else {
+        std::memcpy(local, remote, bytes);
+      }
+      co_await ctx.charge_memory(2.0 * static_cast<double>(bytes));
+    }
+    // §II-D: redundant shared-memory operations are optimized out — the copy
+    // (if any) completed synchronously, so without a notification there is
+    // nothing left for the host to do.
+    if (!notify) co_return;
+    c.local_already_copied = true;
+    if (!node.config().runtime.local_notifications_via_host) {
+      // Ablation path: deliver the notification on the device, skipping the
+      // host loop-through the paper uses.
+      if (notify) {
+        rt::Notification n;
+        if (kind == rt::CmdKind::kPut) {
+          n.win_device_id = peer->win_device_id;
+          n.source = rs.global_rank;
+          n.tag = tag;
+          node.device_local_notify(target_local, n);
+        } else {
+          n.win_device_id = win.device_id;
+          n.source = target_rank;
+          n.tag = tag;
+          node.device_local_notify(ctx.device_rank, n);
+        }
+      }
+      co_return;
+    }
+    c.flush_id = ++rs.next_flush_id;
+    ++rs.win_issued[win.device_id];
+    co_await rs.cmd_q.enqueue(c);
+    co_return;
+  }
+
+  c.flush_id = ++rs.next_flush_id;
+  ++rs.win_issued[win.device_id];
+  co_await rs.cmd_q.enqueue(c);
+}
+
+}  // namespace
+
+sim::Proc<void> Context::charge_compute(double flops) {
+  if (block != nullptr) {
+    co_await block->compute_flops(flops);
+  } else {
+    const sim::Time begin = sim().now();
+    co_await node->host_compute().use(flops);
+    trace("compute", begin, sim().now());
+  }
+}
+
+sim::Proc<void> Context::charge_compute_time(sim::Dur dedicated_time) {
+  if (block != nullptr) {
+    co_await block->compute(dedicated_time);
+  } else {
+    const double rate = node->config().host.flops / node->config().host.threads_to_saturate;
+    co_await charge_compute(dedicated_time * rate);
+  }
+}
+
+sim::Proc<void> Context::charge_memory(double bytes) {
+  if (block != nullptr) {
+    co_await block->mem_traffic(bytes);
+  } else {
+    const sim::Time begin = sim().now();
+    co_await node->host_memory().use(bytes);
+    trace("memory", begin, sim().now());
+  }
+}
+
+void Context::trace(const char* activity, sim::Time begin, sim::Time end) {
+  if (block != nullptr) {
+    block->trace(activity, begin, end);
+    return;
+  }
+  if (sim::Tracer* t = node->device().tracer(); t && t->enabled()) {
+    // Host ranks trace on a lane band of their own (1000 + host index).
+    const int host_index = world_rank % node->ranks_per_node() - node->ranks_per_device();
+    t->record(sim::TraceSpan{begin, end, node->node(), 1000 + host_index, activity});
+  }
+}
+
+sim::Proc<void> init_host(Context& ctx, const KernelParam& param, int host_index) {
+  assert(param.node != nullptr);
+  ctx.block = nullptr;
+  ctx.node = param.node;
+  const int rpd = ctx.node->ranks_per_device();
+  assert(host_index >= 0 && host_index < ctx.node->host_ranks());
+  ctx.device_rank = -1;
+  ctx.device_size = rpd;
+  const int local = rpd + host_index;
+  ctx.world_rank = ctx.node->node() * ctx.node->ranks_per_node() + local;
+  ctx.world_size = ctx.node->world_size();
+  ctx.rs = &ctx.node->rank(local);
+  co_await charge_issue(ctx);
+}
+
+sim::Proc<void> init(Context& ctx, const KernelParam& param, gpu::BlockCtx& blk) {
+  assert(param.node != nullptr);
+  ctx.block = &blk;
+  ctx.node = param.node;
+  const int rpd = ctx.node->ranks_per_device();
+  assert(blk.grid_blocks() == rpd &&
+         "dCUDA kernels launch exactly one block per rank; the grid must "
+         "match the runtime's ranks_per_device");
+  ctx.device_rank = blk.block_id();
+  ctx.device_size = rpd;
+  ctx.world_rank = ctx.node->node() * ctx.node->ranks_per_node() + ctx.device_rank;
+  ctx.world_size = ctx.node->world_size();
+  ctx.rs = &ctx.node->rank(ctx.device_rank);
+  co_await charge_issue(ctx);
+}
+
+int comm_rank(const Context& ctx, Comm comm) {
+  return comm == Comm::kWorld ? ctx.world_rank : ctx.device_rank;
+}
+
+int comm_size(const Context& ctx, Comm comm) {
+  return comm == Comm::kWorld ? ctx.world_size : ctx.device_size;
+}
+
+sim::Proc<Window> win_create(Context& ctx, Comm comm, void* base, std::size_t bytes) {
+  rt::RankState& rs = *ctx.rs;
+  Window w;
+  w.device_id = rs.next_win_device_id++;
+  co_await charge_issue(ctx);
+
+  rt::Command c;
+  c.kind = rt::CmdKind::kWinCreate;
+  c.comm = comm;
+  c.win_device_id = w.device_id;
+  c.win_base = static_cast<std::byte*>(base);
+  c.win_bytes = bytes;
+  co_await rs.cmd_q.enqueue(c);
+
+  rt::Ack a = co_await rs.ack_q.dequeue();
+  assert(a.kind == rt::AckKind::kWinCreated);
+  assert(a.win_device_id == w.device_id);
+  w.global_id = a.win_global_id;
+  co_return w;
+}
+
+sim::Proc<void> win_free(Context& ctx, Window& win) {
+  assert(win.valid());
+  co_await charge_issue(ctx);
+  rt::Command c;
+  c.kind = rt::CmdKind::kWinFree;
+  c.win_device_id = win.device_id;
+  co_await ctx.rs->cmd_q.enqueue(c);
+  rt::Ack a = co_await ctx.rs->ack_q.dequeue();
+  assert(a.kind == rt::AckKind::kWinFreed);
+  (void)a;
+  win = Window{};
+}
+
+sim::Proc<void> put_notify(Context& ctx, Window win, int target_rank,
+                           std::size_t offset, std::size_t bytes, const void* src,
+                           int tag) {
+  co_await issue_rma(ctx, rt::CmdKind::kPut, win, target_rank, offset, bytes,
+                     const_cast<void*>(src), tag, /*notify=*/true);
+}
+
+sim::Proc<void> put(Context& ctx, Window win, int target_rank, std::size_t offset,
+                    std::size_t bytes, const void* src) {
+  co_await issue_rma(ctx, rt::CmdKind::kPut, win, target_rank, offset, bytes,
+                     const_cast<void*>(src), 0, /*notify=*/false);
+}
+
+sim::Proc<void> get_notify(Context& ctx, Window win, int target_rank,
+                           std::size_t offset, std::size_t bytes, void* dst, int tag) {
+  co_await issue_rma(ctx, rt::CmdKind::kGet, win, target_rank, offset, bytes, dst,
+                     tag, /*notify=*/true);
+}
+
+sim::Proc<void> get(Context& ctx, Window win, int target_rank, std::size_t offset,
+                    std::size_t bytes, void* dst) {
+  co_await issue_rma(ctx, rt::CmdKind::kGet, win, target_rank, offset, bytes, dst, 0,
+                     /*notify=*/false);
+}
+
+sim::Proc<void> flush(Context& ctx) {
+  rt::RankState& rs = *ctx.rs;
+  const std::uint64_t target = rs.next_flush_id;
+  while (rs.flush_done < target) co_await rs.flush_trig.wait();
+}
+
+sim::Proc<void> win_flush(Context& ctx, Window win) {
+  assert(win.valid());
+  rt::RankState& rs = *ctx.rs;
+  const std::uint64_t target = rs.win_issued[win.device_id];
+  while (rs.win_completed[win.device_id] < target) co_await rs.flush_trig.wait();
+}
+
+sim::Proc<void> wait_notifications(Context& ctx, std::int32_t win_filter, int source,
+                                   int tag, int count) {
+  rt::RankState& rs = *ctx.rs;
+  const sim::RuntimeConfig& rc = ctx.node->config().runtime;
+  int matched = 0;
+  const sim::Time begin = ctx.sim().now();
+  while (matched < count) {
+    // Drain arrivals from the notification queue into the pending buffer.
+    while (auto n = rs.notif_q.try_dequeue()) rs.pending.push_back(*n);
+    // Match in arrival order; mismatches stay (queue compression).
+    int scanned = 0;
+    for (auto it = rs.pending.begin(); it != rs.pending.end() && matched < count;) {
+      ++scanned;
+      if (notification_matches(*it, win_filter, source, tag)) {
+        it = rs.pending.erase(it);
+        ++matched;
+      } else {
+        ++it;
+      }
+    }
+    // The matcher is compute-heavy (§III-C/§IV-B): charge its cost to the SM.
+    const std::uint64_t epoch = rs.notify_epoch;
+    if (rc.charge_matching_cost) {
+      co_await ctx.charge_compute_time(rc.match_round_cost +
+                                       static_cast<double>(scanned) * rc.match_entry_cost);
+    }
+    if (matched >= count) break;
+    // Re-check for arrivals during the matching round: queue commits or
+    // direct device-local deliveries (would be a lost wake-up otherwise).
+    if (!rs.notif_q.empty() || rs.notify_epoch != epoch) continue;
+    co_await rs.notif_q.nonempty_trigger().wait();
+  }
+  ctx.trace("wait", begin, ctx.sim().now());
+}
+
+sim::Proc<int> test_notifications(Context& ctx, std::int32_t win_filter, int source,
+                                  int tag, int count) {
+  rt::RankState& rs = *ctx.rs;
+  const sim::RuntimeConfig& rc = ctx.node->config().runtime;
+  while (auto n = rs.notif_q.try_dequeue()) rs.pending.push_back(*n);
+  int matched = 0;
+  int scanned = 0;
+  for (auto it = rs.pending.begin(); it != rs.pending.end() && matched < count;) {
+    ++scanned;
+    if (notification_matches(*it, win_filter, source, tag)) {
+      it = rs.pending.erase(it);
+      ++matched;
+    } else {
+      ++it;
+    }
+  }
+  if (rc.charge_matching_cost) {
+    co_await ctx.charge_compute_time(rc.match_round_cost +
+                                     static_cast<double>(scanned) * rc.match_entry_cost);
+  }
+  co_return matched;
+}
+
+sim::Proc<void> barrier(Context& ctx, Comm comm) {
+  co_await charge_issue(ctx);
+  rt::Command c;
+  c.kind = rt::CmdKind::kBarrier;
+  c.comm = comm;
+  co_await ctx.rs->cmd_q.enqueue(c);
+  rt::Ack a = co_await ctx.rs->ack_q.dequeue();
+  assert(a.kind == rt::AckKind::kBarrierDone);
+  (void)a;
+}
+
+sim::Proc<void> finish(Context& ctx) {
+  co_await charge_issue(ctx);
+  rt::Command c;
+  c.kind = rt::CmdKind::kFinish;
+  c.flush_id = ctx.rs->next_flush_id;
+  co_await ctx.rs->cmd_q.enqueue(c);
+  rt::Ack a = co_await ctx.rs->ack_q.dequeue();
+  assert(a.kind == rt::AckKind::kFinished);
+  (void)a;
+}
+
+sim::Proc<void> put_2d_notify(Context& ctx, Window win, int target_rank,
+                              std::size_t offset, std::size_t row_bytes,
+                              std::size_t rows, std::size_t target_stride,
+                              const void* src, std::size_t src_stride, int tag) {
+  // Rows are independent puts; only the last one carries the notification,
+  // and notifications follow data completion in order, so the notification
+  // still signals full-region arrival for same-target transfers.
+  const std::byte* s = static_cast<const std::byte*>(src);
+  for (std::size_t r = 0; r + 1 < rows; ++r) {
+    co_await put(ctx, win, target_rank, offset + r * target_stride, row_bytes,
+                 s + r * src_stride);
+  }
+  if (rows > 0) {
+    co_await put_notify(ctx, win, target_rank, offset + (rows - 1) * target_stride,
+                        row_bytes, s + (rows - 1) * src_stride, tag);
+  }
+}
+
+sim::Proc<void> put_notify_all(Context& ctx, Window win, int target_device_rank,
+                               std::size_t offset, std::size_t bytes, const void* src,
+                               int tag) {
+  rt::NodeRuntime& node = *ctx.node;
+  const int rpd = node.ranks_per_device();
+  const int rpn = node.ranks_per_node();
+  const int target_node_id = target_device_rank / rpn;
+  // One data transfer to the addressed rank, then zero-byte notified puts to
+  // every other device rank of the same device (no duplicate payload, §V).
+  co_await put_notify(ctx, win, target_device_rank, offset, bytes, src, tag);
+  for (int r = 0; r < rpd; ++r) {
+    const int rank = target_node_id * rpn + r;
+    if (rank == target_device_rank) continue;
+    co_await put_notify(ctx, win, rank, offset, 0, src, tag);
+  }
+}
+
+sim::Proc<void> bcast_notify(Context& ctx, Window win, Comm comm, int root,
+                             std::size_t offset, std::size_t bytes, void* buf, int tag) {
+  // Binary-tree broadcast in the rank space relative to the root. Non-root
+  // ranks first wait for their parent's notified put, then forward.
+  const int size = comm_size(ctx, comm);
+  const int me = comm_rank(ctx, comm);
+  const int rel = (me - root + size) % size;
+  const int base = comm == Comm::kWorld ? 0 : ctx.node->node() * ctx.device_size;
+  if (rel != 0) {
+    co_await wait_notifications(ctx, win.device_id, kAnySource, tag, 1);
+  }
+  for (int child = 2 * rel + 1; child <= 2 * rel + 2; ++child) {
+    if (child >= size) break;
+    const int child_rank = base + (child + root) % size;
+    co_await put_notify(ctx, win, child_rank, offset, bytes, buf, tag);
+  }
+}
+
+sim::Proc<void> log(Context& ctx, const char* text, std::int64_t value) {
+  rt::LogEntry e;
+  e.rank = ctx.world_rank;
+  e.value = value;
+  std::strncpy(e.text, text, sizeof(e.text) - 1);
+  co_await charge_issue(ctx);
+  co_await ctx.node->log_queue().enqueue(e);
+}
+
+}  // namespace dcuda

@@ -1,0 +1,36 @@
+#pragma once
+
+// Memory references used across the stack. "Device memory" is real host
+// memory tagged with a device id: data movement in the simulation performs
+// actual byte copies (so applications compute checkable results) while the
+// timing models charge the appropriate simulated resources.
+
+#include <cstddef>
+#include <span>
+
+namespace dcuda::gpu {
+
+inline constexpr int kHostMemory = -1;
+
+struct MemRef {
+  std::byte* data = nullptr;
+  std::size_t bytes = 0;
+  int device = kHostMemory;  // node id of the owning device, or kHostMemory
+
+  bool on_device() const { return device != kHostMemory; }
+  MemRef subspan(std::size_t offset, std::size_t len) const {
+    return MemRef{data + offset, len, device};
+  }
+};
+
+template <typename T>
+MemRef mem_ref(std::span<T> s, int device = kHostMemory) {
+  return MemRef{reinterpret_cast<std::byte*>(s.data()), s.size_bytes(), device};
+}
+
+template <typename T>
+MemRef mem_ref(T* p, std::size_t count, int device = kHostMemory) {
+  return MemRef{reinterpret_cast<std::byte*>(p), count * sizeof(T), device};
+}
+
+}  // namespace dcuda::gpu

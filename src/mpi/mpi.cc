@@ -1,0 +1,371 @@
+#include "mpi/mpi.h"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+namespace dcuda::mpi {
+
+struct Request::State {
+  explicit State(sim::Simulation& s) : trig(s) {}
+  bool done = false;
+  int src = -1;
+  int tag = 0;
+  sim::Trigger trig;
+};
+
+bool Request::done() const { return st_ && st_->done; }
+int Request::source() const { return st_->src; }
+int Request::tag() const { return st_->tag; }
+
+sim::Proc<void> Request::wait() {
+  auto st = st_;
+  while (!st->done) co_await st->trig.wait();
+}
+
+sim::Proc<void> wait_all(std::vector<Request> reqs) {
+  for (auto& r : reqs) co_await r.wait();
+}
+
+// On-fabric message.
+struct Endpoint::Wire {
+  enum Kind { kEager, kRts, kCts, kFrag, kBarrier, kBarrierRelease };
+  Kind kind = kEager;
+  int src = -1;
+  int tag = 0;
+  std::uint64_t msg_id = 0;
+  std::size_t total_bytes = 0;
+  std::size_t offset = 0;
+  bool last = true;
+  bool staged = false;  // fragment travelled via host staging
+  std::shared_ptr<std::vector<std::byte>> data;
+};
+
+struct Endpoint::Posting {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  gpu::MemRef buf;
+  std::shared_ptr<Request::State> st;
+  std::size_t received = 0;
+  std::size_t expected = 0;
+};
+
+struct Endpoint::CtsState {
+  explicit CtsState(sim::Simulation& s) : trig(s) {}
+  bool granted = false;
+  sim::Trigger trig;
+};
+
+namespace {
+constexpr double kEnvelopeBytes = 64.0;  // wire header per message
+}  // namespace
+
+Endpoint::Endpoint(sim::Simulation& s, net::Fabric& fabric, int rank,
+                   int world_size, const sim::MpiConfig& cfg, gpu::Device* device)
+    : sim_(s),
+      fabric_(fabric),
+      rank_(rank),
+      size_(world_size),
+      cfg_(cfg),
+      device_(device),
+      barrier_release_(std::make_unique<sim::Trigger>(s)) {
+  s.spawn(rx_loop(), "mpi-rx@" + std::to_string(rank), /*daemon=*/true);
+}
+
+Request Endpoint::isend(int dst, int tag, gpu::MemRef buf) {
+  auto st = std::make_shared<Request::State>(sim_);
+  st->src = rank_;
+  st->tag = tag;
+  ++sends_;
+  sim_.spawn(send_body(dst, tag, buf, st),
+             "mpi-send@" + std::to_string(rank_) + "->" + std::to_string(dst));
+  return Request(st);
+}
+
+Request Endpoint::irecv(int src, int tag, gpu::MemRef buf) {
+  auto st = std::make_shared<Request::State>(sim_);
+  auto p = std::make_shared<Posting>();
+  p->src = src;
+  p->tag = tag;
+  p->buf = buf;
+  p->st = st;
+  p->expected = buf.bytes;
+
+  // Check the unexpected queue first (arrival order).
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    const bool src_ok = (src == kAnySource || src == (*it)->src);
+    const bool tag_ok = (tag == kAnyTag || tag == (*it)->tag);
+    if (!src_ok || !tag_ok) continue;
+    Wire w = std::move(**it);
+    unexpected_.erase(it);
+    if (w.kind == Wire::kEager) {
+      sim_.spawn(complete_into(p, std::move(w)), "mpi-complete");
+    } else {  // buffered RTS
+      p->expected = w.total_bytes;
+      inflight_[{w.src, w.msg_id}] = p;
+      Wire cts;
+      cts.kind = Wire::kCts;
+      cts.src = rank_;
+      cts.msg_id = w.msg_id;
+      fabric_.send(net::Packet{rank_, w.src, kEnvelopeBytes, cts});
+    }
+    return Request(st);
+  }
+  postings_.push_back(p);
+  return Request(st);
+}
+
+sim::Proc<void> Endpoint::send(int dst, int tag, gpu::MemRef buf) {
+  Request r = isend(dst, tag, buf);
+  co_await r.wait();
+}
+
+sim::Proc<void> Endpoint::recv(int src, int tag, gpu::MemRef buf) {
+  Request r = irecv(src, tag, buf);
+  co_await r.wait();
+}
+
+sim::Proc<void> Endpoint::send_body(int dst, int tag, gpu::MemRef buf,
+                                    std::shared_ptr<Request::State> st) {
+  co_await sim_.delay(cfg_.call_overhead);
+  const std::uint64_t id = next_msg_id_++;
+
+  if (dst == rank_) {
+    // Self-send: loop straight back into the matching machinery.
+    Wire w;
+    w.kind = Wire::kEager;
+    w.src = rank_;
+    w.tag = tag;
+    w.msg_id = id;
+    w.total_bytes = buf.bytes;
+    w.data = std::make_shared<std::vector<std::byte>>(buf.data, buf.data + buf.bytes);
+    st->done = true;
+    st->trig.notify_all();
+    handle(std::move(w));
+    co_return;
+  }
+
+  if (buf.bytes <= cfg_.eager_limit) {
+    Wire w;
+    w.kind = Wire::kEager;
+    w.src = rank_;
+    w.tag = tag;
+    w.msg_id = id;
+    w.total_bytes = buf.bytes;
+    w.data = std::make_shared<std::vector<std::byte>>(buf.data, buf.data + buf.bytes);
+    const sim::Rate cap = buf.on_device() && device_ && device_->pcie()
+                              ? device_->pcie()->config().gpudirect_bandwidth
+                              : std::numeric_limits<sim::Rate>::infinity();
+    if (buf.on_device()) ++direct_dev_;
+    fabric_.send(net::Packet{rank_, dst, static_cast<double>(buf.bytes) + kEnvelopeBytes,
+                             std::move(w)},
+                 cap);
+    st->done = true;  // eager send buffers locally; sender may reuse buf
+    st->trig.notify_all();
+    co_return;
+  }
+
+  // Rendezvous: RTS, wait for CTS, then move the data.
+  auto cts = std::make_shared<CtsState>(sim_);
+  awaiting_cts_[id] = cts;
+  Wire rts;
+  rts.kind = Wire::kRts;
+  rts.src = rank_;
+  rts.tag = tag;
+  rts.msg_id = id;
+  rts.total_bytes = buf.bytes;
+  fabric_.send(net::Packet{rank_, dst, kEnvelopeBytes, rts});
+  while (!cts->granted) co_await cts->trig.wait();
+  awaiting_cts_.erase(id);
+  co_await send_data(dst, id, buf, st);
+}
+
+sim::Proc<void> Endpoint::send_data(int dst, std::uint64_t msg_id, gpu::MemRef buf,
+                                    std::shared_ptr<Request::State> st) {
+  const bool stage = buf.on_device() && device_ && device_->pcie() &&
+                     buf.bytes > cfg_.device_staging_threshold;
+  if (stage) {
+    ++staged_;
+    // Pipelined host staging: chunkwise D2H DMA, each chunk entering the
+    // wire as soon as it lands in host memory. The NIC serializes behind
+    // the (faster) PCIe link, so the transfer runs at network rate.
+    std::size_t off = 0;
+    while (off < buf.bytes) {
+      const std::size_t chunk = std::min(cfg_.staging_chunk, buf.bytes - off);
+      co_await device_->pcie()->dma(pcie::Dir::kDeviceToHost,
+                                    static_cast<double>(chunk));
+      Wire f;
+      f.kind = Wire::kFrag;
+      f.src = rank_;
+      f.msg_id = msg_id;
+      f.total_bytes = buf.bytes;
+      f.offset = off;
+      f.last = off + chunk == buf.bytes;
+      f.staged = true;
+      f.data = std::make_shared<std::vector<std::byte>>(buf.data + off,
+                                                        buf.data + off + chunk);
+      fabric_.send(net::Packet{rank_, dst, static_cast<double>(chunk) + kEnvelopeBytes,
+                               std::move(f)});
+      off += chunk;
+    }
+  } else {
+    if (buf.on_device()) ++direct_dev_;
+    const sim::Rate cap = buf.on_device() && device_ && device_->pcie()
+                              ? device_->pcie()->config().gpudirect_bandwidth
+                              : std::numeric_limits<sim::Rate>::infinity();
+    Wire f;
+    f.kind = Wire::kFrag;
+    f.src = rank_;
+    f.msg_id = msg_id;
+    f.total_bytes = buf.bytes;
+    f.offset = 0;
+    f.last = true;
+    f.data = std::make_shared<std::vector<std::byte>>(buf.data, buf.data + buf.bytes);
+    fabric_.send(net::Packet{rank_, dst, static_cast<double>(buf.bytes) + kEnvelopeBytes,
+                             std::move(f)},
+                 cap);
+  }
+  st->done = true;
+  st->trig.notify_all();
+}
+
+sim::Proc<void> Endpoint::rx_loop() {
+  for (;;) {
+    net::Packet p = co_await fabric_.rx(rank_).pop();
+    handle(std::any_cast<Wire>(std::move(p.payload)));
+  }
+}
+
+std::shared_ptr<Endpoint::Posting> Endpoint::match_posting(int src, int tag) {
+  for (auto it = postings_.begin(); it != postings_.end(); ++it) {
+    const Posting& p = **it;
+    const bool src_ok = (p.src == kAnySource || p.src == src);
+    const bool tag_ok = (p.tag == kAnyTag || p.tag == tag);
+    if (src_ok && tag_ok) {
+      auto sp = *it;
+      postings_.erase(it);
+      return sp;
+    }
+  }
+  return nullptr;
+}
+
+void Endpoint::handle(Wire w) {
+  switch (w.kind) {
+    case Wire::kEager:
+      deliver_eager(w);
+      break;
+    case Wire::kRts: {
+      if (auto p = match_posting(w.src, w.tag)) {
+        p->expected = w.total_bytes;
+        p->st->src = w.src;
+        p->st->tag = w.tag;
+        inflight_[{w.src, w.msg_id}] = p;
+        Wire cts;
+        cts.kind = Wire::kCts;
+        cts.src = rank_;
+        cts.msg_id = w.msg_id;
+        fabric_.send(net::Packet{rank_, w.src, kEnvelopeBytes, cts});
+      } else {
+        unexpected_.push_back(std::make_shared<Wire>(std::move(w)));
+      }
+      break;
+    }
+    case Wire::kCts: {
+      auto& reg = awaiting_cts_;
+      if (auto it = reg.find(w.msg_id); it != reg.end()) {
+        it->second->granted = true;
+        it->second->trig.notify_all();
+      }
+      break;
+    }
+    case Wire::kFrag:
+      deliver_fragment(w);
+      break;
+    case Wire::kBarrier: {
+      assert(rank_ == 0);
+      ++barrier_arrivals_;
+      barrier_release_->notify_all();
+      break;
+    }
+    case Wire::kBarrierRelease: {
+      ++barrier_epoch_;
+      barrier_release_->notify_all();
+      break;
+    }
+  }
+}
+
+void Endpoint::deliver_eager(Wire& w) {
+  if (auto p = match_posting(w.src, w.tag)) {
+    sim_.spawn(complete_into(p, std::move(w)), "mpi-complete");
+  } else {
+    unexpected_.push_back(std::make_shared<Wire>(std::move(w)));
+  }
+}
+
+sim::Proc<void> Endpoint::complete_into(std::shared_ptr<Posting> p, Wire w) {
+  co_await sim_.delay(cfg_.call_overhead);
+  assert(w.total_bytes <= p->buf.bytes);
+  if (w.total_bytes > 0) std::memcpy(p->buf.data, w.data->data(), w.total_bytes);
+  p->st->src = w.src;
+  p->st->tag = w.tag;
+  p->st->done = true;
+  p->st->trig.notify_all();
+}
+
+void Endpoint::deliver_fragment(Wire& w) {
+  auto it = inflight_.find({w.src, w.msg_id});
+  assert(it != inflight_.end());  // CTS precedes fragments
+  sim_.spawn(finish_fragment(it->second, std::move(w)), "mpi-frag");
+}
+
+sim::Proc<void> Endpoint::finish_fragment(std::shared_ptr<Posting> p, Wire w) {
+  // Staged fragments into device memory pay the target-side H2D DMA.
+  if (w.staged && p->buf.on_device() && device_ && device_->pcie()) {
+    co_await device_->pcie()->dma(pcie::Dir::kHostToDevice,
+                                  static_cast<double>(w.data->size()));
+  }
+  std::memcpy(p->buf.data + w.offset, w.data->data(), w.data->size());
+  p->received += w.data->size();
+  if (p->received >= p->expected) {
+    inflight_.erase({w.src, w.msg_id});
+    p->st->done = true;
+    p->st->trig.notify_all();
+  }
+}
+
+sim::Proc<void> Endpoint::barrier() {
+  co_await sim_.delay(cfg_.call_overhead);
+  if (size_ == 1) co_return;
+  if (rank_ == 0) {
+    target_arrivals_ += size_ - 1;
+    while (barrier_arrivals_ < target_arrivals_) co_await barrier_release_->wait();
+    for (int r = 1; r < size_; ++r) {
+      Wire rel;
+      rel.kind = Wire::kBarrierRelease;
+      rel.src = 0;
+      fabric_.send(net::Packet{0, r, kEnvelopeBytes, rel});
+    }
+  } else {
+    Wire arr;
+    arr.kind = Wire::kBarrier;
+    arr.src = rank_;
+    fabric_.send(net::Packet{rank_, 0, kEnvelopeBytes, arr});
+    const std::uint64_t target = ++barrier_waits_;
+    while (barrier_epoch_ < target) co_await barrier_release_->wait();
+  }
+}
+
+World::World(sim::Simulation& s, net::Fabric& fabric, const sim::MpiConfig& cfg,
+             const std::vector<gpu::Device*>& devices) {
+  const int n = fabric.num_nodes();
+  endpoints_.reserve(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    gpu::Device* dev =
+        r < static_cast<int>(devices.size()) ? devices[static_cast<size_t>(r)] : nullptr;
+    endpoints_.push_back(std::make_unique<Endpoint>(s, fabric, r, n, cfg, dev));
+  }
+}
+
+}  // namespace dcuda::mpi

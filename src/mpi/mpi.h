@@ -1,0 +1,140 @@
+#pragma once
+
+// Host-side nonblocking message-passing library over the network fabric —
+// the MPI subset the dCUDA runtime and the MPI-CUDA baseline are built on.
+//
+// Semantics follow MPI where it matters here:
+//  * isend/irecv with (source, tag) matching, wildcards, and non-overtaking
+//    order per (source, destination) pair;
+//  * eager protocol below `eager_limit` (payload travels with the envelope
+//    and is buffered unexpected if no recv is posted), rendezvous (RTS/CTS)
+//    above;
+//  * CUDA-awareness: device buffers are transferred directly (GPUDirect
+//    read, capped at the slow Kepler peer-read bandwidth) or, above
+//    `device_staging_threshold`, staged through host memory in pipelined
+//    chunks at full link bandwidth — the trade-off the paper's stencil
+//    discussion (§IV-C) hinges on;
+//  * data really moves: completions memcpy payload bytes into the
+//    destination buffer.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gpu/device.h"
+#include "gpu/mem.h"
+#include "net/fabric.h"
+#include "sim/config.h"
+#include "sim/proc.h"
+#include "sim/simulation.h"
+#include "sim/trigger.h"
+
+namespace dcuda::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+class Endpoint;
+
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return static_cast<bool>(st_); }
+  bool done() const;
+  // Completion source/tag (meaningful for wildcard receives).
+  int source() const;
+  int tag() const;
+  sim::Proc<void> wait();
+
+ private:
+  friend class Endpoint;
+  struct State;
+  explicit Request(std::shared_ptr<State> st) : st_(std::move(st)) {}
+  std::shared_ptr<State> st_;
+};
+
+sim::Proc<void> wait_all(std::vector<Request> reqs);
+
+// One communication endpoint per node (rank == node id).
+class Endpoint {
+ public:
+  Endpoint(sim::Simulation& s, net::Fabric& fabric, int rank, int world_size,
+           const sim::MpiConfig& cfg, gpu::Device* device);
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  Request isend(int dst, int tag, gpu::MemRef buf);
+  Request irecv(int src, int tag, gpu::MemRef buf);
+  sim::Proc<void> send(int dst, int tag, gpu::MemRef buf);
+  sim::Proc<void> recv(int src, int tag, gpu::MemRef buf);
+
+  // Collective over all endpoints (centralized at rank 0).
+  sim::Proc<void> barrier();
+
+  std::uint64_t sends_started() const { return sends_; }
+  std::uint64_t staged_transfers() const { return staged_; }
+  std::uint64_t direct_device_transfers() const { return direct_dev_; }
+
+ private:
+  struct Wire;  // on-fabric message
+  struct Posting;
+  struct CtsState;  // rendezvous send blocked on clear-to-send
+
+  sim::Proc<void> rx_loop();
+  sim::Proc<void> send_body(int dst, int tag, gpu::MemRef buf,
+                            std::shared_ptr<Request::State> st);
+  sim::Proc<void> send_data(int dst, std::uint64_t msg_id, gpu::MemRef buf,
+                            std::shared_ptr<Request::State> st);
+  void handle(Wire w);
+  void deliver_eager(Wire& w);
+  void deliver_fragment(Wire& w);
+  sim::Proc<void> finish_fragment(std::shared_ptr<Posting> p, Wire w);
+  // Finds and removes the first matching posting; nullptr if none.
+  std::shared_ptr<Posting> match_posting(int src, int tag);
+  sim::Proc<void> complete_into(std::shared_ptr<Posting> p, Wire w);
+
+  sim::Simulation& sim_;
+  net::Fabric& fabric_;
+  int rank_;
+  int size_;
+  sim::MpiConfig cfg_;
+  gpu::Device* device_;
+
+  std::vector<std::shared_ptr<Posting>> postings_;
+  std::deque<std::shared_ptr<Wire>> unexpected_;
+  // In-flight rendezvous receives, keyed by (source rank, sender msg id) —
+  // message ids are only unique per sender.
+  std::map<std::pair<int, std::uint64_t>, std::shared_ptr<Posting>> inflight_;
+  std::map<std::uint64_t, std::shared_ptr<CtsState>> awaiting_cts_;
+  std::uint64_t next_msg_id_ = 1;
+
+  // Barrier bookkeeping (rank 0 collects, then releases).
+  int barrier_arrivals_ = 0;
+  int target_arrivals_ = 0;
+  std::uint64_t barrier_epoch_ = 0;
+  std::uint64_t barrier_waits_ = 0;
+  std::unique_ptr<sim::Trigger> barrier_release_;
+
+  std::uint64_t sends_ = 0;
+  std::uint64_t staged_ = 0;
+  std::uint64_t direct_dev_ = 0;
+};
+
+// Owns one endpoint per node of the fabric.
+class World {
+ public:
+  World(sim::Simulation& s, net::Fabric& fabric, const sim::MpiConfig& cfg,
+        const std::vector<gpu::Device*>& devices);
+  Endpoint& at(int rank) { return *endpoints_[static_cast<size_t>(rank)]; }
+  int size() const { return static_cast<int>(endpoints_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace dcuda::mpi

@@ -1,0 +1,32 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcuda::net {
+
+Fabric::Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg)
+    : sim_(s), cfg_(cfg) {
+  nics_.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) nics_.push_back(std::make_unique<Nic>(s));
+}
+
+void Fabric::send(Packet p, sim::Rate rate_cap) {
+  assert(p.src >= 0 && p.src < num_nodes());
+  assert(p.dst >= 0 && p.dst < num_nodes());
+  Nic& tx = *nics_[static_cast<size_t>(p.src)];
+  const sim::Rate rate = std::min(cfg_.bandwidth, rate_cap);
+  // Sender software overhead delays wire entry; transmissions serialize.
+  const sim::Time start = std::max(sim_.now() + cfg_.sw_overhead, tx.tx_free);
+  const sim::Time end = start + p.bytes / rate;
+  tx.tx_free = end;
+  tx.bytes += p.bytes;
+  ++tx.msgs;
+  const sim::Time deliver = end + cfg_.latency + cfg_.sw_overhead;
+  auto holder = std::make_shared<Packet>(std::move(p));
+  sim_.schedule(deliver - sim_.now(), [this, holder]() mutable {
+    nics_[static_cast<size_t>(holder->dst)]->rx.push(std::move(*holder));
+  });
+}
+
+}  // namespace dcuda::net

@@ -1,0 +1,63 @@
+#pragma once
+
+// Cluster interconnect model (x EDR InfiniBand class).
+//
+// Every node owns a full-duplex NIC. Outgoing messages serialize on the
+// sender's transmit lane at min(link bandwidth, per-message rate cap) and
+// arrive in the destination's receive mailbox after wire latency plus
+// per-message software overhead at both ends. Delivery between a fixed
+// (src, dst) pair is FIFO — the non-overtaking property MPI matching relies
+// on.
+
+#include <any>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/mailbox.h"
+#include "sim/simulation.h"
+
+namespace dcuda::net {
+
+struct Packet {
+  int src = -1;
+  int dst = -1;
+  double bytes = 0.0;
+  std::any payload;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg);
+
+  int num_nodes() const { return static_cast<int>(nics_.size()); }
+
+  // Fire-and-forget: the packet appears in node `dst`'s mailbox. rate_cap
+  // narrows usable bandwidth for this packet (GPUDirect reads on Kepler run
+  // well below link rate).
+  void send(Packet p,
+            sim::Rate rate_cap = std::numeric_limits<sim::Rate>::infinity());
+
+  sim::Mailbox<Packet>& rx(int node) { return nics_[static_cast<size_t>(node)]->rx; }
+
+  double bytes_sent(int node) const { return nics_[static_cast<size_t>(node)]->bytes; }
+  std::uint64_t messages_sent(int node) const { return nics_[static_cast<size_t>(node)]->msgs; }
+  const sim::NetConfig& config() const { return cfg_; }
+
+ private:
+  struct Nic {
+    explicit Nic(sim::Simulation& s) : rx(s) {}
+    sim::Time tx_free = 0.0;
+    double bytes = 0.0;
+    std::uint64_t msgs = 0;
+    sim::Mailbox<Packet> rx;
+  };
+
+  sim::Simulation& sim_;
+  sim::NetConfig cfg_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace dcuda::net

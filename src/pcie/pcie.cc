@@ -1,0 +1,36 @@
+#include "pcie/pcie.h"
+
+#include <algorithm>
+
+namespace dcuda::pcie {
+
+sim::Time PcieLink::serialize(Dir d, double bytes) {
+  Lane& l = lane(d);
+  const sim::Time start = std::max(sim_.now(), l.free_at);
+  const sim::Time end = start + bytes / cfg_.bandwidth;
+  l.free_at = end;
+  ++l.txns;
+  l.bytes += bytes;
+  return end;
+}
+
+sim::Proc<void> PcieLink::post_write(Dir d, double bytes,
+                                     std::function<void()> on_visible) {
+  const sim::Time done = serialize(d, bytes);
+  sim_.schedule(done + cfg_.txn_latency - sim_.now(), std::move(on_visible));
+  co_await sim_.delay(cfg_.post_cost);
+}
+
+sim::Proc<void> PcieLink::mapped_read(Dir d, double bytes) {
+  const sim::Time done = serialize(d, bytes);
+  // Request flight + data serialization + response flight.
+  co_await sim_.delay(done + 2.0 * cfg_.txn_latency - sim_.now());
+}
+
+sim::Proc<void> PcieLink::dma(Dir d, double bytes) {
+  co_await sim_.delay(cfg_.dma_startup);
+  const sim::Time done = serialize(d, bytes);
+  co_await sim_.delay(std::max(0.0, done + cfg_.txn_latency - sim_.now()));
+}
+
+}  // namespace dcuda::pcie

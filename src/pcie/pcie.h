@@ -1,0 +1,68 @@
+#pragma once
+
+// Transaction-level PCI-Express link model.
+//
+// Two independent simplex directions (host→device, device→host), each
+// serializing its traffic. Three operation classes, matching §III-C of the
+// paper:
+//  * posted mapped writes (gdrcopy-style): the issuer pays a small issue
+//    cost and continues; the data becomes visible at the other side after
+//    serialization + transaction latency. Posted writes in one direction
+//    commit in issue order (PCIe ordering rules).
+//  * mapped reads: the issuer blocks for a round trip.
+//  * DMA transfers: startup latency (engine setup) + serialization at link
+//    bandwidth; the issuer blocks until completion.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/config.h"
+#include "sim/proc.h"
+#include "sim/simulation.h"
+
+namespace dcuda::pcie {
+
+enum class Dir { kHostToDevice = 0, kDeviceToHost = 1 };
+
+class PcieLink {
+ public:
+  PcieLink(sim::Simulation& s, const sim::PcieConfig& cfg)
+      : sim_(s), cfg_(cfg) {}
+  PcieLink(const PcieLink&) = delete;
+  PcieLink& operator=(const PcieLink&) = delete;
+
+  // Posted mapped write: issuer pays cfg.post_cost, `on_visible` fires at
+  // the far side after serialization + txn latency, in issue order.
+  sim::Proc<void> post_write(Dir d, double bytes, std::function<void()> on_visible);
+
+  // Blocking mapped read of `bytes` flowing in direction `d` (the direction
+  // the *data* travels); round-trip latency.
+  sim::Proc<void> mapped_read(Dir d, double bytes);
+
+  // Blocking DMA transfer.
+  sim::Proc<void> dma(Dir d, double bytes);
+
+  // Statistics (ablation_queue counts transactions per enqueue).
+  std::uint64_t transactions(Dir d) const { return lane(d).txns; }
+  double bytes_transferred(Dir d) const { return lane(d).bytes; }
+  const sim::PcieConfig& config() const { return cfg_; }
+
+ private:
+  struct Lane {
+    sim::Time free_at = 0.0;
+    std::uint64_t txns = 0;
+    double bytes = 0.0;
+  };
+  Lane& lane(Dir d) { return lanes_[static_cast<int>(d)]; }
+  const Lane& lane(Dir d) const { return lanes_[static_cast<int>(d)]; }
+
+  // Reserves the lane for `bytes` and returns the completion time of the
+  // serialization (before latency).
+  sim::Time serialize(Dir d, double bytes);
+
+  sim::Simulation& sim_;
+  sim::PcieConfig cfg_;
+  Lane lanes_[2];
+};
+
+}  // namespace dcuda::pcie

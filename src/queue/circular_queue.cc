@@ -1,0 +1,19 @@
+#include "queue/circular_queue.h"
+
+namespace dcuda::queue {
+
+Transport local_transport(sim::Simulation& s) {
+  Transport t;
+  t.write = [&s](double, std::function<void()> commit) -> sim::Proc<void> {
+    s.schedule(0.0, std::move(commit));
+    co_return;
+  };
+  t.read_tail = [](double) -> sim::Proc<void> { co_return; };
+  return t;
+}
+
+// Transport over a PCIe link is constructed in runtime/ (it owns the link
+// and the direction conventions); this translation unit only provides the
+// local variant to keep queue/ free of a pcie dependency.
+
+}  // namespace dcuda::queue

@@ -1,0 +1,127 @@
+#pragma once
+
+// Host↔device circular-buffer queue (§III-C of the paper).
+//
+// The ring lives in receiver memory. The sender embeds a sequence number in
+// every entry, so the receiver detects valid entries without a shared head
+// pointer, and one posted transaction suffices per enqueue. Flow control is
+// credit based: the sender decrements a local free counter per enqueue and
+// only when it reaches zero pays an extra (mapped-read) transaction to fetch
+// the receiver's tail pointer.
+//
+// The queue is functional, not just a timing model: entries really move
+// through ring slots guarded by sequence numbers, and the tests exercise
+// wrap-around, credit exhaustion, and overwrite protection.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/proc.h"
+#include "sim/simulation.h"
+#include "sim/trigger.h"
+
+namespace dcuda::queue {
+
+// How enqueue operations reach the receiver's memory. The entry write is
+// posted (issuer continues; `commit` fires when the write is visible at the
+// receiver); the tail read blocks the issuer for a round trip.
+struct Transport {
+  // write(bytes, commit): deliver `bytes` and invoke commit() at visibility.
+  std::function<sim::Proc<void>(double, std::function<void()>)> write;
+  // read_tail(bytes): blocking remote read of the tail pointer.
+  std::function<sim::Proc<void>(double)> read_tail;
+};
+
+// A zero-cost transport for queues whose both ends live in the same memory.
+Transport local_transport(sim::Simulation& s);
+
+template <typename Entry>
+class CircularQueue {
+ public:
+  CircularQueue(sim::Simulation& s, int capacity, Transport transport)
+      : sim_(s),
+        transport_(std::move(transport)),
+        ring_(static_cast<size_t>(capacity)),
+        credits_(capacity),
+        nonempty_(s) {
+    assert(capacity > 0);
+  }
+
+  // Sender side. Blocks (simulated) while the queue is full; costs one
+  // posted write plus an occasional tail read.
+  sim::Proc<void> enqueue(Entry e) {
+    while (credits_ == 0) {
+      ++tail_reads_;
+      co_await transport_.read_tail(sizeof(std::uint64_t));
+      recompute_credits();
+      if (credits_ == 0) co_await sim_.delay(full_poll_interval_);
+    }
+    --credits_;
+    const std::uint64_t seq = ++send_count_;
+    ++enqueues_;
+    // The posted write carries entry + sequence number in one transaction.
+    co_await transport_.write(
+        sizeof(Entry) + sizeof(std::uint64_t), [this, seq, e = std::move(e)] {
+          Slot& slot = ring_[static_cast<size_t>((seq - 1) % ring_.size())];
+          // Credits guarantee the receiver consumed the previous occupant.
+          assert(slot.seq + ring_.size() == seq || slot.seq == 0);
+          slot.entry = e;
+          slot.seq = seq;
+          nonempty_.notify_all();
+        });
+  }
+
+  // Receiver side: local memory poll, consumes the head entry if its
+  // sequence number matches.
+  std::optional<Entry> try_dequeue() {
+    Slot& slot = ring_[static_cast<size_t>(recv_count_ % ring_.size())];
+    if (slot.seq != recv_count_ + 1) return std::nullopt;
+    ++recv_count_;  // the tail pointer, in receiver memory
+    return slot.entry;
+  }
+
+  sim::Proc<Entry> dequeue() {
+    for (;;) {
+      if (auto e = try_dequeue()) co_return *e;
+      co_await nonempty_.wait();
+    }
+  }
+
+  bool empty() const {
+    const Slot& slot = ring_[static_cast<size_t>(recv_count_ % ring_.size())];
+    return slot.seq != recv_count_ + 1;
+  }
+
+  sim::Trigger& nonempty_trigger() { return nonempty_; }
+
+  int capacity() const { return static_cast<int>(ring_.size()); }
+  std::uint64_t enqueues() const { return enqueues_; }
+  std::uint64_t tail_reads() const { return tail_reads_; }
+
+ private:
+  struct Slot {
+    std::uint64_t seq = 0;
+    Entry entry{};
+  };
+
+  void recompute_credits() {
+    credits_ = static_cast<int>(static_cast<std::uint64_t>(capacity()) -
+                                (send_count_ - recv_count_));
+  }
+
+  sim::Simulation& sim_;
+  Transport transport_;
+  std::vector<Slot> ring_;
+  std::uint64_t send_count_ = 0;  // sender-side
+  std::uint64_t recv_count_ = 0;  // receiver-side tail
+  int credits_;
+  std::uint64_t enqueues_ = 0;
+  std::uint64_t tail_reads_ = 0;
+  sim::Dur full_poll_interval_ = sim::micros(2.0);
+  sim::Trigger nonempty_;
+};
+
+}  // namespace dcuda::queue

@@ -1,0 +1,375 @@
+#include "runtime/node_runtime.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dcuda::rt {
+
+namespace {
+// Global window ids: (communicator, per-communicator creation sequence).
+// Window creation is collective, so every node derives the same id for the
+// same world window without any agreement traffic; the per-rank device-side
+// counter is translated through the block manager's hash map (§III-B).
+std::int32_t global_win_id(Comm comm, std::int32_t seq) {
+  return (static_cast<std::int32_t>(comm) << 20) | seq;
+}
+}  // namespace
+
+queue::Transport NodeRuntime::pcie_transport(pcie::Dir write_dir) {
+  queue::Transport t;
+  pcie::PcieLink* link = &pcie_;
+  t.write = [link, write_dir](double bytes, std::function<void()> commit) -> sim::Proc<void> {
+    co_await link->post_write(write_dir, bytes, std::move(commit));
+  };
+  const pcie::Dir read_dir = write_dir == pcie::Dir::kHostToDevice
+                                 ? pcie::Dir::kDeviceToHost
+                                 : pcie::Dir::kHostToDevice;
+  t.read_tail = [link, read_dir](double bytes) -> sim::Proc<void> {
+    co_await link->mapped_read(read_dir, bytes);
+  };
+  return t;
+}
+
+NodeRuntime::NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep,
+                         pcie::PcieLink& pcie, const sim::MachineConfig& cfg,
+                         int ranks_per_device, int host_ranks)
+    : sim_(s), dev_(dev), ep_(ep), pcie_(pcie), cfg_(cfg), rpd_(ranks_per_device),
+      host_ranks_(host_ranks), host_cpu_(s, 1) {
+  host_compute_ = std::make_unique<sim::SharedResource>(
+      s, cfg.host.flops, cfg.host.flops / cfg.host.threads_to_saturate);
+  host_memory_ = std::make_unique<sim::SharedResource>(
+      s, cfg.host.mem_bandwidth,
+      cfg.host.mem_bandwidth / cfg.host.threads_to_saturate);
+  const int rpn = ranks_per_node();
+  ranks_.reserve(static_cast<size_t>(rpn));
+  for (int r = 0; r < rpn; ++r) {
+    // Device-rank queues cross PCIe; host-rank queues live entirely in host
+    // memory (local transport).
+    const bool host = is_host_rank(r);
+    ranks_.push_back(std::make_unique<RankState>(
+        s, node() * rpn + r, r,
+        host ? queue::local_transport(s) : pcie_transport(pcie::Dir::kDeviceToHost),
+        host ? queue::local_transport(s) : pcie_transport(pcie::Dir::kHostToDevice),
+        host ? queue::local_transport(s) : pcie_transport(pcie::Dir::kHostToDevice),
+        cfg.runtime));
+    host_flush_trigs_.push_back(std::make_unique<sim::Trigger>(s));
+    ranks_.back()->host_flush_trig = host_flush_trigs_.back().get();
+    s.spawn(command_loop(r), "bm@" + std::to_string(node()) + "/" + std::to_string(r),
+            /*daemon=*/true);
+  }
+  log_q_ = std::make_unique<queue::CircularQueue<LogEntry>>(
+      s, cfg.runtime.logging_queue_entries, pcie_transport(pcie::Dir::kDeviceToHost));
+  s.spawn(meta_loop(), "event-handler@" + std::to_string(node()), /*daemon=*/true);
+  s.spawn(log_loop(), "log@" + std::to_string(node()), /*daemon=*/true);
+}
+
+const NodeRuntime::WinRankInfo* NodeRuntime::window_peer(std::int32_t global_id,
+                                                         int local_rank) const {
+  auto it = windows_.find(global_id);
+  if (it == windows_.end()) return nullptr;
+  const WinRankInfo& info = it->second.per_rank[static_cast<size_t>(local_rank)];
+  return info.valid ? &info : nullptr;
+}
+
+void NodeRuntime::device_local_notify(int target_local_rank, Notification n) {
+  RankState& rs = rank(target_local_rank);
+  rs.pending.push_back(n);
+  ++rs.notify_epoch;
+  rs.notif_q.nonempty_trigger().notify_all();
+}
+
+sim::Proc<void> NodeRuntime::host_dispatch_cost() {
+  co_await host_cpu_.acquire();
+  co_await sim_.delay(cfg_.runtime.dispatch_cost);
+  host_cpu_.release();
+}
+
+sim::Proc<void> NodeRuntime::command_loop(int local_rank) {
+  RankState& rs = rank(local_rank);
+  for (;;) {
+    Command c = co_await rs.cmd_q.dequeue();
+    co_await host_dispatch_cost();
+    sim_.spawn(process_command(local_rank, c),
+               "cmd@" + std::to_string(node()) + "/" + std::to_string(local_rank));
+  }
+}
+
+sim::Proc<void> NodeRuntime::process_command(int local_rank, Command c) {
+  // Round-robin queue polling: the command sits until the worker's sweep
+  // reaches this rank. Spawned per command, so discovery latency pipelines
+  // across commands while per-rank processing order is preserved (spawn
+  // order == resume order).
+  co_await sim_.delay(cfg_.runtime.host_wakeup_latency);
+  switch (c.kind) {
+    case CmdKind::kWinCreate:
+      co_await handle_win_create(local_rank, c);
+      break;
+    case CmdKind::kWinFree:
+      co_await handle_win_free(local_rank, c);
+      break;
+    case CmdKind::kPut:
+      co_await handle_put(local_rank, c);
+      break;
+    case CmdKind::kGet:
+      co_await handle_get(local_rank, c);
+      break;
+    case CmdKind::kBarrier:
+      co_await handle_barrier(local_rank, c);
+      break;
+    case CmdKind::kFinish:
+      co_await handle_finish(local_rank, c);
+      break;
+  }
+}
+
+sim::Proc<void> NodeRuntime::handle_win_create(int local_rank, Command c) {
+  RankState& rs = rank(local_rank);
+  const int comm_idx = static_cast<int>(c.comm);
+  const std::int32_t gid =
+      global_win_id(c.comm, rs.win_create_seq[static_cast<size_t>(comm_idx)]++);
+  rs.win_translate[c.win_device_id] = gid;
+
+  WindowInfo& wi = windows_[gid];
+  if (wi.per_rank.empty()) {
+    wi.comm = c.comm;
+    wi.per_rank.resize(static_cast<size_t>(ranks_per_node()));
+  }
+  WinRankInfo& info = wi.per_rank[static_cast<size_t>(local_rank)];
+  info.base = c.win_base;
+  info.bytes = c.win_bytes;
+  info.win_device_id = c.win_device_id;
+  info.valid = true;
+  ++wi.registered;
+
+  if (wi.registered < ranks_per_node()) co_return;
+  // Last local participant: synchronize across nodes for world windows (the
+  // collective part of win_create), then acknowledge every local rank.
+  if (c.comm == Comm::kWorld && ep_.size() > 1) co_await ep_.barrier();
+  for (int r = 0; r < ranks_per_node(); ++r) {
+    Ack a;
+    a.kind = AckKind::kWinCreated;
+    a.win_global_id = gid;
+    a.win_device_id = wi.per_rank[static_cast<size_t>(r)].win_device_id;
+    co_await rank(r).ack_q.enqueue(a);
+  }
+}
+
+sim::Proc<void> NodeRuntime::handle_win_free(int local_rank, Command c) {
+  RankState& rs = rank(local_rank);
+  const std::int32_t gid = rs.win_translate.at(c.win_device_id);
+  WindowInfo& wi = windows_.at(gid);
+  ++wi.freed;
+  rs.win_translate.erase(c.win_device_id);
+  if (wi.freed < ranks_per_node()) co_return;
+  if (wi.comm == Comm::kWorld && ep_.size() > 1) co_await ep_.barrier();
+  const std::vector<WinRankInfo> per_rank = wi.per_rank;  // acks need ids
+  windows_.erase(gid);
+  for (int r = 0; r < ranks_per_node(); ++r) {
+    Ack a;
+    a.kind = AckKind::kWinFreed;
+    a.win_global_id = gid;
+    a.win_device_id = per_rank[static_cast<size_t>(r)].win_device_id;
+    co_await rank(r).ack_q.enqueue(a);
+  }
+}
+
+sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
+  RankState& rs = rank(local_rank);
+  if (c.local_already_copied) {
+    // Shared-memory put: the device library already moved the data; the
+    // block manager loops the notification through the host (§III-A) and
+    // completes the flush id.
+    if (c.notify) {
+      const int target_local = c.target_rank - node() * ranks_per_node();
+      const std::int32_t gid = rs.win_translate.at(c.win_device_id);
+      const WinRankInfo* peer = window_peer(gid, target_local);
+      assert(peer != nullptr);
+      Notification n;
+      n.win_device_id = peer->win_device_id;
+      n.source = rs.global_rank;
+      n.tag = c.tag;
+      co_await push_notification(target_local, n);
+    }
+    co_await complete_flush(rs, c.flush_id, c.win_device_id);
+    co_return;
+  }
+
+  const int target_node = c.target_rank / ranks_per_node();
+  Meta m;
+  m.kind = CmdKind::kPut;
+  m.origin_rank = rs.global_rank;
+  m.target_rank = c.target_rank;
+  m.win_global_id = rs.win_translate.at(c.win_device_id);
+  m.offset = c.offset;
+  m.bytes = c.bytes;
+  m.tag = c.tag;
+  m.notify = c.notify;
+
+  // Step 2/3 of Fig. 5: forward meta information to the target event handler
+  // and move the data directly device-to-device with a second nonblocking
+  // send. The meta buffer must stay alive until the send buffered it.
+  auto meta_buf = std::make_shared<Meta>(m);
+  mpi::Request rm = ep_.isend(target_node, kMetaTag, gpu::mem_ref(meta_buf.get(), 1));
+  mpi::Request rd;
+  if (c.bytes > 0) {
+    rd = ep_.isend(target_node, kPutDataTagBase + rs.global_rank,
+                   gpu::MemRef{c.local_ptr, c.bytes, node()});
+  }
+  co_await rm.wait();
+  if (rd.valid()) co_await rd.wait();
+  // Step 4: free meta info (shared_ptr) and update the device flush counter.
+  co_await complete_flush(rs, c.flush_id, c.win_device_id);
+}
+
+sim::Proc<void> NodeRuntime::handle_get(int local_rank, Command c) {
+  RankState& rs = rank(local_rank);
+  if (c.local_already_copied) {
+    if (c.notify) {
+      Notification n;
+      n.win_device_id = c.win_device_id;
+      n.source = c.target_rank;
+      n.tag = c.tag;
+      co_await push_notification(local_rank, n);
+    }
+    co_await complete_flush(rs, c.flush_id, c.win_device_id);
+    co_return;
+  }
+  const int target_node = c.target_rank / ranks_per_node();
+  // Post the receive for the data before requesting it, so the response can
+  // never be unexpected-buffered into the wrong transfer.
+  mpi::Request rr = ep_.irecv(target_node, kGetDataTagBase + rs.global_rank,
+                              gpu::MemRef{c.local_ptr, c.bytes, node()});
+  Meta m;
+  m.kind = CmdKind::kGet;
+  m.origin_rank = rs.global_rank;
+  m.target_rank = c.target_rank;
+  m.win_global_id = rs.win_translate.at(c.win_device_id);
+  m.offset = c.offset;
+  m.bytes = c.bytes;
+  m.tag = c.tag;
+  auto meta_buf = std::make_shared<Meta>(m);
+  mpi::Request rm = ep_.isend(target_node, kMetaTag, gpu::mem_ref(meta_buf.get(), 1));
+  co_await rm.wait();
+  co_await rr.wait();
+  co_await complete_flush(rs, c.flush_id, c.win_device_id);
+  if (c.notify) {
+    // A notified get signals the *origin* once the data arrived.
+    Notification n;
+    n.win_device_id = c.win_device_id;
+    n.source = c.target_rank;
+    n.tag = c.tag;
+    co_await push_notification(local_rank, n);
+  }
+}
+
+sim::Proc<void> NodeRuntime::handle_barrier(int local_rank, Command c) {
+  // The device communicator covers only the device ranks; the world
+  // communicator additionally includes this node's host ranks.
+  assert(c.comm == Comm::kWorld || !is_host_rank(local_rank));
+  (void)local_rank;
+  const int comm_idx = static_cast<int>(c.comm);
+  const int participants = c.comm == Comm::kWorld ? ranks_per_node() : rpd_;
+  ++barrier_arrivals_[static_cast<size_t>(comm_idx)];
+  if (barrier_arrivals_[static_cast<size_t>(comm_idx)] < participants) co_return;
+  barrier_arrivals_[static_cast<size_t>(comm_idx)] = 0;
+  if (c.comm == Comm::kWorld && ep_.size() > 1) co_await ep_.barrier();
+  for (int r = 0; r < participants; ++r) {
+    Ack a;
+    a.kind = AckKind::kBarrierDone;
+    co_await rank(r).ack_q.enqueue(a);
+  }
+}
+
+sim::Proc<void> NodeRuntime::handle_finish(int local_rank, Command c) {
+  RankState& rs = rank(local_rank);
+  // Drain: wait until every issued remote memory access completed.
+  while (rs.flush_frontier < c.flush_id) co_await rs.host_flush_trig->wait();
+  Ack a;
+  a.kind = AckKind::kFinished;
+  co_await rs.ack_q.enqueue(a);
+}
+
+sim::Proc<void> NodeRuntime::meta_loop() {
+  Meta m;
+  for (;;) {
+    co_await ep_.recv(mpi::kAnySource, kMetaTag, gpu::mem_ref(&m, 1));
+    co_await host_dispatch_cost();
+    sim_.spawn(handle_meta(m), "meta@" + std::to_string(node()));
+  }
+}
+
+sim::Proc<void> NodeRuntime::handle_meta(Meta m) {
+  const int target_local = m.target_rank - node() * ranks_per_node();
+  assert(target_local >= 0 && target_local < ranks_per_node());
+  const int origin_node = m.origin_rank / ranks_per_node();
+  auto it = windows_.find(m.win_global_id);
+  assert(it != windows_.end() && "remote access to unknown window");
+  const WinRankInfo& info = it->second.per_rank[static_cast<size_t>(target_local)];
+  assert(info.valid);
+  assert(m.offset + m.bytes <= info.bytes && "remote access out of window bounds");
+
+  if (m.kind == CmdKind::kPut) {
+    // Step 6 of Fig. 5: post the receive for the payload into the window,
+    // then notify the target rank once the data landed.
+    if (m.bytes > 0) {
+      co_await ep_.recv(origin_node, kPutDataTagBase + m.origin_rank,
+                        gpu::MemRef{info.base + m.offset, m.bytes, node()});
+    }
+    if (m.notify) {
+      Notification n;
+      n.win_device_id = info.win_device_id;
+      n.source = m.origin_rank;
+      n.tag = m.tag;
+      co_await push_notification(target_local, n);
+    }
+  } else {
+    assert(m.kind == CmdKind::kGet);
+    // Serve the read: send the requested window range back to the origin.
+    co_await ep_.send(origin_node, kGetDataTagBase + m.origin_rank,
+                      gpu::MemRef{info.base + m.offset, m.bytes, node()});
+  }
+}
+
+sim::Proc<void> NodeRuntime::push_notification(int local_rank, Notification n) {
+  co_await rank(local_rank).notif_q.enqueue(n);
+}
+
+sim::Proc<void> NodeRuntime::complete_flush(RankState& rs, std::uint64_t id,
+                                            std::int32_t win_device_id) {
+  if (id == 0) co_return;  // operation outside flush tracking
+  rs.flush_done_ooo.insert(id);
+  bool advanced = false;
+  while (rs.flush_done_ooo.count(rs.flush_frontier + 1) > 0) {
+    rs.flush_done_ooo.erase(rs.flush_frontier + 1);
+    ++rs.flush_frontier;
+    advanced = true;
+  }
+  if (advanced) rs.host_flush_trig->notify_all();
+
+  // One posted write carries both the per-window completion count (the
+  // paper's window flush) and, when it advanced, the contiguous frontier.
+  RankState* rsp = &rs;
+  const std::uint64_t frontier = advanced ? rs.flush_frontier : 0;
+  auto apply = [rsp, win_device_id, frontier] {
+    if (win_device_id >= 0) ++rsp->win_completed[win_device_id];
+    if (frontier > rsp->flush_done) rsp->flush_done = frontier;
+    rsp->flush_trig.notify_all();
+  };
+  if (is_host_rank(rs.local_rank)) {
+    apply();  // host-rank state: no PCIe crossing
+    co_return;
+  }
+  co_await pcie_.post_write(pcie::Dir::kHostToDevice, 2 * sizeof(std::uint64_t),
+                            std::move(apply));
+}
+
+sim::Proc<void> NodeRuntime::log_loop() {
+  for (;;) {
+    LogEntry e = co_await log_q_->dequeue();
+    co_await host_dispatch_cost();
+    log_lines_.push_back("rank " + std::to_string(e.rank) + ": " +
+                         std::string(e.text) + " " + std::to_string(e.value));
+  }
+}
+
+}  // namespace dcuda::rt

@@ -1,0 +1,64 @@
+#pragma once
+
+// A FIFO link with latency and bandwidth: the store-and-forward pipe used
+// for NIC directions and PCIe transfers.
+//
+// Timing model: the sender side serializes messages (one at a time at
+// `bandwidth` bytes/s); a message of b bytes entering an idle link at t is
+// delivered at t + b/bandwidth + latency. Busy links queue. Delivery order
+// equals send order.
+
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "sim/mailbox.h"
+#include "sim/simulation.h"
+
+namespace dcuda::sim {
+
+template <typename T>
+class Channel {
+ public:
+  Channel(Simulation& sim, Dur latency, Rate bandwidth)
+      : sim_(sim), latency_(latency), bandwidth_(bandwidth), rx_(sim) {}
+
+  // Fire-and-forget send; the message appears in the receive mailbox after
+  // serialization + latency. `rate_cap` optionally narrows the usable
+  // bandwidth for this message (e.g. GPUDirect reads through PCIe).
+  void send(T msg, double bytes,
+            Rate rate_cap = std::numeric_limits<Rate>::infinity()) {
+    const Rate r = std::min(bandwidth_, rate_cap);
+    const Time start = std::max(sim_.now(), link_free_);
+    const Time end = start + (r > 0 ? bytes / r : 0.0);
+    link_free_ = end;
+    bytes_sent_ += bytes;
+    ++messages_sent_;
+    // shared_ptr shim: std::function requires copyable callables.
+    auto holder = std::make_shared<T>(std::move(msg));
+    sim_.schedule(end + latency_ - sim_.now(),
+                  [this, holder]() mutable { rx_.push(std::move(*holder)); });
+  }
+
+  Mailbox<T>& rx() { return rx_; }
+
+  // Time at which a message sent now would finish serializing (for
+  // back-pressure-aware senders).
+  Time busy_until() const { return link_free_; }
+
+  Dur latency() const { return latency_; }
+  Rate bandwidth() const { return bandwidth_; }
+  double bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  Simulation& sim_;
+  Dur latency_;
+  Rate bandwidth_;
+  Time link_free_ = 0.0;
+  double bytes_sent_ = 0.0;
+  std::uint64_t messages_sent_ = 0;
+  Mailbox<T> rx_;
+};
+
+}  // namespace dcuda::sim

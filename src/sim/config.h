@@ -1,0 +1,133 @@
+#pragma once
+
+// Machine model configuration, calibrated to the paper's testbed (CSCS
+// Greina: Haswell nodes, one Tesla K80 GPU per node, x EDR InfiniBand,
+// CUDA 7.0, CUDA-aware OpenMPI 1.10.0, gdrcopy). See DESIGN.md §4.
+
+#include <cstdint>
+
+#include "sim/units.h"
+
+namespace dcuda::sim {
+
+struct DeviceConfig {
+  // One GK210 die of a K80 (the paper uses a single GPU per node).
+  int num_sms = 13;
+  int max_blocks_per_sm = 16;
+  int max_threads_per_sm = 2048;
+  int regs_per_sm = 65536;
+  int max_regs_per_thread = 255;
+
+  // fp64 throughput per SM. The paper's workloads are double precision.
+  FlopRate sm_flops = gflops(45.0);
+  // A single block (128 threads of 2048) cannot saturate an SM's pipelines;
+  // roughly 4 resident blocks are needed for full issue rate.
+  double blocks_to_saturate_sm = 4.0;
+
+  // Aggregate device memory bandwidth and the per-block streaming cap.
+  // A copy moves 2 bytes through the memory system per payload byte, so a
+  // 2.1 GB/s cap yields the ~1.06 GB/s single-block put bandwidth of Fig. 6.
+  Rate mem_bandwidth = gbs(210.0);
+  Rate per_block_mem_bandwidth = gbs(2.1);
+
+  // Kernel launch overhead paid by the host per launch (fork-join model).
+  Dur launch_overhead = micros(6.0);
+  // Additional per-block scheduling cost when a block starts executing.
+  Dur block_dispatch_overhead = micros(0.2);
+};
+
+struct PcieConfig {
+  // Gen3 x16-ish effective numbers.
+  Rate bandwidth = gbs(12.0);
+  // Latency of a mapped-memory transaction (gdrcopy-style small write).
+  Dur txn_latency = micros(1.0);
+  // Issue cost on the initiating processor for a posted write.
+  Dur post_cost = micros(0.15);
+  // DMA engine setup latency (why mapped writes win for queue entries).
+  Dur dma_startup = micros(7.0);
+  // GPUDirect peer reads through PCIe run well below link rate on Kepler.
+  Rate gpudirect_bandwidth = gbs(3.2);
+};
+
+struct NetConfig {
+  // Effective per-direction NIC bandwidth and wire latency (x EDR IB as
+  // measured by the paper: ~6 GB/s, contributing to the 9.2 us put latency).
+  Rate bandwidth = gbs(6.0);
+  Dur latency = micros(1.4);
+  // Software overhead per message on send and on receive (verbs + MPI).
+  Dur sw_overhead = micros(0.45);
+};
+
+struct MpiConfig {
+  // Messages up to this size go eagerly (single transfer, copied at target);
+  // larger ones use rendezvous (RTS/CTS).
+  std::size_t eager_limit = 8 * 1024;
+  // CUDA-aware OpenMPI stages device messages larger than this through host
+  // memory for better bandwidth (paper §IV-C, stencil discussion: 20 kB).
+  std::size_t device_staging_threshold = 20 * 1024;
+  // Pipeline chunk for host-staged device transfers.
+  std::size_t staging_chunk = 256 * 1024;
+  // Host-side processing cost per MPI call (isend/irecv/test).
+  Dur call_overhead = micros(0.25);
+};
+
+struct RuntimeConfig {
+  // Host event-handler cost to dispatch one queue item / command.
+  Dur dispatch_cost = micros(0.15);
+  // Discovery latency of a command in a rank's queue: the single host
+  // worker polls many rank queues round-robin, so an enqueued command sits
+  // a while before the block manager sees it. (MPI messages are found
+  // promptly — the progress loop spins on them.)
+  Dur host_wakeup_latency = micros(2.2);
+  // Device-side cost to assemble and issue one command (meta tuple build).
+  Dur device_issue_cost = micros(0.55);
+  // Device-side notification matching: fixed cost per matching round plus a
+  // per-scanned-entry cost (the paper's 8-thread matcher is compute-heavy;
+  // §IV-B explains the imperfect overlap for compute-bound workloads by it).
+  Dur match_round_cost = micros(0.8);
+  Dur match_entry_cost = micros(0.06);
+  // Queue geometry (entries per circular buffer).
+  int command_queue_entries = 16;
+  int notification_queue_entries = 64;
+  int ack_queue_entries = 16;
+  int logging_queue_entries = 64;
+  // Poll interval of the device library while waiting for notifications
+  // (amortized cost of re-reading the queue head).
+  Dur notify_poll_cost = micros(0.1);
+  // When true (paper's design, §III-A) notifications of device-local puts
+  // are looped through the host; when false they are delivered directly on
+  // the device (ablation_local_notify).
+  bool local_notifications_via_host = true;
+  // When true, the notification matcher's compute cost is charged to the
+  // rank's SM (paper behaviour); false idealizes a free matcher
+  // (ablation_matching).
+  bool charge_matching_cost = true;
+};
+
+// Host processor model, used by host ranks (§V extension): ranks that run
+// on the host CPU but communicate through the same notified remote memory
+// access machinery as device ranks.
+struct HostConfig {
+  FlopRate flops = gflops(50.0);
+  Rate mem_bandwidth = gbs(60.0);
+  // One rank (thread) cannot saturate the socket alone.
+  double threads_to_saturate = 4.0;
+};
+
+struct MachineConfig {
+  int num_nodes = 1;
+  DeviceConfig device;
+  HostConfig host;
+  PcieConfig pcie;
+  NetConfig net;
+  MpiConfig mpi;
+  RuntimeConfig runtime;
+};
+
+inline MachineConfig machine_config(int num_nodes) {
+  MachineConfig m;
+  m.num_nodes = num_nodes;
+  return m;
+}
+
+}  // namespace dcuda::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+// Deterministic pseudo-random numbers (splitmix64 core). The simulator never
+// consumes global randomness: every stochastic workload owns a seeded Rng so
+// runs are reproducible bit-for-bit.
+
+#include <cstdint>
+
+namespace dcuda::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  // Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  // Uniform integer in [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dcuda::sim

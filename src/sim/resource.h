@@ -1,0 +1,116 @@
+#pragma once
+
+// Shared resources with simulated service times.
+//
+// SharedResource models processor sharing with a per-job rate cap: n active
+// jobs each receive min(per_job_cap, capacity / n) units of service per
+// second. This is the timing model for both SM compute throughput (resident
+// blocks share issue bandwidth) and device memory bandwidth (a single block
+// cannot saturate the memory interface — the per-job cap — while many blocks
+// together are limited by aggregate bandwidth).
+//
+// FifoResource is a counting semaphore with FIFO handoff, used for
+// serialized links (PCIe directions, NIC send queues).
+
+#include <coroutine>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace dcuda::sim {
+
+class SharedResource {
+ public:
+  SharedResource(Simulation& sim, double capacity,
+                 double per_job_cap = std::numeric_limits<double>::infinity());
+
+  // Awaitable: completes once `work` units of service were delivered.
+  // Zero/negative work completes after a zero-delay event (never inline).
+  auto use(double work) {
+    struct Awaiter {
+      SharedResource* res;
+      double work;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { res->add_job(work, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, work};
+  }
+
+  std::size_t active_jobs() const { return jobs_.size(); }
+  double capacity() const { return capacity_; }
+  double per_job_cap() const { return per_job_cap_; }
+
+  // Total service delivered so far (for utilization accounting in benches).
+  double work_done() const;
+  // Integral of busy time (at least one job active).
+  double busy_time() const;
+
+ private:
+  void add_job(double work, std::coroutine_handle<> h);
+  void advance();      // accrue virtual service up to now
+  void reschedule();   // (re)arm the next completion event
+  void on_complete();  // completion event fired
+  double rate_per_job() const;
+
+  Simulation& sim_;
+  double capacity_;
+  double per_job_cap_;
+
+  // Virtual service progress: every active job accrues service at the same
+  // rate, so a job admitted at virtual time v with work w completes when the
+  // virtual clock reaches v + w. multimap keeps completions ordered.
+  double vclock_ = 0.0;
+  Time last_update_ = 0.0;
+  std::multimap<double, std::coroutine_handle<>> jobs_;
+  EventToken completion_;
+
+  double work_done_ = 0.0;
+  double busy_time_ = 0.0;
+};
+
+class FifoResource {
+ public:
+  explicit FifoResource(Simulation& sim, int capacity = 1)
+      : sim_(sim), free_(capacity) {}
+
+  auto acquire() {
+    struct Awaiter {
+      FifoResource* res;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (res->free_ > 0) {
+          --res->free_;
+          res->sim_.schedule_resume(h);  // keep resume order deterministic
+          return true;
+        }
+        res->waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.erase(waiters_.begin());
+      sim_.schedule_resume(h);  // slot handed over directly
+    } else {
+      ++free_;
+    }
+  }
+
+  int available() const { return free_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  Simulation& sim_;
+  int free_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace dcuda::sim

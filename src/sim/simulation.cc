@@ -1,0 +1,140 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dcuda::sim {
+
+namespace {
+
+// Wraps a user process so that exceptions are captured into the join state
+// instead of escaping through final_suspend (which would lose them).
+Proc<void> root_runner(Proc<void> inner, std::shared_ptr<JoinHandle::State> st) {
+  try {
+    co_await std::move(inner);
+  } catch (...) {
+    st->exception = std::current_exception();
+  }
+}
+
+}  // namespace
+
+Simulation::~Simulation() {
+  // Destroy frames of processes that never completed (daemons, or roots left
+  // behind after run_until / an exception). Frames are suspended, so destroy
+  // is legal. Handles in triggers/resources become dangling but are never
+  // resumed again because the simulation is gone.
+  auto reap = [](std::vector<std::shared_ptr<JoinHandle::State>>& v) {
+    for (auto& st : v) {
+      if (!st->done && st->frame) st->frame.destroy();
+    }
+    v.clear();
+  };
+  reap(live_);
+  reap(daemons_);
+}
+
+void Simulation::schedule(Dur delay, std::function<void()> fn) {
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), nullptr});
+}
+
+EventToken Simulation::schedule_cancellable(Dur delay, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), alive});
+  return EventToken(alive);
+}
+
+void Simulation::schedule_resume(std::coroutine_handle<> h, Dur delay) {
+  schedule(delay, [h] { h.resume(); });
+}
+
+JoinHandle Simulation::spawn(Proc<void> p, std::string name, bool daemon) {
+  auto st = std::make_shared<JoinHandle::State>();
+  st->name = std::move(name);
+  st->sim = this;
+
+  Proc<void> runner = root_runner(std::move(p), st);
+  auto h = runner.release();
+  h.promise().detached = true;
+  st->frame = h;
+  h.promise().on_final = [this, st] {
+    st->done = true;
+    st->frame = nullptr;
+    if (st->exception && st->joiners.empty()) escaped_.push_back(st->exception);
+    for (auto j : st->joiners) schedule_resume(j);
+    st->joiners.clear();
+  };
+  auto& registry = daemon ? daemons_ : live_;
+  registry.push_back(st);
+  // Completed states would otherwise accumulate forever (one per spawned
+  // process — millions in long runs); compact opportunistically.
+  if (registry.size() >= 4096) {
+    std::erase_if(registry, [](const auto& p) { return p->done; });
+  }
+  schedule_resume(h);
+  return JoinHandle(st);
+}
+
+Proc<void> JoinHandle::join() {
+  struct Awaiter {
+    State* st;
+    bool await_ready() const noexcept { return st->done; }
+    void await_suspend(std::coroutine_handle<> h) { st->joiners.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  while (!st_->done) co_await Awaiter{st_.get()};
+  if (st_->exception && !st_->exception_consumed) {
+    st_->exception_consumed = true;
+    std::rethrow_exception(st_->exception);
+  }
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.alive && !*ev.alive) continue;  // cancelled
+    now_ = ev.t;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+  rethrow_pending();
+  check_deadlock();
+}
+
+void Simulation::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    step();
+  }
+  now_ = std::max(now_, t);
+  rethrow_pending();
+}
+
+void Simulation::rethrow_pending() {
+  if (escaped_.empty()) return;
+  auto ex = escaped_.front();
+  escaped_.clear();
+  std::rethrow_exception(ex);
+}
+
+void Simulation::check_deadlock() const {
+  std::vector<std::string> stuck;
+  for (const auto& st : live_) {
+    if (!st->done) stuck.push_back(st->name);
+  }
+  if (stuck.empty()) return;
+  std::ostringstream os;
+  os << "deadlock: " << stuck.size()
+     << " process(es) blocked with no pending events:";
+  for (const auto& n : stuck) os << ' ' << n;
+  throw DeadlockError(os.str());
+}
+
+}  // namespace dcuda::sim

@@ -1,0 +1,160 @@
+#pragma once
+
+// Discrete-event simulation core.
+//
+// The simulator is single-threaded and deterministic: events fire in
+// (time, insertion-sequence) order. Processes are C++20 coroutines (Proc<T>)
+// driven from the event queue. Simulated entities (resources, channels,
+// queues) schedule events to resume suspended processes.
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/proc.h"
+#include "sim/units.h"
+
+namespace dcuda::sim {
+
+class Simulation;
+
+// Thrown by Simulation::run when non-daemon processes remain but no events
+// are pending: every remaining process waits on a condition nobody can
+// signal. Mirrors the deadlock hazard of §II-B (blocks beyond the number in
+// flight can never be synchronized).
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Cancellation token for a scheduled event (used for timeouts and for
+// rescheduling completion events in shared resources).
+class EventToken {
+ public:
+  EventToken() = default;
+  explicit EventToken(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  void cancel() {
+    if (auto a = alive_.lock()) *a = false;
+    alive_.reset();
+  }
+  bool pending() const {
+    auto a = alive_.lock();
+    return a && *a;
+  }
+
+ private:
+  std::weak_ptr<bool> alive_;
+};
+
+// Handle to a spawned root process; join() suspends until it completes and
+// rethrows any exception that escaped the process.
+class JoinHandle {
+ public:
+  JoinHandle() = default;
+  bool valid() const { return static_cast<bool>(st_); }
+  bool done() const;
+  const std::string& name() const;
+  Proc<void> join();
+
+  struct State;  // public: Simulation and the root runner manipulate it
+
+ private:
+  friend class Simulation;
+  explicit JoinHandle(std::shared_ptr<State> st) : st_(std::move(st)) {}
+  std::shared_ptr<State> st_;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+
+  // -- Event scheduling ------------------------------------------------
+
+  void schedule(Dur delay, std::function<void()> fn);
+  EventToken schedule_cancellable(Dur delay, std::function<void()> fn);
+  void schedule_resume(std::coroutine_handle<> h, Dur delay = 0.0);
+
+  // -- Processes -------------------------------------------------------
+
+  // Starts a root process at the current time. Daemon processes are allowed
+  // to outlive the simulation (they are excluded from deadlock detection and
+  // their frames are reclaimed by ~Simulation).
+  JoinHandle spawn(Proc<void> p, std::string name = "proc", bool daemon = false);
+
+  // Awaitable: suspend the calling process for `delay` simulated time.
+  auto delay(Dur d) {
+    struct Awaiter {
+      Simulation& sim;
+      Dur d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { sim.schedule_resume(h, d); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  // -- Running ---------------------------------------------------------
+
+  // Runs until the event queue drains. Throws DeadlockError if non-daemon
+  // processes remain unfinished, and rethrows the first exception that
+  // escaped an unjoined root process.
+  void run();
+
+  // Runs until simulated time `t` (events at exactly t are processed).
+  // Remaining processes are not treated as deadlocked.
+  void run_until(Time t);
+
+  std::size_t events_processed() const { return events_processed_; }
+  std::size_t live_processes() const { return live_.size(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;  // null => not cancellable
+  };
+  struct EventCmp {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;  // min-heap: earlier sequence first
+    }
+  };
+
+  bool step();  // processes one event; false if queue empty
+  void check_deadlock() const;
+  void rethrow_pending();
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+  std::vector<std::shared_ptr<JoinHandle::State>> live_;  // non-daemon roots
+  std::vector<std::shared_ptr<JoinHandle::State>> daemons_;
+  std::vector<std::exception_ptr> escaped_;  // from unjoined roots
+};
+
+struct JoinHandle::State {
+  std::string name;
+  bool done = false;
+  bool exception_consumed = false;
+  std::exception_ptr exception;
+  std::vector<std::coroutine_handle<>> joiners;
+  Simulation* sim = nullptr;
+  std::coroutine_handle<> frame;  // for cleanup if never completed
+};
+
+inline bool JoinHandle::done() const { return st_ && st_->done; }
+inline const std::string& JoinHandle::name() const { return st_->name; }
+
+}  // namespace dcuda::sim

@@ -1,0 +1,56 @@
+#pragma once
+
+// Small statistics helpers used by the benchmark harness (the paper reports
+// medians with nonparametric 95% confidence intervals).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dcuda::sim {
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+inline double median(const std::vector<double>& v) { return percentile(v, 0.5); }
+
+// Nonparametric 95% confidence interval of the median (order statistics,
+// normal approximation of the binomial), as used in the paper's gray bands.
+struct MedianCi {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+inline MedianCi median_ci95(std::vector<double> v) {
+  if (v.empty()) return {};
+  std::sort(v.begin(), v.end());
+  const double n = static_cast<double>(v.size());
+  const double half = 1.96 * std::sqrt(n) / 2.0;
+  const auto clamp_idx = [&](double x) {
+    return static_cast<std::size_t>(std::clamp(x, 0.0, n - 1.0));
+  };
+  return {v[clamp_idx(n / 2.0 - half)], v[clamp_idx(n / 2.0 + half)]};
+}
+
+inline double sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+}  // namespace dcuda::sim

@@ -1,0 +1,54 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+
+namespace dcuda::sim {
+
+void Tracer::render_ascii(std::ostream& os, int columns) const {
+  if (spans_.empty()) {
+    os << "(no trace spans)\n";
+    return;
+  }
+  Time t0 = spans_.front().begin, t1 = spans_.front().end;
+  for (const auto& s : spans_) {
+    t0 = std::min(t0, s.begin);
+    t1 = std::max(t1, s.end);
+  }
+  if (t1 <= t0) t1 = t0 + 1e-9;
+  const double dt = (t1 - t0) / columns;
+
+  // lane key -> per-column dominant activity time
+  std::map<std::pair<int, int>, std::vector<std::map<std::string, double>>> rows;
+  for (const auto& s : spans_) {
+    auto& row = rows[{s.device, s.lane}];
+    if (row.empty()) row.resize(static_cast<std::size_t>(columns));
+    const int c0 = std::clamp(static_cast<int>((s.begin - t0) / dt), 0, columns - 1);
+    const int c1 = std::clamp(static_cast<int>((s.end - t0) / dt), 0, columns - 1);
+    for (int c = c0; c <= c1; ++c) {
+      const Time cell_b = t0 + c * dt, cell_e = cell_b + dt;
+      const double overlap = std::min(s.end, cell_e) - std::max(s.begin, cell_b);
+      if (overlap > 0) row[static_cast<std::size_t>(c)][s.activity] += overlap;
+    }
+  }
+
+  os << "time: " << to_micros(t0) << "us .. " << to_micros(t1) << "us ('.' idle)\n";
+  for (const auto& [key, row] : rows) {
+    os << "dev" << key.first << " lane" << std::setw(3) << key.second << " |";
+    for (const auto& cell : row) {
+      char ch = '.';
+      double best = 0.0;
+      for (const auto& [act, dur] : cell) {
+        if (dur > best) {
+          best = dur;
+          ch = act.empty() ? '?' : act[0];
+        }
+      }
+      os << ch;
+    }
+    os << "|\n";
+  }
+}
+
+}  // namespace dcuda::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+// Interval tracing for schedule visualizations (Fig. 1: block activity on
+// MPI-CUDA vs dCUDA). Entities record begin/end of named activity spans.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace dcuda::sim {
+
+struct TraceSpan {
+  Time begin = 0.0;
+  Time end = 0.0;
+  std::int32_t device = -1;
+  std::int32_t lane = -1;  // e.g. rank or SM id
+  std::string activity;    // "compute", "wait", "exchange", ...
+};
+
+class Tracer {
+ public:
+  void enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+
+  void record(TraceSpan span) {
+    if (enabled_) spans_.push_back(std::move(span));
+  }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  // Renders an ASCII Gantt chart: one row per (device, lane), time bucketed
+  // into `columns` cells; each cell shows the dominant activity's initial.
+  void render_ascii(std::ostream& os, int columns = 100) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace dcuda::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+// Condition-variable style synchronization for simulated processes.
+
+#include <coroutine>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace dcuda::sim {
+
+// A broadcast wake-up point. Waiters must re-check their predicate after
+// waking (spurious wake-ups are possible by design); use wait_until for the
+// common predicate loop.
+class Trigger {
+ public:
+  explicit Trigger(Simulation& sim) : sim_(&sim) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  auto wait() {
+    struct Awaiter {
+      Trigger* t;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { t->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  // Wakes all current waiters at the current simulated time (as separate
+  // events, never inline, to avoid re-entrancy).
+  void notify_all() {
+    if (waiters_.empty()) return;
+    auto w = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : w) sim_->schedule_resume(h);
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Simulation* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Suspends until pred() holds, re-checking whenever the trigger fires.
+template <typename Pred>
+Proc<void> wait_until(Trigger& trig, Pred pred) {
+  while (!pred()) co_await trig.wait();
+}
+
+}  // namespace dcuda::sim

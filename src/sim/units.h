@@ -1,0 +1,47 @@
+#pragma once
+
+// Time and data-rate units for the discrete-event simulator.
+//
+// Simulated time is a double in seconds. Double precision gives ~0.1 ns
+// resolution over hour-long simulations, far below the microsecond-scale
+// latencies modeled here. Event ordering ties are broken by a monotonic
+// sequence number, so floating-point equality never affects determinism.
+
+namespace dcuda::sim {
+
+using Time = double;  // absolute simulated time [s]
+using Dur = double;   // duration [s]
+
+inline constexpr Dur kSecond = 1.0;
+inline constexpr Dur kMilli = 1e-3;
+inline constexpr Dur kMicro = 1e-6;
+inline constexpr Dur kNano = 1e-9;
+
+constexpr Dur seconds(double v) { return v; }
+constexpr Dur millis(double v) { return v * kMilli; }
+constexpr Dur micros(double v) { return v * kMicro; }
+constexpr Dur nanos(double v) { return v * kNano; }
+
+constexpr double to_millis(Dur d) { return d / kMilli; }
+constexpr double to_micros(Dur d) { return d / kMicro; }
+constexpr double to_nanos(Dur d) { return d / kNano; }
+
+// Data rates are bytes per second.
+using Rate = double;
+
+inline constexpr Rate kKBs = 1e3;
+inline constexpr Rate kMBs = 1e6;
+inline constexpr Rate kGBs = 1e9;
+
+constexpr Rate gbs(double v) { return v * kGBs; }
+constexpr Rate mbs(double v) { return v * kMBs; }
+
+// Compute rates are floating-point operations per second.
+using FlopRate = double;
+inline constexpr FlopRate kGFs = 1e9;
+constexpr FlopRate gflops(double v) { return v * kGFs; }
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+
+}  // namespace dcuda::sim

@@ -1,0 +1,191 @@
+// Parameterized tests for the §V extensions: rectangular puts across stride
+// combinations, shared-memory multicast, tree broadcast over sizes/roots,
+// and the trace infrastructure.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "cluster/cluster.h"
+#include "sim/trace.h"
+
+namespace dcuda {
+namespace {
+
+using sim::Proc;
+
+sim::MachineConfig machine(int nodes) {
+  sim::MachineConfig m;
+  m.num_nodes = nodes;
+  return m;
+}
+
+// ------------------------------------------------------------- put_2d -----
+
+class Put2dSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(Put2dSweep, RectangleArrivesIntact) {
+  const auto [rows, row_elems, stride_elems, cross_node] = GetParam();
+  ASSERT_GE(stride_elems, row_elems);
+  const int nodes = cross_node ? 2 : 1;
+  const int rpd = cross_node ? 1 : 2;
+  Cluster c(machine(nodes), rpd);
+  const size_t elems = static_cast<size_t>(stride_elems) * (rows + 2);
+  auto src = c.device(0).alloc<double>(elems);
+  auto dst = c.device(nodes - 1).alloc<double>(elems);
+  for (size_t i = 0; i < elems; ++i) {
+    src[i] = static_cast<double>(i);
+    dst[i] = -1.0;
+  }
+  c.run([&](Context& ctx) -> Proc<void> {
+    auto mine = ctx.world_rank == 0 ? src : dst;
+    Window w = co_await win_create(ctx, kCommWorld, mine);
+    if (ctx.world_rank == 0) {
+      co_await put_2d_notify(ctx, w, 1, /*offset=*/0,
+                             static_cast<size_t>(row_elems) * sizeof(double),
+                             static_cast<size_t>(rows),
+                             static_cast<size_t>(stride_elems) * sizeof(double),
+                             src.data(), static_cast<size_t>(stride_elems) * sizeof(double),
+                             5);
+    } else {
+      co_await wait_notifications(ctx, w, 0, 5, 1);
+      co_await flush(ctx);
+    }
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+  for (int r = 0; r < rows; ++r) {
+    for (int e = 0; e < stride_elems; ++e) {
+      const size_t i = static_cast<size_t>(r) * stride_elems + e;
+      if (e < row_elems) {
+        EXPECT_DOUBLE_EQ(dst[i], static_cast<double>(i)) << "r=" << r << " e=" << e;
+      } else {
+        EXPECT_DOUBLE_EQ(dst[i], -1.0) << "gap clobbered at r=" << r << " e=" << e;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Put2dSweep,
+    ::testing::Combine(::testing::Values(1, 3, 8),     // rows
+                       ::testing::Values(4, 16),       // row elems
+                       ::testing::Values(16, 24),      // stride elems
+                       ::testing::Bool()));            // cross node
+
+// ------------------------------------------------------ bcast_notify ------
+
+class BcastSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BcastSweep, EveryRankReceivesRootPayload) {
+  const auto [nodes, rpd, root] = GetParam();
+  Cluster c(machine(nodes), rpd);
+  const int world = nodes * rpd;
+  ASSERT_LT(root, world);
+  std::vector<std::span<double>> bufs;
+  for (int n = 0; n < nodes; ++n)
+    for (int r = 0; r < rpd; ++r) bufs.push_back(c.device(n).alloc<double>(16));
+  for (int g = 0; g < world; ++g)
+    for (auto& x : bufs[static_cast<size_t>(g)]) x = g == root ? 7.75 : 0.0;
+  c.run([&](Context& ctx) -> Proc<void> {
+    auto mine = bufs[static_cast<size_t>(ctx.world_rank)];
+    Window w = co_await win_create(ctx, kCommWorld, mine);
+    co_await bcast_notify(ctx, w, kCommWorld, root, 0, 16 * sizeof(double),
+                          mine.data(), 9);
+    EXPECT_DOUBLE_EQ(mine[15], 7.75);
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+  for (auto& b : bufs) EXPECT_DOUBLE_EQ(b[0], 7.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BcastSweep,
+                         ::testing::Values(std::tuple{1, 4, 0}, std::tuple{1, 4, 2},
+                                           std::tuple{2, 2, 0}, std::tuple{2, 2, 3},
+                                           std::tuple{3, 2, 5}, std::tuple{4, 1, 1}));
+
+// ---------------------------------------------------- put_notify_all ------
+
+class MulticastSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MulticastSweep, AllLocalRanksNotifiedOnce) {
+  const int rpd = GetParam();
+  Cluster c(machine(2), rpd);
+  auto payload = c.device(0).alloc<int>(4);
+  auto target = c.device(1).alloc<int>(static_cast<size_t>(rpd) * 4);
+  for (int i = 0; i < 4; ++i) payload[static_cast<size_t>(i)] = 11 * (i + 1);
+  std::vector<int> notified(static_cast<size_t>(2 * rpd), 0);
+  c.run([&](Context& ctx) -> Proc<void> {
+    std::span<int> mine = ctx.node->node() == 0
+                              ? std::span<int>(payload)
+                              : target.subspan(static_cast<size_t>(ctx.device_rank) * 4, 4);
+    Window w = co_await win_create(ctx, kCommWorld, mine);
+    if (ctx.world_rank == 0) {
+      co_await put_notify_all(ctx, w, rpd, 0, 4 * sizeof(int), payload.data(), 2);
+    }
+    if (ctx.node->node() == 1) {
+      co_await wait_notifications(ctx, w, 0, 2, 1);
+      ++notified[static_cast<size_t>(ctx.world_rank)];
+      // Exactly one notification per rank: nothing further to consume.
+      EXPECT_EQ(co_await test_notifications(ctx, w.device_id, 0, 2, 8), 0);
+    }
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+  int total = 0;
+  for (int x : notified) total += x;
+  EXPECT_EQ(total, rpd);
+  EXPECT_EQ(target[3], 44);  // payload landed at the addressed rank
+}
+
+INSTANTIATE_TEST_SUITE_P(Rpd, MulticastSweep, ::testing::Values(1, 2, 5));
+
+// ------------------------------------------------------------- tracer -----
+
+TEST(Tracer, RecordsAndRendersSpans) {
+  sim::Tracer t;
+  t.enable();
+  t.record(sim::TraceSpan{0.0, 1e-6, 0, 0, "compute"});
+  t.record(sim::TraceSpan{1e-6, 2e-6, 0, 0, "wait"});
+  t.record(sim::TraceSpan{0.0, 2e-6, 0, 1, "memory"});
+  ASSERT_EQ(t.spans().size(), 3u);
+  std::ostringstream os;
+  t.render_ascii(os, 20);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("dev0 lane  0"), std::string::npos);
+  EXPECT_NE(out.find('c'), std::string::npos);
+  EXPECT_NE(out.find('m'), std::string::npos);
+}
+
+TEST(Tracer, DisabledTracerDropsSpans) {
+  sim::Tracer t;
+  t.record(sim::TraceSpan{0.0, 1.0, 0, 0, "compute"});
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(Tracer, ClusterTraceCapturesBlockActivity) {
+  Cluster c(machine(1), 2);
+  c.tracer().enable();
+  auto mem = c.device(0).alloc<std::byte>(4096);
+  c.run([&](Context& ctx) -> Proc<void> {
+    Window w = co_await win_create(ctx, kCommWorld, mem);
+    co_await ctx.block->compute_flops(1e6);
+    co_await ctx.block->mem_traffic(1e5);
+    const int peer = ctx.world_rank ^ 1;
+    co_await put_notify(ctx, w, peer, 0, 16, mem.data(), 0);
+    co_await wait_notifications(ctx, w, peer, 0, 1);
+    co_await win_free(ctx, w);
+  });
+  bool saw_compute = false, saw_wait = false;
+  for (const auto& sp : c.tracer().spans()) {
+    if (sp.activity == "compute") saw_compute = true;
+    if (sp.activity == "wait") saw_wait = true;
+  }
+  EXPECT_TRUE(saw_compute);
+  EXPECT_TRUE(saw_wait);
+}
+
+}  // namespace
+}  // namespace dcuda

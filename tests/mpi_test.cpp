@@ -1,0 +1,393 @@
+// Tests for the MPI-like host communication layer: matching semantics,
+// eager vs rendezvous, wildcards, ordering, collectives, CUDA-aware paths.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gpu/device.h"
+#include "mpi/mpi.h"
+#include "net/fabric.h"
+#include "sim/simulation.h"
+#include "sim/units.h"
+
+namespace dcuda::mpi {
+namespace {
+
+using gpu::mem_ref;
+using sim::micros;
+using sim::Proc;
+using sim::Simulation;
+
+struct Harness {
+  explicit Harness(int nodes, sim::MpiConfig cfg = {})
+      : fabric(s, nodes, net_cfg()), world(s, fabric, cfg, {}) {}
+  static sim::NetConfig net_cfg() {
+    sim::NetConfig c;
+    c.bandwidth = sim::gbs(6.0);
+    c.latency = micros(1.4);
+    c.sw_overhead = micros(0.3);
+    return c;
+  }
+  Simulation s;
+  net::Fabric fabric;
+  World world;
+};
+
+TEST(Mpi, SmallMessageRoundTrip) {
+  Harness h(2);
+  std::vector<int> src{1, 2, 3, 4}, dst(4, 0);
+  auto sender = [&]() -> Proc<void> {
+    co_await h.world.at(0).send(1, 7, mem_ref(std::span<int>(src)));
+  };
+  auto receiver = [&]() -> Proc<void> {
+    co_await h.world.at(1).recv(0, 7, mem_ref(std::span<int>(dst)));
+  };
+  h.s.spawn(sender(), "tx");
+  h.s.spawn(receiver(), "rx");
+  h.s.run();
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Mpi, RecvBeforeSendMatches) {
+  Harness h(2);
+  std::vector<double> src{3.14}, dst{0.0};
+  auto receiver = [&]() -> Proc<void> {
+    co_await h.world.at(1).recv(0, 1, mem_ref(std::span<double>(dst)));
+    EXPECT_DOUBLE_EQ(dst[0], 3.14);
+  };
+  auto sender = [&]() -> Proc<void> {
+    co_await h.s.delay(micros(50));
+    co_await h.world.at(0).send(1, 1, mem_ref(std::span<double>(src)));
+  };
+  h.s.spawn(receiver(), "rx");
+  h.s.spawn(sender(), "tx");
+  h.s.run();
+  EXPECT_DOUBLE_EQ(dst[0], 3.14);
+}
+
+TEST(Mpi, UnexpectedEagerMessageBuffered) {
+  Harness h(2);
+  std::vector<int> src{42}, dst{0};
+  auto sender = [&]() -> Proc<void> {
+    co_await h.world.at(0).send(1, 5, mem_ref(std::span<int>(src)));
+  };
+  auto receiver = [&]() -> Proc<void> {
+    co_await h.s.delay(micros(100));  // message arrives long before the recv
+    co_await h.world.at(1).recv(0, 5, mem_ref(std::span<int>(dst)));
+  };
+  h.s.spawn(sender(), "tx");
+  h.s.spawn(receiver(), "rx");
+  h.s.run();
+  EXPECT_EQ(dst[0], 42);
+}
+
+TEST(Mpi, TagsSeparateMessageStreams) {
+  Harness h(2);
+  std::vector<int> a{1}, b{2}, ra{0}, rb{0};
+  auto sender = [&]() -> Proc<void> {
+    co_await h.world.at(0).send(1, /*tag=*/20, mem_ref(std::span<int>(b)));
+    co_await h.world.at(0).send(1, /*tag=*/10, mem_ref(std::span<int>(a)));
+  };
+  auto receiver = [&]() -> Proc<void> {
+    // Posted in the opposite tag order; matching must respect tags.
+    Request r1 = h.world.at(1).irecv(0, 10, mem_ref(std::span<int>(ra)));
+    Request r2 = h.world.at(1).irecv(0, 20, mem_ref(std::span<int>(rb)));
+    co_await r1.wait();
+    co_await r2.wait();
+  };
+  h.s.spawn(sender(), "tx");
+  h.s.spawn(receiver(), "rx");
+  h.s.run();
+  EXPECT_EQ(ra[0], 1);
+  EXPECT_EQ(rb[0], 2);
+}
+
+TEST(Mpi, AnySourceWildcardReportsSender) {
+  Harness h(3);
+  std::vector<int> one{11}, two{22};
+  std::vector<int> got(2, 0);
+  auto tx1 = [&]() -> Proc<void> {
+    co_await h.world.at(1).send(0, 3, mem_ref(std::span<int>(one)));
+  };
+  auto tx2 = [&]() -> Proc<void> {
+    co_await h.s.delay(micros(20));
+    co_await h.world.at(2).send(0, 3, mem_ref(std::span<int>(two)));
+  };
+  std::vector<int> sources;
+  auto rx = [&]() -> Proc<void> {
+    for (int i = 0; i < 2; ++i) {
+      std::span<int> slot(&got[static_cast<size_t>(i)], 1);
+      Request r = h.world.at(0).irecv(kAnySource, 3, mem_ref(slot));
+      co_await r.wait();
+      sources.push_back(r.source());
+    }
+  };
+  h.s.spawn(tx1(), "tx1");
+  h.s.spawn(tx2(), "tx2");
+  h.s.spawn(rx(), "rx");
+  h.s.run();
+  EXPECT_EQ(got[0], 11);
+  EXPECT_EQ(got[1], 22);
+  EXPECT_EQ(sources, (std::vector<int>{1, 2}));
+}
+
+TEST(Mpi, AnyTagWildcardMatches) {
+  Harness h(2);
+  std::vector<int> src{9}, dst{0};
+  auto tx = [&]() -> Proc<void> {
+    co_await h.world.at(0).send(1, 1234, mem_ref(std::span<int>(src)));
+  };
+  auto rx = [&]() -> Proc<void> {
+    Request r = h.world.at(1).irecv(0, kAnyTag, mem_ref(std::span<int>(dst)));
+    co_await r.wait();
+    EXPECT_EQ(r.tag(), 1234);
+  };
+  h.s.spawn(tx(), "tx");
+  h.s.spawn(rx(), "rx");
+  h.s.run();
+  EXPECT_EQ(dst[0], 9);
+}
+
+TEST(Mpi, NonOvertakingSameSourceTag) {
+  Harness h(2);
+  const int n = 16;
+  std::vector<std::vector<int>> bufs(n, std::vector<int>(1));
+  std::vector<int> got;
+  auto tx = [&]() -> Proc<void> {
+    for (int i = 0; i < n; ++i) {
+      bufs[static_cast<size_t>(i)][0] = i;
+      co_await h.world.at(0).send(1, 0, mem_ref(std::span<int>(bufs[static_cast<size_t>(i)])));
+    }
+  };
+  auto rx = [&]() -> Proc<void> {
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> d{-1};
+      co_await h.world.at(1).recv(0, 0, mem_ref(std::span<int>(d)));
+      got.push_back(d[0]);
+    }
+  };
+  h.s.spawn(tx(), "tx");
+  h.s.spawn(rx(), "rx");
+  h.s.run();
+  for (int i = 0; i < n; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(Mpi, LargeMessageUsesRendezvous) {
+  Harness h(2);
+  const size_t n = 1 << 20;  // 4 MB of ints: above eager limit
+  std::vector<int> src(n), dst(n, 0);
+  std::iota(src.begin(), src.end(), 0);
+  auto tx = [&]() -> Proc<void> {
+    co_await h.world.at(0).send(1, 0, mem_ref(std::span<int>(src)));
+  };
+  auto rx = [&]() -> Proc<void> {
+    co_await h.world.at(1).recv(0, 0, mem_ref(std::span<int>(dst)));
+  };
+  h.s.spawn(tx(), "tx");
+  h.s.spawn(rx(), "rx");
+  h.s.run();
+  EXPECT_EQ(dst, src);
+  // 4 MB at 6 GB/s ~ 700us; rendezvous adds a few us handshake.
+  EXPECT_GT(h.s.now(), micros(650));
+  EXPECT_LT(h.s.now(), micros(850));
+}
+
+TEST(Mpi, SelfSendDelivers) {
+  Harness h(2);
+  std::vector<int> src{5}, dst{0};
+  auto p = [&]() -> Proc<void> {
+    Request r = h.world.at(0).irecv(0, 1, mem_ref(std::span<int>(dst)));
+    co_await h.world.at(0).send(0, 1, mem_ref(std::span<int>(src)));
+    co_await r.wait();
+  };
+  h.s.spawn(p(), "p");
+  h.s.run();
+  EXPECT_EQ(dst[0], 5);
+}
+
+// NOTE: coroutine lambdas spawned from inside a loop must not capture — the
+// closure dies at the end of the iteration while the coroutine lives on.
+// Helper coroutines take everything as parameters instead.
+Proc<void> barrier_entrant(Harness& h, int r, std::vector<sim::Time>& after) {
+  co_await h.s.delay(micros(25.0 * r));  // staggered entry
+  co_await h.world.at(r).barrier();
+  after[static_cast<size_t>(r)] = h.s.now();
+}
+
+TEST(Mpi, BarrierSynchronizesAllRanks) {
+  Harness h(4);
+  std::vector<sim::Time> after(4, -1.0);
+  for (int r = 0; r < 4; ++r) {
+    h.s.spawn(barrier_entrant(h, r, after), "rank" + std::to_string(r));
+  }
+  h.s.run();
+  // No rank leaves before the last entered (rank 3 at 75us).
+  for (auto t : after) EXPECT_GE(t, micros(75));
+}
+
+Proc<void> repeated_barriers(Harness& h, int r, std::vector<int>& counters) {
+  for (int it = 0; it < 5; ++it) {
+    co_await h.s.delay(micros(1.0 + r));
+    co_await h.world.at(r).barrier();
+    ++counters[static_cast<size_t>(r)];
+    // All ranks must have completed the same number of barriers (+-1).
+    EXPECT_LE(std::abs(counters[0] - counters[static_cast<size_t>(r)]), 1);
+  }
+}
+
+TEST(Mpi, RepeatedBarriersStayConsistent) {
+  Harness h(3);
+  std::vector<int> counters(3, 0);
+  for (int r = 0; r < 3; ++r) {
+    h.s.spawn(repeated_barriers(h, r, counters), "rank" + std::to_string(r));
+  }
+  h.s.run();
+  EXPECT_EQ(counters, (std::vector<int>{5, 5, 5}));
+}
+
+TEST(Mpi, WaitAllCompletesEverything) {
+  Harness h(2);
+  const int n = 8;
+  std::vector<std::vector<int>> src(n, std::vector<int>(1));
+  std::vector<std::vector<int>> dst(n, std::vector<int>(1, -1));
+  auto tx = [&]() -> Proc<void> {
+    std::vector<Request> reqs;
+    for (int i = 0; i < n; ++i) {
+      src[static_cast<size_t>(i)][0] = i * 3;
+      reqs.push_back(h.world.at(0).isend(1, i, mem_ref(std::span<int>(src[static_cast<size_t>(i)]))));
+    }
+    co_await wait_all(std::move(reqs));
+  };
+  auto rx = [&]() -> Proc<void> {
+    std::vector<Request> reqs;
+    for (int i = 0; i < n; ++i) {
+      reqs.push_back(h.world.at(1).irecv(0, i, mem_ref(std::span<int>(dst[static_cast<size_t>(i)]))));
+    }
+    co_await wait_all(std::move(reqs));
+  };
+  h.s.spawn(tx(), "tx");
+  h.s.spawn(rx(), "rx");
+  h.s.run();
+  for (int i = 0; i < n; ++i) EXPECT_EQ(dst[static_cast<size_t>(i)][0], i * 3);
+}
+
+// CUDA-aware paths: device buffers, staging threshold behaviour.
+
+struct DeviceHarness {
+  explicit DeviceHarness(sim::MpiConfig cfg = {}) : fabric(s, 2, Harness::net_cfg()) {
+    sim::PcieConfig pc;
+    for (int i = 0; i < 2; ++i) {
+      links.push_back(std::make_unique<pcie::PcieLink>(s, pc));
+      devs.push_back(std::make_unique<gpu::Device>(s, i, sim::DeviceConfig{},
+                                                   links.back().get()));
+    }
+    world = std::make_unique<World>(s, fabric, cfg,
+                                    std::vector<gpu::Device*>{devs[0].get(), devs[1].get()});
+  }
+  Simulation s;
+  net::Fabric fabric;
+  std::vector<std::unique_ptr<pcie::PcieLink>> links;
+  std::vector<std::unique_ptr<gpu::Device>> devs;
+  std::unique_ptr<World> world;
+};
+
+TEST(MpiCudaAware, SmallDeviceMessageGoesDirect) {
+  DeviceHarness h;
+  auto src = h.devs[0]->alloc<int>(256);  // 1 kB: below staging threshold
+  auto dst = h.devs[1]->alloc<int>(256);
+  for (size_t i = 0; i < 256; ++i) src[i] = static_cast<int>(i);
+  auto tx = [&]() -> Proc<void> {
+    co_await h.world->at(0).send(1, 0, h.devs[0]->ref(src));
+  };
+  auto rx = [&]() -> Proc<void> {
+    co_await h.world->at(1).recv(0, 0, h.devs[1]->ref(dst));
+  };
+  h.s.spawn(tx(), "tx");
+  h.s.spawn(rx(), "rx");
+  h.s.run();
+  EXPECT_EQ(dst[100], 100);
+  EXPECT_EQ(h.world->at(0).staged_transfers(), 0u);
+  EXPECT_EQ(h.world->at(0).direct_device_transfers(), 1u);
+}
+
+TEST(MpiCudaAware, LargeDeviceMessageStagesThroughHost) {
+  DeviceHarness h;
+  const size_t n = 64 * 1024;  // 256 kB: above 20 kB threshold
+  auto src = h.devs[0]->alloc<int>(n);
+  auto dst = h.devs[1]->alloc<int>(n);
+  for (size_t i = 0; i < n; ++i) src[i] = static_cast<int>(i * 7);
+  auto tx = [&]() -> Proc<void> {
+    co_await h.world->at(0).send(1, 0, h.devs[0]->ref(src));
+  };
+  auto rx = [&]() -> Proc<void> {
+    co_await h.world->at(1).recv(0, 0, h.devs[1]->ref(dst));
+  };
+  h.s.spawn(tx(), "tx");
+  h.s.spawn(rx(), "rx");
+  h.s.run();
+  EXPECT_EQ(dst[12345], 12345 * 7);
+  EXPECT_EQ(h.world->at(0).staged_transfers(), 1u);
+  // PCIe saw DMA traffic on both sides.
+  EXPECT_GT(h.links[0]->bytes_transferred(pcie::Dir::kDeviceToHost), 2e5);
+  EXPECT_GT(h.links[1]->bytes_transferred(pcie::Dir::kHostToDevice), 2e5);
+}
+
+TEST(Mpi, ConcurrentRendezvousFromDifferentSenders) {
+  // Regression: message ids are only unique per sender; two simultaneous
+  // rendezvous transfers from different sources to one receiver used to
+  // collide in the in-flight table.
+  Harness h(3);
+  const size_t n = 16 * 1024;  // above eager limit
+  std::vector<int> a(n, 1), b(n, 2), ra(n, 0), rb(n, 0);
+  auto tx1 = [&]() -> Proc<void> {
+    co_await h.world.at(1).send(0, 1, mem_ref(std::span<int>(a)));
+  };
+  auto tx2 = [&]() -> Proc<void> {
+    co_await h.world.at(2).send(0, 2, mem_ref(std::span<int>(b)));
+  };
+  auto rx = [&]() -> Proc<void> {
+    Request r1 = h.world.at(0).irecv(1, 1, mem_ref(std::span<int>(ra)));
+    Request r2 = h.world.at(0).irecv(2, 2, mem_ref(std::span<int>(rb)));
+    co_await r1.wait();
+    co_await r2.wait();
+  };
+  h.s.spawn(tx1(), "tx1");
+  h.s.spawn(tx2(), "tx2");
+  h.s.spawn(rx(), "rx");
+  h.s.run();
+  EXPECT_EQ(ra[n - 1], 1);
+  EXPECT_EQ(rb[n - 1], 2);
+}
+
+TEST(MpiCudaAware, StagedBeatsDirectForLargeMessages) {
+  // The effect behind the paper's stencil observation: host-staged transfers
+  // achieve higher bandwidth than GPUDirect for large messages on Kepler.
+  auto timed_transfer = [](bool force_direct) {
+    sim::MpiConfig cfg;
+    if (force_direct) cfg.device_staging_threshold = 1u << 30;
+    DeviceHarness h(cfg);
+    const size_t n = 1 << 20;  // 4 MB
+    auto src = h.devs[0]->alloc<int>(n);
+    auto dst = h.devs[1]->alloc<int>(n);
+    auto tx = [&]() -> Proc<void> {
+      co_await h.world->at(0).send(1, 0, h.devs[0]->ref(src));
+    };
+    auto rx = [&]() -> Proc<void> {
+      co_await h.world->at(1).recv(0, 0, h.devs[1]->ref(dst));
+    };
+    h.s.spawn(tx(), "tx");
+    h.s.spawn(rx(), "rx");
+    h.s.run();
+    return h.s.now();
+  };
+  const double staged = timed_transfer(false);
+  const double direct = timed_transfer(true);
+  EXPECT_LT(staged, direct);
+  // Direct path is capped at ~3.2 GB/s vs ~6 GB/s staged: expect >1.5x.
+  EXPECT_GT(direct / staged, 1.5);
+}
+
+}  // namespace
+}  // namespace dcuda::mpi

@@ -1,0 +1,212 @@
+// Unit and property tests for SharedResource (processor sharing with per-job
+// cap) and FifoResource — the timing model behind SMs, device memory, PCIe
+// and NIC serialization.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/proc.h"
+#include "sim/random.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "sim/units.h"
+
+namespace dcuda::sim {
+namespace {
+
+Proc<void> job(Simulation& sim, SharedResource& res, Dur start, double work,
+               Time& finished) {
+  co_await sim.delay(start);
+  co_await res.use(work);
+  finished = sim.now();
+}
+
+TEST(SharedResource, SingleJobRunsAtFullRate) {
+  Simulation sim;
+  SharedResource res(sim, 100.0);  // 100 units/s
+  Time fin = -1;
+  sim.spawn(job(sim, res, 0.0, 50.0, fin), "job");
+  sim.run();
+  EXPECT_NEAR(fin, 0.5, 1e-12);
+}
+
+TEST(SharedResource, TwoEqualJobsShareEqually) {
+  Simulation sim;
+  SharedResource res(sim, 100.0);
+  Time f1 = -1, f2 = -1;
+  sim.spawn(job(sim, res, 0.0, 50.0, f1), "j1");
+  sim.spawn(job(sim, res, 0.0, 50.0, f2), "j2");
+  sim.run();
+  // Both share: each runs at 50 units/s -> 1.0 s.
+  EXPECT_NEAR(f1, 1.0, 1e-9);
+  EXPECT_NEAR(f2, 1.0, 1e-9);
+}
+
+TEST(SharedResource, ShortJobLeavesLongJobSpeedsUp) {
+  Simulation sim;
+  SharedResource res(sim, 100.0);
+  Time fshort = -1, flong = -1;
+  sim.spawn(job(sim, res, 0.0, 10.0, fshort), "short");
+  sim.spawn(job(sim, res, 0.0, 100.0, flong), "long");
+  sim.run();
+  // Shared until short finishes: 10 units at 50/s = 0.2 s. Long then has 90
+  // units left at 100/s = 0.9 s. Total 1.1 s.
+  EXPECT_NEAR(fshort, 0.2, 1e-9);
+  EXPECT_NEAR(flong, 1.1, 1e-9);
+}
+
+TEST(SharedResource, LateArrivalSlowsExistingJob) {
+  Simulation sim;
+  SharedResource res(sim, 100.0);
+  Time f1 = -1, f2 = -1;
+  sim.spawn(job(sim, res, 0.0, 60.0, f1), "j1");
+  sim.spawn(job(sim, res, 0.2, 40.0, f2), "j2");
+  sim.run();
+  // j1 alone 0..0.2 does 20 units; 40 remain. Both at 50/s finish their 40
+  // at t = 0.2 + 0.8 = 1.0 simultaneously.
+  EXPECT_NEAR(f1, 1.0, 1e-9);
+  EXPECT_NEAR(f2, 1.0, 1e-9);
+}
+
+TEST(SharedResource, PerJobCapLimitsLoneJob) {
+  Simulation sim;
+  SharedResource res(sim, 100.0, /*per_job_cap=*/10.0);
+  Time fin = -1;
+  sim.spawn(job(sim, res, 0.0, 50.0, fin), "job");
+  sim.run();
+  EXPECT_NEAR(fin, 5.0, 1e-9);  // capped at 10 units/s
+}
+
+TEST(SharedResource, ManyJobsHitAggregateCapacity) {
+  Simulation sim;
+  SharedResource res(sim, 100.0, /*per_job_cap=*/10.0);
+  // 20 jobs of 10 units: per-job rate = min(10, 100/20) = 5 -> 2 s.
+  std::vector<Time> fins(20, -1.0);
+  for (int i = 0; i < 20; ++i) {
+    sim.spawn(job(sim, res, 0.0, 10.0, fins[static_cast<size_t>(i)]), "j");
+  }
+  sim.run();
+  for (Time f : fins) EXPECT_NEAR(f, 2.0, 1e-9);
+}
+
+TEST(SharedResource, CapRegimeSwitchesAsJobsLeave) {
+  Simulation sim;
+  SharedResource res(sim, 100.0, /*per_job_cap=*/30.0);
+  // 5 jobs: rate 20/s each (capacity-bound). As jobs drain, survivors speed
+  // up to the 30/s cap.
+  Time fbig = -1;
+  std::vector<Time> fsmall(4, -1.0);
+  sim.spawn(job(sim, res, 0.0, 100.0, fbig), "big");
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(job(sim, res, 0.0, 20.0, fsmall[static_cast<size_t>(i)]), "small");
+  }
+  sim.run();
+  // Phase 1: 5 jobs at 20/s until smalls finish at t=1 (big has 80 left).
+  // Phase 2: big alone at cap 30/s: 80/30 = 2.667 s. Total ~3.667 s.
+  for (Time f : fsmall) EXPECT_NEAR(f, 1.0, 1e-9);
+  EXPECT_NEAR(fbig, 1.0 + 80.0 / 30.0, 1e-9);
+}
+
+TEST(SharedResource, ZeroWorkCompletesAtCurrentTime) {
+  Simulation sim;
+  SharedResource res(sim, 100.0);
+  Time fin = -1;
+  sim.spawn(job(sim, res, micros(3), 0.0, fin), "zero");
+  sim.run();
+  EXPECT_NEAR(fin, micros(3), 1e-15);
+}
+
+TEST(SharedResource, WorkConservation) {
+  // Property: total work done equals sum of submitted work, and busy time
+  // never exceeds makespan (work conservation of processor sharing).
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    Simulation sim;
+    SharedResource res(sim, 50.0, 20.0);
+    double total_work = 0.0;
+    const int n = 2 + static_cast<int>(rng.next_below(20));
+    std::vector<Time> fins(static_cast<size_t>(n), -1.0);
+    for (int i = 0; i < n; ++i) {
+      const double w = rng.uniform(1.0, 30.0);
+      const double s = rng.uniform(0.0, 0.5);
+      total_work += w;
+      sim.spawn(job(sim, res, s, w, fins[static_cast<size_t>(i)]), "j");
+    }
+    sim.run();
+    EXPECT_NEAR(res.work_done(), total_work, total_work * 1e-6);
+    EXPECT_LE(res.busy_time(), sim.now() + 1e-9);
+    for (Time f : fins) EXPECT_GE(f, 0.0);
+  }
+}
+
+TEST(SharedResource, FasterThanSerialWhenShared) {
+  // Property: makespan of concurrent jobs is at least total_work/capacity
+  // and at most what serial execution would take.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Simulation sim;
+    SharedResource res(sim, 100.0);
+    double total_work = 0.0;
+    const int n = 3 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < n; ++i) {
+      const double w = rng.uniform(5.0, 50.0);
+      total_work += w;
+      Time dummy;
+      sim.spawn(job(sim, res, 0.0, w, dummy), "j");
+    }
+    sim.run();
+    EXPECT_GE(sim.now(), total_work / 100.0 - 1e-9);
+    EXPECT_LE(sim.now(), total_work / 100.0 + 1e-9);  // PS is work conserving
+  }
+}
+
+Proc<void> fifo_user(Simulation& sim, FifoResource& res, Dur hold,
+                     std::vector<int>& order, int id) {
+  co_await res.acquire();
+  order.push_back(id);
+  co_await sim.delay(hold);
+  res.release();
+}
+
+TEST(FifoResource, GrantsInArrivalOrder) {
+  Simulation sim;
+  FifoResource res(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(fifo_user(sim, res, micros(1), order, i), "u");
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), micros(4));
+}
+
+TEST(FifoResource, CapacityTwoAllowsTwoConcurrent) {
+  Simulation sim;
+  FifoResource res(sim, 2);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(fifo_user(sim, res, micros(2), order, i), "u");
+  }
+  sim.run();
+  // 4 holders of 2us at capacity 2 -> makespan 4us.
+  EXPECT_DOUBLE_EQ(sim.now(), micros(4));
+}
+
+TEST(FifoResource, ReleaseHandsSlotToWaiter) {
+  Simulation sim;
+  FifoResource res(sim, 1);
+  EXPECT_EQ(res.available(), 1);
+  std::vector<int> order;
+  sim.spawn(fifo_user(sim, res, micros(1), order, 0), "a");
+  sim.spawn(fifo_user(sim, res, micros(1), order, 1), "b");
+  sim.run_until(micros(0.5));
+  EXPECT_EQ(res.available(), 0);
+  EXPECT_EQ(res.queue_length(), 1u);
+  sim.run_until(micros(10));
+  EXPECT_EQ(res.queue_length(), 0u);
+  EXPECT_EQ(res.available(), 1);
+}
+
+}  // namespace
+}  // namespace dcuda::sim

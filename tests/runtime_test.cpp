@@ -1,0 +1,270 @@
+// Tests for host-runtime internals: flush-id tracking, window registries,
+// queue plumbing, command ordering, and mixed collectives.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "sim/units.h"
+
+namespace dcuda {
+namespace {
+
+using sim::micros;
+using sim::Proc;
+
+sim::MachineConfig machine(int nodes) {
+  sim::MachineConfig m;
+  m.num_nodes = nodes;
+  return m;
+}
+
+TEST(RuntimeFlush, OutOfOrderCompletionAdvancesContiguously) {
+  // Issue one small and one large put; the small one (to a near target)
+  // can complete first, but the flush frontier must only advance once the
+  // earlier-issued large transfer is done too.
+  Cluster c(machine(3), 1);
+  auto src = c.device(0).alloc<std::byte>(512 * 1024);
+  auto big = c.device(1).alloc<std::byte>(512 * 1024);
+  auto small = c.device(2).alloc<std::byte>(64);
+  c.run([&](Context& ctx) -> Proc<void> {
+    Window w = co_await win_create(ctx, kCommWorld, ctx.world_rank == 0 ? src
+                                   : ctx.world_rank == 1 ? big
+                                                         : small);
+    if (ctx.world_rank == 0) {
+      // Large rendezvous transfer first (slow), tiny eager one second.
+      co_await put(ctx, w, 1, 0, 512 * 1024, src.data());
+      co_await put(ctx, w, 2, 0, 64, src.data());
+      const auto t0 = ctx.sim().now();
+      co_await flush(ctx);
+      // Flush must cover the large transfer: at 6 GB/s, 512 kB needs >80us.
+      EXPECT_GT(ctx.sim().now() - t0, micros(40));
+    }
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+}
+
+TEST(RuntimeFlush, WinFlushIsWindowScoped) {
+  // A window with no pending operations flushes immediately even while
+  // another window still has a large transfer in flight.
+  Cluster c(machine(2), 1);
+  auto big_src = c.device(0).alloc<std::byte>(1024 * 1024);
+  auto big_dst = c.device(1).alloc<std::byte>(1024 * 1024);
+  auto small = c.device(1).alloc<std::byte>(64);
+  c.run([&](Context& ctx) -> Proc<void> {
+    Window wbig = co_await win_create(ctx, kCommWorld,
+                                      ctx.world_rank == 0 ? big_src : big_dst);
+    Window wsmall = co_await win_create(
+        ctx, kCommWorld, ctx.world_rank == 0 ? big_src.subspan(0, 64) : small);
+    if (ctx.world_rank == 0) {
+      co_await put(ctx, wbig, 1, 0, 1024 * 1024, big_src.data());
+      const auto t0 = ctx.sim().now();
+      co_await win_flush(ctx, wsmall);  // nothing pending on wsmall
+      EXPECT_LT(ctx.sim().now() - t0, micros(1));
+      co_await win_flush(ctx, wbig);  // must cover the 1 MB transfer
+      EXPECT_GT(ctx.sim().now() - t0, micros(100));
+    }
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, wsmall);
+    co_await win_free(ctx, wbig);
+  });
+}
+
+TEST(RuntimeFlush, FlushWithNoPendingOpsReturnsImmediately) {
+  Cluster c(machine(1), 2);
+  auto mem = c.device(0).alloc<std::byte>(64);
+  c.run([&](Context& ctx) -> Proc<void> {
+    Window w = co_await win_create(ctx, kCommWorld, mem);
+    const auto t0 = ctx.sim().now();
+    co_await flush(ctx);
+    EXPECT_DOUBLE_EQ(ctx.sim().now(), t0);
+    co_await win_free(ctx, w);
+  });
+}
+
+TEST(RuntimeWindows, ManyWindowsPerRank) {
+  Cluster c(machine(2), 2);
+  std::vector<std::span<double>> bufs;
+  for (int n = 0; n < 2; ++n)
+    for (int r = 0; r < 2; ++r) bufs.push_back(c.device(n).alloc<double>(8));
+  c.run([&](Context& ctx) -> Proc<void> {
+    std::vector<Window> wins;
+    for (int i = 0; i < 12; ++i) {
+      wins.push_back(
+          co_await win_create(ctx, kCommWorld, bufs[static_cast<size_t>(ctx.world_rank)]));
+      EXPECT_EQ(wins.back().device_id, i);
+    }
+    // Use the last window for a round trip to prove the table holds up.
+    const int peer = ctx.world_rank ^ 1;
+    double v = 1.5 + ctx.world_rank;
+    co_await put_notify(ctx, wins.back(), peer, 0, sizeof(double), &v, 0);
+    co_await wait_notifications(ctx, wins.back(), kAnySource, 0, 1);
+    EXPECT_DOUBLE_EQ(bufs[static_cast<size_t>(ctx.world_rank)][0], 1.5 + peer);
+    for (auto& w : wins) co_await win_free(ctx, w);
+  });
+}
+
+TEST(RuntimeWindows, WindowIdsReusableAfterFree) {
+  Cluster c(machine(1), 2);
+  auto mem = c.device(0).alloc<double>(16);
+  c.run([&](Context& ctx) -> Proc<void> {
+    for (int round = 0; round < 3; ++round) {
+      Window w = co_await win_create(ctx, kCommWorld, mem);
+      const int peer = ctx.world_rank ^ 1;
+      co_await put_notify(ctx, w, peer, 0, 0, nullptr, round);
+      co_await wait_notifications(ctx, w, peer, round, 1);
+      co_await win_free(ctx, w);
+    }
+  });
+}
+
+TEST(RuntimeOrdering, PutsFromOneRankArriveInOrder) {
+  // Non-overtaking per (origin, target): sequence of puts to the same
+  // target window region lands in issue order; the final value wins.
+  Cluster c(machine(2), 1);
+  auto src = c.device(0).alloc<int>(64);
+  auto dst = c.device(1).alloc<int>(64);
+  c.run([&](Context& ctx) -> Proc<void> {
+    auto buf = ctx.world_rank == 0 ? src : dst;
+    Window w = co_await win_create(ctx, kCommWorld, buf);
+    if (ctx.world_rank == 0) {
+      for (int i = 1; i <= 20; ++i) {
+        src[0] = i;
+        co_await put(ctx, w, 1, 0, sizeof(int), &src[0]);
+        co_await flush(ctx);  // pin the value before overwriting src
+      }
+      co_await put_notify(ctx, w, 1, 0, 0, nullptr, 1);
+    } else {
+      co_await wait_notifications(ctx, w, 0, 1, 1);
+      EXPECT_EQ(dst[0], 20);
+    }
+    co_await win_free(ctx, w);
+  });
+}
+
+TEST(RuntimeBarrier, MixedWorldAndDeviceBarriers) {
+  Cluster c(machine(2), 2);
+  std::vector<int> phase(4, 0);
+  c.run([&](Context& ctx) -> Proc<void> {
+    co_await barrier(ctx, kCommDevice);
+    phase[static_cast<size_t>(ctx.world_rank)] = 1;
+    co_await barrier(ctx, kCommWorld);
+    phase[static_cast<size_t>(ctx.world_rank)] = 2;
+    co_await barrier(ctx, kCommDevice);
+    co_await barrier(ctx, kCommWorld);
+    phase[static_cast<size_t>(ctx.world_rank)] = 3;
+  });
+  for (int p : phase) EXPECT_EQ(p, 3);
+}
+
+TEST(RuntimeQueues, CommandQueueBackpressure) {
+  // A rank that issues many commands back-to-back exceeds the 16-entry
+  // command ring; the credit system must throttle without losing commands.
+  Cluster c(machine(1), 2);
+  auto mem = c.device(0).alloc<std::byte>(4096);
+  int received = 0;
+  c.run([&](Context& ctx) -> Proc<void> {
+    Window w = co_await win_create(ctx, kCommWorld, mem);
+    if (ctx.world_rank == 0) {
+      for (int i = 0; i < 100; ++i) {
+        co_await put_notify(ctx, w, 1, 0, 0, nullptr, 7);
+      }
+    } else {
+      co_await wait_notifications(ctx, w, 0, 7, 100);
+      received = 100;
+    }
+    co_await win_free(ctx, w);
+  });
+  EXPECT_EQ(received, 100);
+}
+
+TEST(RuntimeQueues, NotificationQueueOverflowThrottled) {
+  // 100 notifications vs a 64-entry notification ring: the host-side
+  // enqueue must block on credits until the device drains, not overwrite.
+  sim::MachineConfig cfg = machine(1);
+  cfg.runtime.notification_queue_entries = 8;
+  Cluster c(cfg, 2);
+  auto mem = c.device(0).alloc<std::byte>(64);
+  c.run([&](Context& ctx) -> Proc<void> {
+    Window w = co_await win_create(ctx, kCommWorld, mem);
+    if (ctx.world_rank == 0) {
+      for (int i = 0; i < 50; ++i) co_await put_notify(ctx, w, 1, 0, 0, nullptr, i);
+    } else {
+      co_await ctx.sim().delay(micros(400));  // let the ring fill up
+      for (int i = 0; i < 50; ++i) {
+        co_await wait_notifications(ctx, w, 0, i, 1);  // strict order check
+      }
+    }
+    co_await win_free(ctx, w);
+  });
+}
+
+TEST(RuntimeLog, ManyRanksLogConcurrently) {
+  Cluster c(machine(1), 8);
+  c.run([&](Context& ctx) -> Proc<void> {
+    co_await log(ctx, "value", ctx.world_rank * 10);
+  });
+  EXPECT_EQ(c.node(0).log_lines().size(), 8u);
+}
+
+TEST(RuntimeConfigs, HostWakeupLatencyAffectsPutLatency) {
+  auto latency = [](double wakeup_us) {
+    sim::MachineConfig cfg;
+    cfg.num_nodes = 1;
+    cfg.runtime.host_wakeup_latency = micros(wakeup_us);
+    Cluster c(cfg, 2);
+    auto mem = c.device(0).alloc<std::byte>(64);
+    c.run([&](Context& ctx) -> Proc<void> {
+      Window w = co_await win_create(ctx, kCommWorld, mem);
+      for (int i = 0; i < 10; ++i) {
+        if (ctx.world_rank == 0) {
+          co_await put_notify(ctx, w, 1, 0, 0, nullptr, 0);
+          co_await wait_notifications(ctx, w, 1, 0, 1);
+        } else {
+          co_await wait_notifications(ctx, w, 0, 0, 1);
+          co_await put_notify(ctx, w, 0, 0, 0, nullptr, 0);
+        }
+      }
+      co_await win_free(ctx, w);
+    });
+    return c.sim().now();
+  };
+  EXPECT_LT(latency(0.5), latency(5.0));
+}
+
+TEST(RuntimeDeadlock, WaitForMissingNotificationIsDiagnosed) {
+  Cluster c(machine(1), 2);
+  auto mem = c.device(0).alloc<std::byte>(64);
+  EXPECT_THROW(c.run([&](Context& ctx) -> Proc<void> {
+                 Window w = co_await win_create(ctx, kCommWorld, mem);
+                 // Nobody ever sends: classic lost-notification hang.
+                 co_await wait_notifications(ctx, w, kAnySource, 99, 1);
+                 co_await win_free(ctx, w);
+               }),
+               sim::DeadlockError);
+}
+
+TEST(RuntimeGet, ConcurrentGetsFromManyRanks) {
+  // All ranks of node 1 read disjoint slices of rank 0's window at once.
+  Cluster c(machine(2), 4);
+  auto data = c.device(0).alloc<int>(64);
+  for (int i = 0; i < 64; ++i) data[static_cast<size_t>(i)] = 1000 + i;
+  std::vector<std::vector<int>> got(8, std::vector<int>(16, 0));
+  c.run([&](Context& ctx) -> Proc<void> {
+    Window w = co_await win_create(ctx, kCommWorld,
+                                   ctx.world_rank == 0 ? data : data.subspan(0, 64));
+    if (ctx.node->node() == 1) {
+      auto& mine = got[static_cast<size_t>(ctx.world_rank)];
+      const std::size_t off = static_cast<size_t>(ctx.device_rank) * 16 * sizeof(int);
+      co_await get_notify(ctx, w, 0, off, 16 * sizeof(int), mine.data(), 3);
+      co_await wait_notifications(ctx, w, 0, 3, 1);
+      EXPECT_EQ(mine[0], 1000 + ctx.device_rank * 16);
+      EXPECT_EQ(mine[15], 1000 + ctx.device_rank * 16 + 15);
+    }
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+}
+
+}  // namespace
+}  // namespace dcuda

@@ -1,0 +1,434 @@
+// Unit tests for the discrete-event simulation core: event ordering, the
+// coroutine process machinery, triggers, mailboxes, channels, deadlock
+// detection, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/mailbox.h"
+#include "sim/proc.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/stats.h"
+#include "sim/trigger.h"
+#include "sim/units.h"
+
+namespace dcuda::sim {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(micros(2.5), 2.5e-6);
+  EXPECT_DOUBLE_EQ(to_micros(millis(1.0)), 1000.0);
+  EXPECT_DOUBLE_EQ(gbs(6.0), 6e9);
+  EXPECT_DOUBLE_EQ(to_nanos(nanos(7.0)), 7.0);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(micros(3), [&] { order.push_back(3); });
+  sim.schedule(micros(1), [&] { order.push_back(1); });
+  sim.schedule(micros(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), micros(3));
+}
+
+TEST(EventQueue, TieBrokenByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(micros(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NestedSchedulingAdvancesTime) {
+  Simulation sim;
+  Time inner_time = -1;
+  sim.schedule(micros(1), [&] {
+    sim.schedule(micros(1), [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(inner_time, micros(2));
+}
+
+TEST(EventQueue, CancelledEventDoesNotFire) {
+  Simulation sim;
+  bool fired = false;
+  EventToken tok = sim.schedule_cancellable(micros(1), [&] { fired = true; });
+  EXPECT_TRUE(tok.pending());
+  tok.cancel();
+  EXPECT_FALSE(tok.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CountsProcessedEvents) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(micros(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+Proc<void> sleeper(Simulation& sim, Dur d, bool& done) {
+  co_await sim.delay(d);
+  done = true;
+}
+
+TEST(Process, DelayAdvancesClock) {
+  Simulation sim;
+  bool done = false;
+  sim.spawn(sleeper(sim, micros(7), done), "sleeper");
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now(), micros(7));
+}
+
+Proc<int> add_later(Simulation& sim, int a, int b) {
+  co_await sim.delay(micros(1));
+  co_return a + b;
+}
+
+Proc<void> parent(Simulation& sim, int& out) {
+  out = co_await add_later(sim, 20, 22);
+}
+
+TEST(Process, ChildCoroutineReturnsValue) {
+  Simulation sim;
+  int out = 0;
+  sim.spawn(parent(sim, out), "parent");
+  sim.run();
+  EXPECT_EQ(out, 42);
+}
+
+Proc<void> deep(Simulation& sim, int depth, int& counter) {
+  if (depth > 0) {
+    co_await sim.delay(nanos(1));
+    co_await deep(sim, depth - 1, counter);
+  }
+  ++counter;
+}
+
+TEST(Process, DeeplyNestedChildren) {
+  Simulation sim;
+  int counter = 0;
+  sim.spawn(deep(sim, 200, counter), "deep");
+  sim.run();
+  EXPECT_EQ(counter, 201);
+}
+
+TEST(Process, JoinWaitsForCompletion) {
+  Simulation sim;
+  bool done = false;
+  JoinHandle h = sim.spawn(sleeper(sim, micros(5), done), "sleeper");
+  bool join_saw_done = false;
+  auto joiner = [&](JoinHandle jh) -> Proc<void> {
+    co_await jh.join();
+    join_saw_done = done;
+  };
+  sim.spawn(joiner(h), "joiner");
+  sim.run();
+  EXPECT_TRUE(join_saw_done);
+  EXPECT_TRUE(h.done());
+}
+
+TEST(Process, JoinAfterCompletionReturnsImmediately) {
+  Simulation sim;
+  bool done = false;
+  JoinHandle h = sim.spawn(sleeper(sim, micros(1), done), "sleeper");
+  Time join_time = -1;
+  auto late_joiner = [&]() -> Proc<void> {
+    co_await sim.delay(micros(10));
+    co_await h.join();
+    join_time = sim.now();
+  };
+  sim.spawn(late_joiner(), "late");
+  sim.run();
+  EXPECT_DOUBLE_EQ(join_time, micros(10));
+}
+
+Proc<void> thrower(Simulation& sim) {
+  co_await sim.delay(micros(1));
+  throw std::runtime_error("boom");
+}
+
+TEST(Process, ExceptionPropagatesToJoin) {
+  Simulation sim;
+  JoinHandle h = sim.spawn(thrower(sim), "thrower");
+  bool caught = false;
+  auto joiner = [&]() -> Proc<void> {
+    try {
+      co_await h.join();
+    } catch (const std::runtime_error& e) {
+      caught = std::string(e.what()) == "boom";
+    }
+  };
+  sim.spawn(joiner(), "joiner");
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Process, UnjoinedExceptionSurfacesFromRun) {
+  Simulation sim;
+  sim.spawn(thrower(sim), "thrower");
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Proc<void> await_thrower(Simulation& sim, bool& caught) {
+  try {
+    co_await thrower(sim);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Process, ExceptionPropagatesThroughAwait) {
+  Simulation sim;
+  bool caught = false;
+  sim.spawn(await_thrower(sim, caught), "awaiter");
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Trigger, NotifyWakesAllWaiters) {
+  Simulation sim;
+  Trigger trig(sim);
+  int woken = 0;
+  auto waiter = [&]() -> Proc<void> {
+    co_await trig.wait();
+    ++woken;
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(waiter(), "waiter");
+  sim.schedule(micros(2), [&] { trig.notify_all(); });
+  sim.run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(Trigger, WaitUntilChecksPredicate) {
+  Simulation sim;
+  Trigger trig(sim);
+  int value = 0;
+  Time done_at = -1;
+  auto waiter = [&]() -> Proc<void> {
+    co_await wait_until(trig, [&] { return value >= 3; });
+    done_at = sim.now();
+  };
+  sim.spawn(waiter(), "waiter");
+  for (int i = 1; i <= 3; ++i) {
+    sim.schedule(micros(i), [&] {
+      ++value;
+      trig.notify_all();
+    });
+  }
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, micros(3));
+}
+
+TEST(Deadlock, DetectedWhenWaiterCanNeverWake) {
+  Simulation sim;
+  Trigger trig(sim);
+  auto waiter = [&]() -> Proc<void> { co_await trig.wait(); };
+  sim.spawn(waiter(), "stuck-waiter");
+  EXPECT_THROW(sim.run(), DeadlockError);
+}
+
+TEST(Deadlock, DaemonsAreExempt) {
+  Simulation sim;
+  Trigger trig(sim);
+  auto waiter = [&]() -> Proc<void> { co_await trig.wait(); };
+  sim.spawn(waiter(), "daemon-waiter", /*daemon=*/true);
+  EXPECT_NO_THROW(sim.run());
+}
+
+TEST(Deadlock, MessageNamesStuckProcess) {
+  Simulation sim;
+  Trigger trig(sim);
+  auto waiter = [&]() -> Proc<void> { co_await trig.wait(); };
+  sim.spawn(waiter(), "rank-42");
+  try {
+    sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank-42"), std::string::npos);
+  }
+}
+
+TEST(RunUntil, StopsAtRequestedTime) {
+  Simulation sim;
+  bool done = false;
+  sim.spawn(sleeper(sim, micros(100), done), "sleeper");
+  sim.run_until(micros(50));
+  EXPECT_FALSE(done);
+  EXPECT_DOUBLE_EQ(sim.now(), micros(50));
+  sim.run_until(micros(200));
+  EXPECT_TRUE(done);
+}
+
+TEST(Mailbox, PopWaitsForPush) {
+  Simulation sim;
+  Mailbox<int> mb(sim);
+  int got = 0;
+  Time got_at = -1;
+  auto rx = [&]() -> Proc<void> {
+    got = co_await mb.pop();
+    got_at = sim.now();
+  };
+  sim.spawn(rx(), "rx");
+  sim.schedule(micros(4), [&] { mb.push(99); });
+  sim.run();
+  EXPECT_EQ(got, 99);
+  EXPECT_DOUBLE_EQ(got_at, micros(4));
+}
+
+TEST(Mailbox, PreservesFifoOrder) {
+  Simulation sim;
+  Mailbox<int> mb(sim);
+  std::vector<int> got;
+  auto rx = [&]() -> Proc<void> {
+    for (int i = 0; i < 5; ++i) got.push_back(co_await mb.pop());
+  };
+  sim.spawn(rx(), "rx");
+  for (int i = 0; i < 5; ++i) mb.push(i);
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, DeliversAfterLatencyPlusSerialization) {
+  Simulation sim;
+  Channel<int> ch(sim, micros(2), gbs(1.0));  // 1 GB/s, 2us latency
+  Time got_at = -1;
+  auto rx = [&]() -> Proc<void> {
+    (void)co_await ch.rx().pop();
+    got_at = sim.now();
+  };
+  sim.spawn(rx(), "rx");
+  ch.send(7, 1000.0);  // 1000 B at 1 GB/s = 1us
+  sim.run();
+  EXPECT_NEAR(got_at, micros(3), nanos(1));
+}
+
+TEST(Channel, BackToBackMessagesSerialize) {
+  Simulation sim;
+  Channel<int> ch(sim, micros(2), gbs(1.0));
+  std::vector<Time> arrivals;
+  auto rx = [&]() -> Proc<void> {
+    for (int i = 0; i < 2; ++i) {
+      (void)co_await ch.rx().pop();
+      arrivals.push_back(sim.now());
+    }
+  };
+  sim.spawn(rx(), "rx");
+  ch.send(1, 1000.0);
+  ch.send(2, 1000.0);
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], micros(3), nanos(1));
+  EXPECT_NEAR(arrivals[1], micros(4), nanos(1));  // +1us serialization
+}
+
+TEST(Channel, RateCapSlowsSingleMessage) {
+  Simulation sim;
+  Channel<int> ch(sim, 0.0, gbs(10.0));
+  Time got_at = -1;
+  auto rx = [&]() -> Proc<void> {
+    (void)co_await ch.rx().pop();
+    got_at = sim.now();
+  };
+  sim.spawn(rx(), "rx");
+  ch.send(1, 1e6, gbs(1.0));  // capped at 1 GB/s: 1 MB -> 1 ms
+  sim.run();
+  EXPECT_NEAR(got_at, millis(1), nanos(10));
+}
+
+TEST(Channel, OrderPreservedAcrossSizes) {
+  Simulation sim;
+  Channel<int> ch(sim, micros(1), gbs(1.0));
+  std::vector<int> got;
+  auto rx = [&]() -> Proc<void> {
+    for (int i = 0; i < 3; ++i) got.push_back(co_await ch.rx().pop());
+  };
+  sim.spawn(rx(), "rx");
+  ch.send(1, 1e6);  // large first
+  ch.send(2, 10.0);
+  ch.send(3, 10.0);
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTimestamps) {
+  auto run_once = [] {
+    Simulation sim;
+    Trigger trig(sim);
+    Mailbox<int> mb(sim);
+    std::vector<double> stamps;
+    auto producer = [&]() -> Proc<void> {
+      Rng rng(123);
+      for (int i = 0; i < 50; ++i) {
+        co_await sim.delay(micros(rng.uniform(0.1, 2.0)));
+        mb.push(i);
+      }
+    };
+    auto consumer = [&]() -> Proc<void> {
+      for (int i = 0; i < 50; ++i) {
+        (void)co_await mb.pop();
+        stamps.push_back(sim.now());
+      }
+    };
+    sim.spawn(producer(), "prod");
+    sim.spawn(consumer(), "cons");
+    sim.run();
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Rng, DeterministicAndRoughlyUniform) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng r(7);
+  double acc = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = r.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    acc += x;
+  }
+  EXPECT_NEAR(acc / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(9);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(2, 6);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 6);
+    seen[static_cast<size_t>(v - 2)]++;
+  }
+  for (int c : seen) EXPECT_GT(c, 100);
+}
+
+TEST(Stats, MedianAndPercentiles) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(Stats, MedianCiBracketsMedian) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);
+  auto ci = median_ci95(v);
+  EXPECT_LE(ci.lo, 51.0);
+  EXPECT_GE(ci.hi, 51.0);
+  EXPECT_LT(ci.lo, ci.hi);
+}
+
+}  // namespace
+}  // namespace dcuda::sim

@@ -1,0 +1,222 @@
+// Parameterized end-to-end sweeps: every mini-application validated across
+// node counts, ranks-per-device and iteration counts, plus protocol
+// boundary cases (eager limit, staging threshold, device communicator).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/particles.h"
+#include "apps/spmv.h"
+#include "apps/stencil.h"
+#include "cluster/cluster.h"
+
+namespace dcuda {
+namespace {
+
+using sim::Proc;
+
+sim::MachineConfig machine(int nodes) {
+  sim::MachineConfig m;
+  m.num_nodes = nodes;
+  return m;
+}
+
+// ----------------------------------------------------------- stencil ------
+
+class StencilSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(StencilSweep, MatchesReference) {
+  const auto [nodes, rpd, iterations, use_dcuda] = GetParam();
+  apps::stencil::Config cfg;
+  cfg.isize = 8;
+  cfg.jlocal = 2;
+  cfg.ksize = 2;
+  cfg.iterations = iterations;
+  Cluster c(machine(nodes), rpd);
+  const auto r = use_dcuda ? apps::stencil::run_dcuda(c, cfg)
+                           : apps::stencil::run_mpi_cuda(c, cfg);
+  EXPECT_NEAR(r.checksum, apps::stencil::reference_checksum(cfg, nodes, rpd), 1e-9)
+      << "nodes=" << nodes << " rpd=" << rpd << " it=" << iterations;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, StencilSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3),
+                                            ::testing::Values(1, 2, 6),
+                                            ::testing::Bool()));
+
+// ---------------------------------------------------------- particles -----
+
+class ParticlesSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(ParticlesSweep, MatchesReference) {
+  const auto [nodes, cells, use_dcuda] = GetParam();
+  apps::particles::Config cfg;
+  cfg.cells_per_node = cells;
+  cfg.particles_per_cell = 8;
+  cfg.iterations = 8;
+  cfg.dt = 0.02;
+  Cluster c(machine(nodes), cells);
+  const auto r = use_dcuda ? apps::particles::run_dcuda(c, cfg)
+                           : apps::particles::run_mpi_cuda(c, cfg);
+  const auto ref = apps::particles::reference(cfg, nodes);
+  EXPECT_EQ(r.total_particles, ref.total_particles);
+  EXPECT_NEAR(r.checksum, ref.checksum, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, ParticlesSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(2, 5),
+                                            ::testing::Bool()));
+
+TEST(ParticlesReducedCutoff, StillMatchesReference) {
+  // The Fig. 9 configuration: cutoff well below the cell width.
+  apps::particles::Config cfg;
+  cfg.cells_per_node = 3;
+  cfg.particles_per_cell = 10;
+  cfg.iterations = 10;
+  cfg.cutoff = 0.25;
+  Cluster c(machine(2), 3);
+  const auto r = apps::particles::run_dcuda(c, cfg);
+  const auto ref = apps::particles::reference(cfg, 2);
+  EXPECT_EQ(r.total_particles, ref.total_particles);
+  EXPECT_NEAR(r.checksum, ref.checksum, 1e-9);
+}
+
+// --------------------------------------------------------------- spmv -----
+
+class SpmvSweep : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(SpmvSweep, MatchesReference) {
+  const auto [nodes, rpd, use_dcuda] = GetParam();
+  apps::spmv::Config cfg;
+  cfg.n_dev = rpd * 6;
+  cfg.density = 0.1;
+  cfg.iterations = 2;
+  Cluster c(machine(nodes), rpd);
+  const auto r = use_dcuda ? apps::spmv::run_dcuda(c, cfg)
+                           : apps::spmv::run_mpi_cuda(c, cfg);
+  const double ref = apps::spmv::reference_checksum(cfg, nodes);
+  EXPECT_NEAR(r.checksum, ref, 1e-9 * (std::abs(ref) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, SpmvSweep,
+                         ::testing::Combine(::testing::Values(1, 4, 9),
+                                            ::testing::Values(1, 4),
+                                            ::testing::Bool()));
+
+// -------------------------------------------------- protocol boundaries ---
+
+class EagerBoundary : public ::testing::TestWithParam<int> {};
+
+TEST_P(EagerBoundary, PutSizesAroundEagerLimit) {
+  // Put payloads straddling the MPI eager limit (8 kB): -1, exact, +1.
+  const int delta = GetParam();
+  const std::size_t bytes = 8 * 1024 + static_cast<std::size_t>(delta);
+  Cluster c(machine(2), 1);
+  auto src = c.device(0).alloc<std::byte>(bytes);
+  auto dst = c.device(1).alloc<std::byte>(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) src[i] = static_cast<std::byte>(i * 13);
+  c.run([&](Context& ctx) -> Proc<void> {
+    auto mine = ctx.world_rank == 0 ? src : dst;
+    Window w = co_await win_create(ctx, kCommWorld, mine);
+    if (ctx.world_rank == 0) {
+      co_await put_notify(ctx, w, 1, 0, bytes, src.data(), 0);
+    } else {
+      co_await wait_notifications(ctx, w, 0, 0, 1);
+      EXPECT_EQ(dst[bytes - 1], static_cast<std::byte>((bytes - 1) * 13));
+    }
+    co_await win_free(ctx, w);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundLimit, EagerBoundary, ::testing::Values(-1, 0, 1, 4096));
+
+class StagingBoundary : public ::testing::TestWithParam<int> {};
+
+TEST_P(StagingBoundary, PutSizesAroundStagingThreshold) {
+  const int delta = GetParam();
+  const std::size_t bytes = 20 * 1024 + static_cast<std::size_t>(delta);
+  Cluster c(machine(2), 1);
+  auto src = c.device(0).alloc<std::byte>(bytes);
+  auto dst = c.device(1).alloc<std::byte>(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) src[i] = static_cast<std::byte>(i * 7);
+  c.run([&](Context& ctx) -> Proc<void> {
+    auto mine = ctx.world_rank == 0 ? src : dst;
+    Window w = co_await win_create(ctx, kCommWorld, mine);
+    if (ctx.world_rank == 0) {
+      co_await put_notify(ctx, w, 1, 0, bytes, src.data(), 0);
+    } else {
+      co_await wait_notifications(ctx, w, 0, 0, 1);
+      co_await flush(ctx);
+      EXPECT_EQ(dst[0], static_cast<std::byte>(0));
+      EXPECT_EQ(dst[bytes - 1], static_cast<std::byte>((bytes - 1) * 7));
+    }
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundThreshold, StagingBoundary,
+                         ::testing::Values(-1, 0, 1, 100 * 1024));
+
+// ------------------------------------------------- device communicator ----
+
+TEST(DeviceComm, WindowsAndBarriersStayLocal) {
+  Cluster c(machine(2), 3);
+  auto m0 = c.device(0).alloc<double>(32);
+  auto m1 = c.device(1).alloc<double>(32);
+  c.run([&](Context& ctx) -> Proc<void> {
+    auto mem = ctx.node->node() == 0 ? m0 : m1;
+    // Device-communicator window: collective over this device's ranks only.
+    Window w = co_await win_create(ctx, kCommDevice, mem);
+    const int dr = comm_rank(ctx, kCommDevice);
+    const int ds = comm_size(ctx, kCommDevice);
+    EXPECT_EQ(ds, 3);
+    // Ring of notified puts within the device (world-rank addressing).
+    const int base = ctx.node->node() * 3;
+    const int peer = base + (dr + 1) % ds;
+    double v = 100.0 * ctx.node->node() + dr;
+    co_await put_notify(ctx, w, peer, static_cast<size_t>(dr) * sizeof(double),
+                        sizeof(double), &v, 1);
+    co_await wait_notifications(ctx, w, kAnySource, 1, 1);
+    co_await barrier(ctx, kCommDevice);
+    co_await win_free(ctx, w);
+  });
+  // Each device saw only its own ranks' values.
+  EXPECT_DOUBLE_EQ(m0[0], 0.0);
+  EXPECT_DOUBLE_EQ(m1[1], 101.0);
+}
+
+// --------------------------------------------------------- gpu sweeps -----
+
+class OccupancySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OccupancySweep, FormulaMatchesLimits) {
+  const auto [threads, regs] = GetParam();
+  sim::Simulation s;
+  gpu::Device dev(s, 0, sim::DeviceConfig{});
+  const int per_sm = dev.occupancy_blocks_per_sm(gpu::LaunchConfig{1, threads, regs});
+  const auto& c = dev.config();
+  if (per_sm > 0) {
+    EXPECT_LE(per_sm * threads, c.max_threads_per_sm);
+    EXPECT_LE(per_sm * threads * regs, c.regs_per_sm);
+    EXPECT_LE(per_sm, c.max_blocks_per_sm);
+    // One more block would violate a limit (unless the block cap binds).
+    if (per_sm < c.max_blocks_per_sm) {
+      EXPECT_TRUE((per_sm + 1) * threads > c.max_threads_per_sm ||
+                  (per_sm + 1) * threads * regs > c.regs_per_sm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, OccupancySweep,
+                         ::testing::Combine(::testing::Values(32, 128, 256, 1024),
+                                            ::testing::Values(16, 26, 64, 128)));
+
+}  // namespace
+}  // namespace dcuda
