@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_klayers.dir/ablation_klayers.cpp.o"
+  "CMakeFiles/ablation_klayers.dir/ablation_klayers.cpp.o.d"
+  "ablation_klayers"
+  "ablation_klayers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_klayers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

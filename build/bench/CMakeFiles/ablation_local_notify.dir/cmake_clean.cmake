@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_notify.dir/ablation_local_notify.cpp.o"
+  "CMakeFiles/ablation_local_notify.dir/ablation_local_notify.cpp.o.d"
+  "ablation_local_notify"
+  "ablation_local_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

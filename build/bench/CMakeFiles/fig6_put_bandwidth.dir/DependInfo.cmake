@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_put_bandwidth.cpp" "bench/CMakeFiles/fig6_put_bandwidth.dir/fig6_put_bandwidth.cpp.o" "gcc" "bench/CMakeFiles/fig6_put_bandwidth.dir/fig6_put_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dcuda_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dcuda_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcuda/CMakeFiles/dcuda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dcuda_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/dcuda_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/dcuda_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcuda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/dcuda_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/dcuda_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcuda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

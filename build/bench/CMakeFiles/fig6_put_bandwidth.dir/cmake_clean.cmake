@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_put_bandwidth.dir/fig6_put_bandwidth.cpp.o"
+  "CMakeFiles/fig6_put_bandwidth.dir/fig6_put_bandwidth.cpp.o.d"
+  "fig6_put_bandwidth"
+  "fig6_put_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_put_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overlap_compute.dir/fig7_overlap_compute.cpp.o"
+  "CMakeFiles/fig7_overlap_compute.dir/fig7_overlap_compute.cpp.o.d"
+  "fig7_overlap_compute"
+  "fig7_overlap_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overlap_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

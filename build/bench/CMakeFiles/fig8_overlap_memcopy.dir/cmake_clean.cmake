@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_overlap_memcopy.dir/fig8_overlap_memcopy.cpp.o"
+  "CMakeFiles/fig8_overlap_memcopy.dir/fig8_overlap_memcopy.cpp.o.d"
+  "fig8_overlap_memcopy"
+  "fig8_overlap_memcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_overlap_memcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_particles_scaling.dir/fig9_particles_scaling.cpp.o"
+  "CMakeFiles/fig9_particles_scaling.dir/fig9_particles_scaling.cpp.o.d"
+  "fig9_particles_scaling"
+  "fig9_particles_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_particles_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

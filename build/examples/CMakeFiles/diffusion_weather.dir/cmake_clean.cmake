@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_weather.dir/diffusion_weather.cpp.o"
+  "CMakeFiles/diffusion_weather.dir/diffusion_weather.cpp.o.d"
+  "diffusion_weather"
+  "diffusion_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

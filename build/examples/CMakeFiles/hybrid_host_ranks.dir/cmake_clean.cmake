@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_host_ranks.dir/hybrid_host_ranks.cpp.o"
+  "CMakeFiles/hybrid_host_ranks.dir/hybrid_host_ranks.cpp.o.d"
+  "hybrid_host_ranks"
+  "hybrid_host_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_host_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

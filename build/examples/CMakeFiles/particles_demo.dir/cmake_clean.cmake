@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particles_demo.dir/particles_demo.cpp.o"
+  "CMakeFiles/particles_demo.dir/particles_demo.cpp.o.d"
+  "particles_demo"
+  "particles_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particles_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_method.dir/power_method.cpp.o"
+  "CMakeFiles/power_method.dir/power_method.cpp.o.d"
+  "power_method"
+  "power_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

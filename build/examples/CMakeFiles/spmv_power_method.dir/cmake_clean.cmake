@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_power_method.dir/spmv_power_method.cpp.o"
+  "CMakeFiles/spmv_power_method.dir/spmv_power_method.cpp.o.d"
+  "spmv_power_method"
+  "spmv_power_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_power_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_apps.dir/particles.cc.o"
+  "CMakeFiles/dcuda_apps.dir/particles.cc.o.d"
+  "CMakeFiles/dcuda_apps.dir/spmv.cc.o"
+  "CMakeFiles/dcuda_apps.dir/spmv.cc.o.d"
+  "CMakeFiles/dcuda_apps.dir/stencil.cc.o"
+  "CMakeFiles/dcuda_apps.dir/stencil.cc.o.d"
+  "libdcuda_apps.a"
+  "libdcuda_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_cluster.dir/cluster.cc.o"
+  "CMakeFiles/dcuda_cluster.dir/cluster.cc.o.d"
+  "libdcuda_cluster.a"
+  "libdcuda_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

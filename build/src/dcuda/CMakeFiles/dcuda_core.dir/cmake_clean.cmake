@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_core.dir/collectives.cc.o"
+  "CMakeFiles/dcuda_core.dir/collectives.cc.o.d"
+  "CMakeFiles/dcuda_core.dir/dcuda.cc.o"
+  "CMakeFiles/dcuda_core.dir/dcuda.cc.o.d"
+  "libdcuda_core.a"
+  "libdcuda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

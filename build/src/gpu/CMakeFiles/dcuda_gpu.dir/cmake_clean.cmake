@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_gpu.dir/device.cc.o"
+  "CMakeFiles/dcuda_gpu.dir/device.cc.o.d"
+  "libdcuda_gpu.a"
+  "libdcuda_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/mpi.cc" "src/mpi/CMakeFiles/dcuda_mpi.dir/mpi.cc.o" "gcc" "src/mpi/CMakeFiles/dcuda_mpi.dir/mpi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcuda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcuda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/dcuda_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/dcuda_pcie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_mpi.dir/mpi.cc.o"
+  "CMakeFiles/dcuda_mpi.dir/mpi.cc.o.d"
+  "libdcuda_mpi.a"
+  "libdcuda_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

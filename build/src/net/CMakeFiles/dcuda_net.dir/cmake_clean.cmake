@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_net.dir/fabric.cc.o"
+  "CMakeFiles/dcuda_net.dir/fabric.cc.o.d"
+  "libdcuda_net.a"
+  "libdcuda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

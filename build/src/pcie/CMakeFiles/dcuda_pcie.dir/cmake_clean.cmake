@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_pcie.dir/pcie.cc.o"
+  "CMakeFiles/dcuda_pcie.dir/pcie.cc.o.d"
+  "libdcuda_pcie.a"
+  "libdcuda_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

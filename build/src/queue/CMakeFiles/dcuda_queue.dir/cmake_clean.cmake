@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_queue.dir/circular_queue.cc.o"
+  "CMakeFiles/dcuda_queue.dir/circular_queue.cc.o.d"
+  "libdcuda_queue.a"
+  "libdcuda_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_runtime.dir/node_runtime.cc.o"
+  "CMakeFiles/dcuda_runtime.dir/node_runtime.cc.o.d"
+  "libdcuda_runtime.a"
+  "libdcuda_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_sim.dir/resource.cc.o"
+  "CMakeFiles/dcuda_sim.dir/resource.cc.o.d"
+  "CMakeFiles/dcuda_sim.dir/simulation.cc.o"
+  "CMakeFiles/dcuda_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/dcuda_sim.dir/trace.cc.o"
+  "CMakeFiles/dcuda_sim.dir/trace.cc.o.d"
+  "libdcuda_sim.a"
+  "libdcuda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

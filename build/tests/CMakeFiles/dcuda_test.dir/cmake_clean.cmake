@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcuda_test.dir/dcuda_test.cpp.o"
+  "CMakeFiles/dcuda_test.dir/dcuda_test.cpp.o.d"
+  "dcuda_test"
+  "dcuda_test.pdb"
+  "dcuda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcuda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particles_test.dir/particles_test.cpp.o"
+  "CMakeFiles/particles_test.dir/particles_test.cpp.o.d"
+  "particles_test"
+  "particles_test.pdb"
+  "particles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
