@@ -7,10 +7,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "sim/stats.h"
+#include "sim/trace_export.h"
 #include "sim/units.h"
 
 namespace dcuda::bench {
@@ -45,6 +49,81 @@ inline std::string fmt(double v, const char* f = "%.3f") {
   char buf[64];
   std::snprintf(buf, sizeof(buf), f, v);
   return buf;
+}
+
+// Formats a distribution as p50/p90/p99/max cells. Takes a sorted-once
+// sim::Summary so repeated percentile queries don't re-sort the samples.
+inline std::vector<std::string> pct_cells(const sim::Summary& s,
+                                          const char* f = "%.3f") {
+  return {fmt(s.percentile(0.50), f), fmt(s.percentile(0.90), f),
+          fmt(s.percentile(0.99), f), fmt(s.max(), f)};
+}
+
+// -- Trace export (--trace / --summary) --------------------------------
+//
+// Every fig* benchmark accepts
+//   --trace out.json   write a Chrome trace_event file (Perfetto-loadable)
+//   --summary          print a per-variant metric table (overlap %, wait
+//                      histogram, counters) after the figure's series
+// Benchmarks register one tracer snapshot per variant via trace_add(); the
+// exporter gives each variant its own process group in the trace so e.g.
+// MPI-CUDA and dCUDA lanes sit side by side (docs/OBSERVABILITY.md).
+class TraceSink {
+ public:
+  // Consumes --trace FILE and --summary; leaves other args untouched.
+  void parse_args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--trace" && i + 1 < argc) {
+        path_ = argv[++i];
+      } else if (a == "--summary") {
+        summary_ = true;
+      }
+    }
+  }
+
+  // True when a benchmark should run with tracing enabled.
+  bool enabled() const { return !path_.empty() || summary_; }
+
+  // Snapshot a variant's tracer (copied: the Cluster that owns it usually
+  // dies before export).
+  void add(std::string label, const sim::Tracer& t) {
+    snaps_.emplace_back(std::move(label), t);
+  }
+
+  // Writes the merged Chrome trace and/or prints the metric tables.
+  void finish() {
+    if (!enabled() || snaps_.empty()) return;
+    if (summary_) {
+      for (const auto& [label, tracer] : snaps_) {
+        std::printf("\n");
+        sim::write_summary(std::cout, tracer, label);
+      }
+    }
+    if (!path_.empty()) {
+      std::vector<sim::TracerGroup> groups;
+      groups.reserve(snaps_.size());
+      for (const auto& [label, tracer] : snaps_) {
+        groups.push_back(sim::TracerGroup{&tracer, label});
+      }
+      if (sim::export_chrome_file(path_, groups)) {
+        std::fprintf(stderr, "wrote %s (load at https://ui.perfetto.dev)\n",
+                     path_.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+      }
+    }
+  }
+
+ private:
+  std::string path_;
+  bool summary_ = false;
+  std::vector<std::pair<std::string, sim::Tracer>> snaps_;
+};
+
+inline TraceSink& trace_sink() {
+  static TraceSink sink;
+  return sink;
 }
 
 }  // namespace dcuda::bench

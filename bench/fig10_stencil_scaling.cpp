@@ -9,22 +9,30 @@
 #include "apps/stencil.h"
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcuda;
+  bench::trace_sink().parse_args(argc, argv);
   bench::header("Figure 10", "weak scaling of the stencil program");
   apps::stencil::Config cfg;
   cfg.iterations = bench::iterations(20);
   const double scale = 100.0 / cfg.iterations;
   bench::row({"nodes", "dcuda_ms", "mpi_cuda_ms", "halo_exchange_ms"});
   for (int nodes : {1, 2, 3, 4, 6, 8}) {
+    // Trace the largest run: dCUDA's fully hidden halo exchange vs the
+    // MPI-CUDA serialization is the paper's headline claim.
+    const bool trace = nodes == 8 && bench::trace_sink().enabled();
     apps::stencil::Result d, m, h;
     {
       Cluster c(bench::machine(nodes));
+      if (trace) c.tracer().enable();
       d = apps::stencil::run_dcuda(c, cfg);
+      if (trace) bench::trace_sink().add("dCUDA 8 nodes", c.tracer());
     }
     {
       Cluster c(bench::machine(nodes));
+      if (trace) c.tracer().enable();
       m = apps::stencil::run_mpi_cuda(c, cfg);
+      if (trace) bench::trace_sink().add("MPI-CUDA 8 nodes", c.tracer());
     }
     {
       apps::stencil::Config hx = cfg;
@@ -36,5 +44,6 @@ int main() {
                 bench::fmt(sim::to_millis(m.elapsed) * scale),
                 bench::fmt(sim::to_millis(h.elapsed) * scale)});
   }
+  bench::trace_sink().finish();
   return 0;
 }

@@ -10,22 +10,30 @@
 #include "apps/spmv.h"
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcuda;
+  bench::trace_sink().parse_args(argc, argv);
   bench::header("Figure 11", "weak scaling of the sparse matrix-vector example");
   apps::spmv::Config cfg;
   cfg.iterations = bench::iterations(20);
   const double scale = 100.0 / cfg.iterations;
   bench::row({"nodes", "dcuda_ms", "mpi_cuda_ms", "communication_ms"});
   for (int nodes : {1, 4, 9}) {
+    // Trace the largest run: the per-iteration barrier should leave both
+    // variants with visibly serialized communication.
+    const bool trace = nodes == 9 && bench::trace_sink().enabled();
     apps::spmv::Result d, m, h;
     {
       Cluster c(bench::machine(nodes));
+      if (trace) c.tracer().enable();
       d = apps::spmv::run_dcuda(c, cfg);
+      if (trace) bench::trace_sink().add("dCUDA 9 nodes", c.tracer());
     }
     {
       Cluster c(bench::machine(nodes));
+      if (trace) c.tracer().enable();
       m = apps::spmv::run_mpi_cuda(c, cfg);
+      if (trace) bench::trace_sink().add("MPI-CUDA 9 nodes", c.tracer());
     }
     {
       apps::spmv::Config hx = cfg;
@@ -37,5 +45,6 @@ int main() {
                 bench::fmt(sim::to_millis(m.elapsed) * scale),
                 bench::fmt(sim::to_millis(h.elapsed) * scale)});
   }
+  bench::trace_sink().finish();
   return 0;
 }

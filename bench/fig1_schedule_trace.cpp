@@ -35,14 +35,17 @@ void run_variant(bool use_dcuda) {
   std::printf("\n== %s ==  (c compute, m memory, w wait, . idle)\n",
               use_dcuda ? "dCUDA" : "MPI-CUDA (traditional)");
   c.tracer().render_ascii(std::cout, 100);
+  bench::trace_sink().add(use_dcuda ? "dCUDA" : "MPI-CUDA", c.tracer());
 }
 
 }  // namespace
 }  // namespace dcuda
 
-int main() {
+int main(int argc, char** argv) {
+  dcuda::bench::trace_sink().parse_args(argc, argv);
   dcuda::bench::header("Figure 1", "block scheduling for MPI-CUDA and dCUDA");
   dcuda::run_variant(false);
   dcuda::run_variant(true);
+  dcuda::bench::trace_sink().finish();
   return 0;
 }

@@ -18,9 +18,11 @@ struct PingPong {
 // Ping-pong between rank 0 and the last rank: same device when nodes == 1,
 // network otherwise. Setup cost is removed by subtracting a zero-iteration
 // run (the paper's methodology).
-PingPong pingpong(int nodes, std::size_t bytes, int iters) {
-  auto run_once = [&](int iterations) {
+PingPong pingpong(int nodes, std::size_t bytes, int iters,
+                  const char* trace_label = nullptr) {
+  auto run_once = [&](int iterations, bool trace) {
     Cluster c(bench::machine(nodes), nodes == 1 ? 2 : 1);
+    if (trace) c.tracer().enable();
     auto m0 = c.device(0).alloc<std::byte>(bytes + 1);
     auto m1 = c.device(nodes - 1).alloc<std::byte>(bytes + 1);
     c.run([&, iterations](Context& ctx) -> sim::Proc<void> {
@@ -38,10 +40,12 @@ PingPong pingpong(int nodes, std::size_t bytes, int iters) {
       }
       co_await win_free(ctx, w);
     });
+    if (c.tracer().enabled()) bench::trace_sink().add(trace_label, c.tracer());
     return c.sim().now();
   };
-  const double setup = run_once(0);
-  const double total = run_once(iters) - setup;
+  const bool trace = trace_label != nullptr && bench::trace_sink().enabled();
+  const double setup = run_once(0, false);
+  const double total = run_once(iters, trace) - setup;
   PingPong r;
   r.latency_us = sim::to_micros(total / (2.0 * iters));
   r.bandwidth_mbs = static_cast<double>(bytes) / (total / (2.0 * iters)) / sim::kMBs;
@@ -51,8 +55,9 @@ PingPong pingpong(int nodes, std::size_t bytes, int iters) {
 }  // namespace
 }  // namespace dcuda
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcuda;
+  bench::trace_sink().parse_args(argc, argv);
   bench::header("Figure 6", "put-bandwidth of shared and distributed memory ranks");
   const int iters = bench::iterations(50);
 
@@ -63,10 +68,14 @@ int main() {
 
   bench::row({"packet_kb", "distributed_MB/s", "shared_MB/s"});
   for (std::size_t kb : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}) {
-    const PingPong di = pingpong(2, kb * 1024, iters);
-    const PingPong sh = pingpong(1, kb * 1024, iters);
+    // Trace the 1 MB point — deep in the bandwidth plateau for both series.
+    const bool rep = kb == 1024;
+    const PingPong di =
+        pingpong(2, kb * 1024, iters, rep ? "distributed 1MB" : nullptr);
+    const PingPong sh = pingpong(1, kb * 1024, iters, rep ? "shared 1MB" : nullptr);
     bench::row({bench::fmt(static_cast<double>(kb), "%.0f"),
                 bench::fmt(di.bandwidth_mbs, "%.1f"), bench::fmt(sh.bandwidth_mbs, "%.1f")});
   }
+  bench::trace_sink().finish();
   return 0;
 }

@@ -5,16 +5,21 @@
 
 #include "bench/overlap.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcuda;
+  bench::trace_sink().parse_args(argc, argv);
   bench::header("Figure 7", "overlap for square root calculation (Newton-Raphson)");
   const int rounds = bench::iterations(40);
   bench::row({"newton_iters_per_exchange", "compute_and_exchange_ms", "compute_only_ms",
               "halo_exchange_ms"});
   for (int units : {0, 1, 2, 4, 8, 16, 32}) {
-    auto p = bench::overlap_point(8, bench::Workload::kNewton, units, rounds);
+    // Trace the 8-units point: compute and exchange are comparable there, so
+    // the overlap story is clearest.
+    auto p = bench::overlap_point(8, bench::Workload::kNewton, units, rounds,
+                                  units == 8 ? "newton x8" : "");
     bench::row({bench::fmt(units, "%.0f"), bench::fmt(p.full_ms), bench::fmt(p.compute_ms),
                 bench::fmt(p.exchange_ms)});
   }
+  bench::trace_sink().finish();
   return 0;
 }

@@ -4,16 +4,19 @@
 
 #include "bench/overlap.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcuda;
+  bench::trace_sink().parse_args(argc, argv);
   bench::header("Figure 8", "overlap for memory-to-memory copy");
   const int rounds = bench::iterations(40);
   bench::row({"copy_iters_per_exchange", "compute_and_exchange_ms", "compute_only_ms",
               "halo_exchange_ms"});
   for (int units : {0, 1, 2, 4, 8, 16, 32}) {
-    auto p = bench::overlap_point(8, bench::Workload::kMemcopy, units, rounds);
+    auto p = bench::overlap_point(8, bench::Workload::kMemcopy, units, rounds,
+                                  units == 8 ? "memcopy x8" : "");
     bench::row({bench::fmt(units, "%.0f"), bench::fmt(p.full_ms), bench::fmt(p.compute_ms),
                 bench::fmt(p.exchange_ms)});
   }
+  bench::trace_sink().finish();
   return 0;
 }

@@ -10,8 +10,9 @@
 #include "apps/particles.h"
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcuda;
+  bench::trace_sink().parse_args(argc, argv);
   bench::header("Figure 9", "weak scaling of the particle simulation");
   apps::particles::Config cfg;
   cfg.iterations = bench::iterations(20);
@@ -23,14 +24,20 @@ int main() {
   const double scale = 100.0 / cfg.iterations;  // report per-100-iteration ms
   bench::row({"nodes", "dcuda_ms", "mpi_cuda_ms", "halo_exchange_ms"});
   for (int nodes : {1, 2, 3, 4, 6, 8}) {
+    // Trace the largest run: overlap (or its absence) is most visible there.
+    const bool trace = nodes == 8 && bench::trace_sink().enabled();
     apps::particles::Result d, m, h;
     {
       Cluster c(bench::machine(nodes), cfg.cells_per_node);
+      if (trace) c.tracer().enable();
       d = apps::particles::run_dcuda(c, cfg);
+      if (trace) bench::trace_sink().add("dCUDA 8 nodes", c.tracer());
     }
     {
       Cluster c(bench::machine(nodes), cfg.cells_per_node);
+      if (trace) c.tracer().enable();
       m = apps::particles::run_mpi_cuda(c, cfg);
+      if (trace) bench::trace_sink().add("MPI-CUDA 8 nodes", c.tracer());
     }
     {
       apps::particles::Config hx = cfg;
@@ -42,5 +49,6 @@ int main() {
                 bench::fmt(sim::to_millis(m.elapsed) * scale),
                 bench::fmt(sim::to_millis(h.elapsed) * scale)});
   }
+  bench::trace_sink().finish();
   return 0;
 }

@@ -32,8 +32,10 @@ inline sim::Proc<void> workload_unit(gpu::BlockCtx& blk, Workload w) {
 }
 
 inline double run_overlap(int nodes, Workload w, int units_per_exchange,
-                          bool compute, bool exchange, int rounds) {
+                          bool compute, bool exchange, int rounds,
+                          const char* trace_label = nullptr) {
   Cluster c(machine(nodes));
+  if (trace_label != nullptr && trace_sink().enabled()) c.tracer().enable();
   const int rpd = c.ranks_per_device();
   // Distinct halo buffers per rank so that intra-device puts move data too
   // (each exchange really transfers 1 kB per direction).
@@ -67,14 +69,25 @@ inline double run_overlap(int nodes, Workload w, int units_per_exchange,
     }
     co_await win_free(ctx, win);
   });
+  if (c.tracer().enabled()) trace_sink().add(trace_label, c.tracer());
   return sim::to_millis(elapsed);
 }
 
-inline OverlapPoint overlap_point(int nodes, Workload w, int units, int rounds) {
+// trace_prefix, when set, snapshots the three runs of this point for
+// --trace/--summary as "<prefix>/full", "<prefix>/compute", "<prefix>/exchange".
+inline OverlapPoint overlap_point(int nodes, Workload w, int units, int rounds,
+                                  const std::string& trace_prefix = {}) {
+  const bool tr = !trace_prefix.empty();
+  const std::string full = trace_prefix + "/full";
+  const std::string comp = trace_prefix + "/compute";
+  const std::string exch = trace_prefix + "/exchange";
   OverlapPoint p;
-  p.full_ms = run_overlap(nodes, w, units, true, true, rounds);
-  p.compute_ms = run_overlap(nodes, w, units, true, false, rounds);
-  p.exchange_ms = run_overlap(nodes, w, 0, false, true, rounds);
+  p.full_ms =
+      run_overlap(nodes, w, units, true, true, rounds, tr ? full.c_str() : nullptr);
+  p.compute_ms =
+      run_overlap(nodes, w, units, true, false, rounds, tr ? comp.c_str() : nullptr);
+  p.exchange_ms =
+      run_overlap(nodes, w, 0, false, true, rounds, tr ? exch.c_str() : nullptr);
   return p;
 }
 

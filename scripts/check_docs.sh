@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Docs/benchmark consistency check: every figure and ablation benchmark in
+# bench/ must have a "bench/<name>" entry in docs/FIGURES.md. Runs as a
+# tier-1 test (see tests/CMakeLists.txt); run manually from the repo root:
+#   scripts/check_docs.sh [repo-root]
+set -euo pipefail
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+FIGURES="$ROOT/docs/FIGURES.md"
+
+if [ ! -f "$FIGURES" ]; then
+  echo "FAIL: $FIGURES does not exist" >&2
+  exit 1
+fi
+
+missing=0
+for src in "$ROOT"/bench/fig*.cpp "$ROOT"/bench/ablation_*.cpp \
+           "$ROOT"/bench/micro_*.cpp; do
+  [ -f "$src" ] || continue
+  name="$(basename "$src" .cpp)"
+  if ! grep -q "bench/$name" "$FIGURES"; then
+    echo "FAIL: bench/$name has no entry in docs/FIGURES.md" >&2
+    missing=$((missing + 1))
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  echo "docs check failed: $missing undocumented benchmark(s)" >&2
+  echo "add the missing stories to docs/FIGURES.md" >&2
+  exit 1
+fi
+
+echo "docs check passed: every benchmark is documented in docs/FIGURES.md"

@@ -7,9 +7,11 @@ namespace dcuda {
 Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
     : cfg_(cfg), rpd_(ranks_per_device), host_ranks_(host_ranks) {
   fabric_ = std::make_unique<net::Fabric>(sim_, cfg_.num_nodes, cfg_.net);
+  fabric_->set_tracer(&tracer_);
   std::vector<gpu::Device*> dev_ptrs;
   for (int n = 0; n < cfg_.num_nodes; ++n) {
     pcie_.push_back(std::make_unique<pcie::PcieLink>(sim_, cfg_.pcie));
+    pcie_.back()->set_tracer(&tracer_, n);
     devices_.push_back(std::make_unique<gpu::Device>(sim_, n, cfg_.device,
                                                      pcie_.back().get(), &tracer_));
     dev_ptrs.push_back(devices_.back().get());

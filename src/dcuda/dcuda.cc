@@ -21,7 +21,15 @@ bool notification_matches(const rt::Notification& n, std::int32_t win_filter,
   return true;
 }
 
-// Core RMA issue path shared by put/get (notify optional).
+// Names an RMA issue span for the tracer.
+const char* rma_activity(rt::CmdKind kind, bool notify) {
+  if (kind == rt::CmdKind::kPut) return notify ? "put_notify" : "put";
+  return notify ? "get_notify" : "get";
+}
+
+// Core RMA issue path shared by put/get (notify optional). The traced span
+// covers device-side command assembly and queue submission — the wire and
+// PCIe time shows up on the fabric/pcie lanes instead.
 sim::Proc<void> issue_rma(Context& ctx, rt::CmdKind kind, Window win,
                           int target_rank, std::size_t offset, std::size_t bytes,
                           void* local_ptr, int tag, bool notify) {
@@ -29,6 +37,21 @@ sim::Proc<void> issue_rma(Context& ctx, rt::CmdKind kind, Window win,
   assert(target_rank >= 0 && target_rank < ctx.world_size);
   rt::NodeRuntime& node = *ctx.node;
   rt::RankState& rs = *ctx.rs;
+  sim::Tracer* tr = ctx.tracer();
+  const bool traced = tr != nullptr && tr->enabled();
+  const sim::Time issue_begin = traced ? ctx.sim().now() : 0.0;
+  const sim::Category cat =
+      kind == rt::CmdKind::kPut ? sim::Category::kPut : sim::Category::kGet;
+  const auto end_span = [&] {
+    if (!traced) return;
+    ctx.trace(rma_activity(kind, notify), cat, issue_begin, ctx.sim().now(),
+              static_cast<double>(bytes));
+    tr->bump(kind == rt::CmdKind::kPut ? "puts_issued" : "gets_issued");
+    tr->bump("rma_bytes", static_cast<double>(bytes));
+  };
+  const auto count_inflight = [&] {
+    if (traced) tr->counter_add(ctx.sim().now(), node.node(), "inflight_rma", 1.0);
+  };
   co_await charge_issue(ctx);
 
   const int rpn = node.ranks_per_node();
@@ -67,7 +90,10 @@ sim::Proc<void> issue_rma(Context& ctx, rt::CmdKind kind, Window win,
     // §II-D: redundant shared-memory operations are optimized out — the copy
     // (if any) completed synchronously, so without a notification there is
     // nothing left for the host to do.
-    if (!notify) co_return;
+    if (!notify) {
+      end_span();
+      co_return;
+    }
     c.local_already_copied = true;
     if (!node.config().runtime.local_notifications_via_host) {
       // Ablation path: deliver the notification on the device, skipping the
@@ -86,17 +112,22 @@ sim::Proc<void> issue_rma(Context& ctx, rt::CmdKind kind, Window win,
           node.device_local_notify(ctx.device_rank, n);
         }
       }
+      end_span();
       co_return;
     }
     c.flush_id = ++rs.next_flush_id;
     ++rs.win_issued[win.device_id];
     co_await rs.cmd_q.enqueue(c);
+    count_inflight();
+    end_span();
     co_return;
   }
 
   c.flush_id = ++rs.next_flush_id;
   ++rs.win_issued[win.device_id];
   co_await rs.cmd_q.enqueue(c);
+  count_inflight();
+  end_span();
 }
 
 }  // namespace
@@ -107,7 +138,7 @@ sim::Proc<void> Context::charge_compute(double flops) {
   } else {
     const sim::Time begin = sim().now();
     co_await node->host_compute().use(flops);
-    trace("compute", begin, sim().now());
+    trace("compute", sim::Category::kCompute, begin, sim().now());
   }
 }
 
@@ -126,19 +157,22 @@ sim::Proc<void> Context::charge_memory(double bytes) {
   } else {
     const sim::Time begin = sim().now();
     co_await node->host_memory().use(bytes);
-    trace("memory", begin, sim().now());
+    trace("memory", sim::Category::kMemory, begin, sim().now(), bytes);
   }
 }
 
-void Context::trace(const char* activity, sim::Time begin, sim::Time end) {
+void Context::trace(const char* activity, sim::Category category,
+                    sim::Time begin, sim::Time end, double bytes) {
   if (block != nullptr) {
-    block->trace(activity, begin, end);
+    block->trace(activity, category, begin, end, bytes);
     return;
   }
   if (sim::Tracer* t = node->device().tracer(); t && t->enabled()) {
-    // Host ranks trace on a lane band of their own (1000 + host index).
+    // Host ranks trace on a lane band of their own (kHostRankLaneBase + idx).
     const int host_index = world_rank % node->ranks_per_node() - node->ranks_per_device();
-    t->record(sim::TraceSpan{begin, end, node->node(), 1000 + host_index, activity});
+    t->record(sim::TraceSpan{begin, end, node->node(),
+                             sim::kHostRankLaneBase + host_index, activity,
+                             category, bytes});
   }
 }
 
@@ -257,6 +291,8 @@ sim::Proc<void> wait_notifications(Context& ctx, std::int32_t win_filter, int so
                                    int tag, int count) {
   rt::RankState& rs = *ctx.rs;
   const sim::RuntimeConfig& rc = ctx.node->config().runtime;
+  sim::Tracer* tr = ctx.tracer();
+  const bool traced = tr != nullptr && tr->enabled();
   int matched = 0;
   const sim::Time begin = ctx.sim().now();
   while (matched < count) {
@@ -264,6 +300,7 @@ sim::Proc<void> wait_notifications(Context& ctx, std::int32_t win_filter, int so
     while (auto n = rs.notif_q.try_dequeue()) rs.pending.push_back(*n);
     // Match in arrival order; mismatches stay (queue compression).
     int scanned = 0;
+    const int matched_before = matched;
     for (auto it = rs.pending.begin(); it != rs.pending.end() && matched < count;) {
       ++scanned;
       if (notification_matches(*it, win_filter, source, tag)) {
@@ -272,6 +309,12 @@ sim::Proc<void> wait_notifications(Context& ctx, std::int32_t win_filter, int so
       } else {
         ++it;
       }
+    }
+    if (traced) {
+      tr->bump("match_rounds");
+      tr->bump("notifications_matched", matched - matched_before);
+      tr->bump("notifications_unmatched",
+               scanned - (matched - matched_before));
     }
     // The matcher is compute-heavy (§III-C/§IV-B): charge its cost to the SM.
     const std::uint64_t epoch = rs.notify_epoch;
@@ -285,7 +328,7 @@ sim::Proc<void> wait_notifications(Context& ctx, std::int32_t win_filter, int so
     if (!rs.notif_q.empty() || rs.notify_epoch != epoch) continue;
     co_await rs.notif_q.nonempty_trigger().wait();
   }
-  ctx.trace("wait", begin, ctx.sim().now());
+  ctx.trace("wait", sim::Category::kWait, begin, ctx.sim().now());
 }
 
 sim::Proc<int> test_notifications(Context& ctx, std::int32_t win_filter, int source,
@@ -304,6 +347,11 @@ sim::Proc<int> test_notifications(Context& ctx, std::int32_t win_filter, int sou
       ++it;
     }
   }
+  if (sim::Tracer* tr = ctx.tracer(); tr && tr->enabled()) {
+    tr->bump("match_rounds");
+    tr->bump("notifications_matched", matched);
+    tr->bump("notifications_unmatched", scanned - matched);
+  }
   if (rc.charge_matching_cost) {
     co_await ctx.charge_compute_time(rc.match_round_cost +
                                      static_cast<double>(scanned) * rc.match_entry_cost);
@@ -312,6 +360,7 @@ sim::Proc<int> test_notifications(Context& ctx, std::int32_t win_filter, int sou
 }
 
 sim::Proc<void> barrier(Context& ctx, Comm comm) {
+  const sim::Time begin = ctx.sim().now();
   co_await charge_issue(ctx);
   rt::Command c;
   c.kind = rt::CmdKind::kBarrier;
@@ -320,9 +369,13 @@ sim::Proc<void> barrier(Context& ctx, Comm comm) {
   rt::Ack a = co_await ctx.rs->ack_q.dequeue();
   assert(a.kind == rt::AckKind::kBarrierDone);
   (void)a;
+  ctx.trace("barrier", sim::Category::kBarrier, begin, ctx.sim().now());
 }
 
 sim::Proc<void> finish(Context& ctx) {
+  // The traced drain span covers waiting for all outstanding remote memory
+  // accesses to complete (the host holds the kFinished ack until then).
+  const sim::Time begin = ctx.sim().now();
   co_await charge_issue(ctx);
   rt::Command c;
   c.kind = rt::CmdKind::kFinish;
@@ -331,6 +384,7 @@ sim::Proc<void> finish(Context& ctx) {
   rt::Ack a = co_await ctx.rs->ack_q.dequeue();
   assert(a.kind == rt::AckKind::kFinished);
   (void)a;
+  ctx.trace("drain", sim::Category::kDrain, begin, ctx.sim().now());
 }
 
 sim::Proc<void> put_2d_notify(Context& ctx, Window win, int target_rank,

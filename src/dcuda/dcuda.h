@@ -73,7 +73,12 @@ class Context {
   sim::Proc<void> charge_compute(double flops);
   sim::Proc<void> charge_compute_time(sim::Dur dedicated_time);
   sim::Proc<void> charge_memory(double bytes);
-  void trace(const char* activity, sim::Time begin, sim::Time end);
+
+  // The cluster's tracer (may be null; check enabled() before building
+  // spans — see sim/trace.h).
+  sim::Tracer* tracer() { return node->device().tracer(); }
+  void trace(const char* activity, sim::Category category, sim::Time begin,
+             sim::Time end, double bytes = 0.0);
 };
 
 // -- Setup -------------------------------------------------------------------

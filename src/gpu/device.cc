@@ -11,7 +11,7 @@ sim::Simulation& BlockCtx::sim() { return dev_->simulation(); }
 sim::Proc<void> BlockCtx::compute_flops(double flops) {
   const sim::Time begin = sim().now();
   co_await dev_->sm_compute(sm_id_).use(flops);
-  trace("compute", begin, sim().now());
+  trace("compute", sim::Category::kCompute, begin, sim().now());
 }
 
 sim::Proc<void> BlockCtx::compute(sim::Dur dedicated_time) {
@@ -21,12 +21,14 @@ sim::Proc<void> BlockCtx::compute(sim::Dur dedicated_time) {
 sim::Proc<void> BlockCtx::mem_traffic(double bytes) {
   const sim::Time begin = sim().now();
   co_await dev_->memory().use(bytes);
-  trace("memory", begin, sim().now());
+  trace("memory", sim::Category::kMemory, begin, sim().now(), bytes);
 }
 
-void BlockCtx::trace(const char* activity, sim::Time begin, sim::Time end) {
+void BlockCtx::trace(const char* activity, sim::Category category,
+                     sim::Time begin, sim::Time end, double bytes) {
   if (sim::Tracer* t = dev_->tracer(); t && t->enabled()) {
-    t->record(sim::TraceSpan{begin, end, dev_->node(), block_id_, activity});
+    t->record(sim::TraceSpan{begin, end, dev_->node(), block_id_, activity,
+                             category, bytes});
   }
 }
 
@@ -103,6 +105,10 @@ void Device::fill_slots() {
       if (best_sm < 0) break;  // no slot free; retried when a block finishes
       const int id = st->next_block++;
       ++sms_[static_cast<size_t>(best_sm)]->resident;
+      if (tracer_ && tracer_->enabled()) {
+        tracer_->counter_set(sim_.now(), node_, "resident_blocks",
+                             resident_blocks());
+      }
       sim_.spawn(run_block(st, id, best_sm),
                  "dev" + std::to_string(node_) + "/" + st->name + "/blk" +
                      std::to_string(id));
@@ -116,6 +122,9 @@ sim::Proc<void> Device::run_block(std::shared_ptr<LaunchState> st, int block_id,
   BlockCtx ctx(*this, block_id, st->lc.grid_blocks, sm_id);
   co_await st->kernel(ctx);
   --sms_[static_cast<size_t>(sm_id)]->resident;
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->counter_set(sim_.now(), node_, "resident_blocks", resident_blocks());
+  }
   ++st->finished;
   st->done->notify_all();
   fill_slots();

@@ -64,8 +64,10 @@ class BlockCtx {
   // Streams `bytes` through device memory (reads+writes combined).
   sim::Proc<void> mem_traffic(double bytes);
 
-  // Tracing hook for schedule visualizations (Fig. 1).
-  void trace(const char* activity, sim::Time begin, sim::Time end);
+  // Tracing hook for schedule visualizations (Fig. 1) and the structured
+  // observability layer (docs/OBSERVABILITY.md).
+  void trace(const char* activity, sim::Category category, sim::Time begin,
+             sim::Time end, double bytes = 0.0);
 
  private:
   Device* dev_;

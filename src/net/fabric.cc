@@ -22,6 +22,13 @@ void Fabric::send(Packet p, sim::Rate rate_cap) {
   tx.tx_free = end;
   tx.bytes += p.bytes;
   ++tx.msgs;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->record(sim::TraceSpan{start, end, p.src, sim::kFabricLane, "tx",
+                                   sim::Category::kFabric, p.bytes});
+    tracer_->counter_set(end, p.src, "wire_bytes", tx.bytes);
+    tracer_->bump("fabric_messages");
+    tracer_->bump("fabric_bytes", p.bytes);
+  }
   const sim::Time deliver = end + cfg_.latency + cfg_.sw_overhead;
   auto holder = std::make_shared<Packet>(std::move(p));
   sim_.schedule(deliver - sim_.now(), [this, holder]() mutable {

@@ -18,6 +18,7 @@
 #include "sim/config.h"
 #include "sim/mailbox.h"
 #include "sim/simulation.h"
+#include "sim/trace.h"
 
 namespace dcuda::net {
 
@@ -42,6 +43,10 @@ class Fabric {
 
   sim::Mailbox<Packet>& rx(int node) { return nics_[static_cast<size_t>(node)]->rx; }
 
+  // Observability: wire-serialization spans and cumulative wire-byte
+  // counters on the sender's fabric lane (docs/OBSERVABILITY.md).
+  void set_tracer(sim::Tracer* t) { tracer_ = t; }
+
   double bytes_sent(int node) const { return nics_[static_cast<size_t>(node)]->bytes; }
   std::uint64_t messages_sent(int node) const { return nics_[static_cast<size_t>(node)]->msgs; }
   const sim::NetConfig& config() const { return cfg_; }
@@ -57,6 +62,7 @@ class Fabric {
 
   sim::Simulation& sim_;
   sim::NetConfig cfg_;
+  sim::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Nic>> nics_;
 };
 

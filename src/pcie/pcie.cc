@@ -11,6 +11,15 @@ sim::Time PcieLink::serialize(Dir d, double bytes) {
   l.free_at = end;
   ++l.txns;
   l.bytes += bytes;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const bool h2d = d == Dir::kHostToDevice;
+    tracer_->record(sim::TraceSpan{
+        start, end, trace_node_, h2d ? sim::kPcieLaneH2D : sim::kPcieLaneD2H,
+        h2d ? "h2d" : "d2h", sim::Category::kPcie, bytes});
+    tracer_->counter_set(end, trace_node_,
+                         h2d ? "pcie_h2d_bytes" : "pcie_d2h_bytes", l.bytes);
+    tracer_->bump("pcie_transactions");
+  }
   return end;
 }
 

@@ -19,6 +19,7 @@
 #include "sim/config.h"
 #include "sim/proc.h"
 #include "sim/simulation.h"
+#include "sim/trace.h"
 
 namespace dcuda::pcie {
 
@@ -42,6 +43,13 @@ class PcieLink {
   // Blocking DMA transfer.
   sim::Proc<void> dma(Dir d, double bytes);
 
+  // Observability: lane-occupancy spans ("h2d"/"d2h") and cumulative
+  // `pcie_bytes` counters for the owning node (docs/OBSERVABILITY.md).
+  void set_tracer(sim::Tracer* t, std::int32_t node) {
+    tracer_ = t;
+    trace_node_ = node;
+  }
+
   // Statistics (ablation_queue counts transactions per enqueue).
   std::uint64_t transactions(Dir d) const { return lane(d).txns; }
   double bytes_transferred(Dir d) const { return lane(d).bytes; }
@@ -62,6 +70,8 @@ class PcieLink {
 
   sim::Simulation& sim_;
   sim::PcieConfig cfg_;
+  sim::Tracer* tracer_ = nullptr;
+  std::int32_t trace_node_ = -1;
   Lane lanes_[2];
 };
 

@@ -17,10 +17,13 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/proc.h"
 #include "sim/simulation.h"
+#include "sim/trace.h"
 #include "sim/trigger.h"
 
 namespace dcuda::queue {
@@ -50,11 +53,25 @@ class CircularQueue {
     assert(capacity > 0);
   }
 
+  // Observability hook (docs/OBSERVABILITY.md): enqueue commits and
+  // dequeues maintain the device-wide `<name>_depth` counter and bump
+  // `<name>_enqueues` / `<name>_tail_reads` metrics on the tracer. Many
+  // queues may share one (tracer, device, name) triple — the counter then
+  // aggregates their occupancy.
+  void set_tracer(sim::Tracer* t, std::int32_t device, const std::string& name) {
+    tracer_ = t;
+    trace_device_ = device;
+    depth_counter_ = name + "_depth";
+    enqueue_metric_ = name + "_enqueues";
+    tail_read_metric_ = name + "_tail_reads";
+  }
+
   // Sender side. Blocks (simulated) while the queue is full; costs one
   // posted write plus an occasional tail read.
   sim::Proc<void> enqueue(Entry e) {
     while (credits_ == 0) {
       ++tail_reads_;
+      if (traced()) tracer_->bump(tail_read_metric_);
       co_await transport_.read_tail(sizeof(std::uint64_t));
       recompute_credits();
       if (credits_ == 0) co_await sim_.delay(full_poll_interval_);
@@ -62,6 +79,7 @@ class CircularQueue {
     --credits_;
     const std::uint64_t seq = ++send_count_;
     ++enqueues_;
+    if (traced()) tracer_->bump(enqueue_metric_);
     // The posted write carries entry + sequence number in one transaction.
     co_await transport_.write(
         sizeof(Entry) + sizeof(std::uint64_t), [this, seq, e = std::move(e)] {
@@ -70,6 +88,9 @@ class CircularQueue {
           assert(slot.seq + ring_.size() == seq || slot.seq == 0);
           slot.entry = e;
           slot.seq = seq;
+          if (traced()) {
+            tracer_->counter_add(sim_.now(), trace_device_, depth_counter_, 1.0);
+          }
           nonempty_.notify_all();
         });
   }
@@ -80,6 +101,9 @@ class CircularQueue {
     Slot& slot = ring_[static_cast<size_t>(recv_count_ % ring_.size())];
     if (slot.seq != recv_count_ + 1) return std::nullopt;
     ++recv_count_;  // the tail pointer, in receiver memory
+    if (traced()) {
+      tracer_->counter_add(sim_.now(), trace_device_, depth_counter_, -1.0);
+    }
     return slot.entry;
   }
 
@@ -111,6 +135,14 @@ class CircularQueue {
     credits_ = static_cast<int>(static_cast<std::uint64_t>(capacity()) -
                                 (send_count_ - recv_count_));
   }
+
+  bool traced() const { return tracer_ != nullptr && tracer_->enabled(); }
+
+  sim::Tracer* tracer_ = nullptr;
+  std::int32_t trace_device_ = -1;
+  std::string depth_counter_;
+  std::string enqueue_metric_;
+  std::string tail_read_metric_;
 
   sim::Simulation& sim_;
   Transport transport_;

@@ -54,11 +54,18 @@ NodeRuntime::NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep
         cfg.runtime));
     host_flush_trigs_.push_back(std::make_unique<sim::Trigger>(s));
     ranks_.back()->host_flush_trig = host_flush_trigs_.back().get();
+    if (sim::Tracer* tr = dev.tracer()) {
+      // All ranks of the node share the per-device depth counters.
+      ranks_.back()->cmd_q.set_tracer(tr, node(), "cmd_queue");
+      ranks_.back()->ack_q.set_tracer(tr, node(), "ack_queue");
+      ranks_.back()->notif_q.set_tracer(tr, node(), "notif_queue");
+    }
     s.spawn(command_loop(r), "bm@" + std::to_string(node()) + "/" + std::to_string(r),
             /*daemon=*/true);
   }
   log_q_ = std::make_unique<queue::CircularQueue<LogEntry>>(
       s, cfg.runtime.logging_queue_entries, pcie_transport(pcie::Dir::kDeviceToHost));
+  if (sim::Tracer* tr = dev.tracer()) log_q_->set_tracer(tr, node(), "log_queue");
   s.spawn(meta_loop(), "event-handler@" + std::to_string(node()), /*daemon=*/true);
   s.spawn(log_loop(), "log@" + std::to_string(node()), /*daemon=*/true);
 }
@@ -331,12 +338,25 @@ sim::Proc<void> NodeRuntime::handle_meta(Meta m) {
 }
 
 sim::Proc<void> NodeRuntime::push_notification(int local_rank, Notification n) {
+  sim::Tracer* tr = dev_.tracer();
+  if (tr == nullptr || !tr->enabled()) {
+    co_await rank(local_rank).notif_q.enqueue(n);
+    co_return;
+  }
+  const sim::Time begin = sim_.now();
   co_await rank(local_rank).notif_q.enqueue(n);
+  tr->record(sim::TraceSpan{begin, sim_.now(), node(), sim::kRuntimeLane,
+                            "notify", sim::Category::kNotify, 0.0});
+  tr->bump("notifications_delivered");
 }
 
 sim::Proc<void> NodeRuntime::complete_flush(RankState& rs, std::uint64_t id,
                                             std::int32_t win_device_id) {
   if (id == 0) co_return;  // operation outside flush tracking
+  if (sim::Tracer* tr = dev_.tracer(); tr && tr->enabled()) {
+    // Mirrors the +1 in the device library's issue path (issue_rma).
+    tr->counter_add(sim_.now(), node(), "inflight_rma", -1.0);
+  }
   rs.flush_done_ooo.insert(id);
   bool advanced = false;
   while (rs.flush_done_ooo.count(rs.flush_frontier + 1) > 0) {

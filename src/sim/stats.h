@@ -17,18 +17,6 @@ inline double mean(const std::vector<double>& v) {
   return s / static_cast<double>(v.size());
 }
 
-inline double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const double idx = p * static_cast<double>(v.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, v.size() - 1);
-  const double frac = idx - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
-}
-
-inline double median(const std::vector<double>& v) { return percentile(v, 0.5); }
-
 // Nonparametric 95% confidence interval of the median (order statistics,
 // normal approximation of the binomial), as used in the paper's gray bands.
 struct MedianCi {
@@ -36,15 +24,70 @@ struct MedianCi {
   double hi = 0.0;
 };
 
+// Sorted-once sample summary. Sorts on construction; every quantile query
+// afterwards is O(1) — use this instead of repeated percentile() calls,
+// which sort a by-value copy each time.
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::vector<double> v) : v_(std::move(v)) {
+    std::sort(v_.begin(), v_.end());
+  }
+
+  bool empty() const { return v_.empty(); }
+  std::size_t count() const { return v_.size(); }
+  double min() const { return v_.empty() ? 0.0 : v_.front(); }
+  double max() const { return v_.empty() ? 0.0 : v_.back(); }
+
+  double mean() const {
+    if (v_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : v_) s += x;
+    return s / static_cast<double>(v_.size());
+  }
+
+  // p is a fraction in [0, 1] (out-of-range values are clamped).
+  double percentile(double p) const {
+    if (v_.empty()) return 0.0;
+    const double idx =
+        std::clamp(p, 0.0, 1.0) * static_cast<double>(v_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, v_.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v_[lo] * (1.0 - frac) + v_[hi] * frac;
+  }
+
+  double median() const { return percentile(0.5); }
+  double sum() const {
+    double s = 0.0;
+    for (double x : v_) s += x;
+    return s;
+  }
+
+  MedianCi median_ci95() const {
+    if (v_.empty()) return {};
+    const double n = static_cast<double>(v_.size());
+    const double half = 1.96 * std::sqrt(n) / 2.0;
+    const auto clamp_idx = [&](double x) {
+      return static_cast<std::size_t>(std::clamp(x, 0.0, n - 1.0));
+    };
+    return {v_[clamp_idx(n / 2.0 - half)], v_[clamp_idx(n / 2.0 + half)]};
+  }
+
+  const std::vector<double>& sorted() const { return v_; }
+
+ private:
+  std::vector<double> v_;
+};
+
+inline double percentile(std::vector<double> v, double p) {
+  return Summary(std::move(v)).percentile(p);
+}
+
+inline double median(const std::vector<double>& v) { return percentile(v, 0.5); }
+
 inline MedianCi median_ci95(std::vector<double> v) {
-  if (v.empty()) return {};
-  std::sort(v.begin(), v.end());
-  const double n = static_cast<double>(v.size());
-  const double half = 1.96 * std::sqrt(n) / 2.0;
-  const auto clamp_idx = [&](double x) {
-    return static_cast<std::size_t>(std::clamp(x, 0.0, n - 1.0));
-  };
-  return {v[clamp_idx(n / 2.0 - half)], v[clamp_idx(n / 2.0 + half)]};
+  return Summary(std::move(v)).median_ci95();
 }
 
 inline double sum(const std::vector<double>& v) {

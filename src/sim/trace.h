@@ -1,36 +1,158 @@
 #pragma once
 
-// Interval tracing for schedule visualizations (Fig. 1: block activity on
-// MPI-CUDA vs dCUDA). Entities record begin/end of named activity spans.
+// Structured tracing for schedule visualizations and runtime observability.
+//
+// Three kinds of data, all owned by one Tracer (usually the Cluster's):
+//  * spans      — begin/end intervals of named activity on a (device, lane)
+//                 pair, tagged with a Category (Fig. 1's block activity,
+//                 put/get issue, wire serialization, PCIe transactions, ...);
+//  * counters   — time-stamped per-device value samples (queue depth,
+//                 in-flight remote memory accesses, resident blocks, bytes
+//                 on wire), exported as Chrome trace counter tracks;
+//  * metrics    — scalar run totals (notifications matched, commands
+//                 issued, tail reads) for the end-of-run text summary.
+//
+// Everything is guarded by enabled(): a disabled tracer costs one branch
+// per instrumentation point and allocates nothing. Instrumented code must
+// check enabled() (or use a `Tracer* t; if (t && t->enabled())` pattern)
+// *before* constructing spans or formatting names, so the hot paths stay
+// zero-cost when tracing is off.
+//
+// Exporters (Chrome trace_event JSON, text summary) live in
+// sim/trace_export.h.
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/units.h"
 
 namespace dcuda::sim {
 
+// Event taxonomy (documented in docs/OBSERVABILITY.md). The category drives
+// summary aggregation (compute vs. communication vs. wait) and the Chrome
+// trace "cat" field.
+enum class Category : std::uint8_t {
+  kCompute = 0,  // SM arithmetic
+  kMemory,       // device memory traffic
+  kPut,          // put/put_notify issue (device-side command assembly+enqueue)
+  kGet,          // get/get_notify issue
+  kNotify,       // notification delivery (host -> device queue)
+  kWait,         // rank blocked in wait_notifications
+  kDrain,        // finish(): draining outstanding remote memory accesses
+  kPcie,         // PCIe lane serialization
+  kFabric,       // NIC wire serialization
+  kQueue,        // circular-queue operations (flow-control stalls)
+  kBarrier,      // barrier synchronization
+  kOther,
+};
+
+inline constexpr int kNumCategories = 12;
+
+constexpr const char* category_name(Category c) {
+  switch (c) {
+    case Category::kCompute: return "compute";
+    case Category::kMemory: return "memory";
+    case Category::kPut: return "put";
+    case Category::kGet: return "get";
+    case Category::kNotify: return "notify";
+    case Category::kWait: return "wait";
+    case Category::kDrain: return "drain";
+    case Category::kPcie: return "pcie";
+    case Category::kFabric: return "fabric";
+    case Category::kQueue: return "queue";
+    case Category::kBarrier: return "barrier";
+    case Category::kOther: return "other";
+  }
+  return "other";
+}
+
+// Lane bands: one Chrome-trace thread per (device, lane). Lanes below 1000
+// are device ranks (block ids); the bands group infrastructure activity.
+inline constexpr std::int32_t kHostRankLaneBase = 1000;  // + host rank index
+inline constexpr std::int32_t kFabricLane = 2000;        // NIC transmit
+inline constexpr std::int32_t kPcieLaneH2D = 2100;       // PCIe host->device
+inline constexpr std::int32_t kPcieLaneD2H = 2101;       // PCIe device->host
+inline constexpr std::int32_t kRuntimeLane = 2200;       // host event handler
+
 struct TraceSpan {
   Time begin = 0.0;
   Time end = 0.0;
   std::int32_t device = -1;
-  std::int32_t lane = -1;  // e.g. rank or SM id
-  std::string activity;    // "compute", "wait", "exchange", ...
+  std::int32_t lane = -1;  // e.g. rank or SM id; see lane bands above
+  std::string activity;    // "compute", "wait", "put", ...
+  Category category = Category::kOther;
+  double bytes = 0.0;  // payload size when the activity moves data
+};
+
+struct CounterSample {
+  Time t = 0.0;
+  std::int32_t device = -1;
+  std::string name;
+  double value = 0.0;
 };
 
 class Tracer {
  public:
   void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
   void record(TraceSpan span) {
     if (enabled_) spans_.push_back(std::move(span));
   }
 
+  // -- Counters (time series, Chrome "C" tracks) -----------------------
+
+  // Samples an absolute value of counter `name` on `device` at time `t`.
+  void counter_set(Time t, std::int32_t device, const std::string& name,
+                   double value) {
+    if (!enabled_) return;
+    counter_values_[{device, name}] = value;
+    samples_.push_back(CounterSample{t, device, name, value});
+  }
+
+  // Adjusts the running value of counter `name` on `device` by `delta` and
+  // samples the result (e.g. +1 on enqueue, -1 on dequeue -> queue depth).
+  void counter_add(Time t, std::int32_t device, const std::string& name,
+                   double delta) {
+    if (!enabled_) return;
+    double& v = counter_values_[{device, name}];
+    v += delta;
+    samples_.push_back(CounterSample{t, device, name, v});
+  }
+
+  double counter_value(std::int32_t device, const std::string& name) const {
+    auto it = counter_values_.find({device, name});
+    return it == counter_values_.end() ? 0.0 : it->second;
+  }
+
+  // -- Metrics (scalar run totals, text summary) -----------------------
+
+  void bump(const std::string& name, double delta = 1.0) {
+    if (enabled_) metrics_[name] += delta;
+  }
+
+  double metric(const std::string& name) const {
+    auto it = metrics_.find(name);
+    return it == metrics_.end() ? 0.0 : it->second;
+  }
+
+  // -- Access ----------------------------------------------------------
+
   const std::vector<TraceSpan>& spans() const { return spans_; }
-  void clear() { spans_.clear(); }
+  const std::vector<CounterSample>& counter_samples() const { return samples_; }
+  const std::map<std::string, double>& metrics() const { return metrics_; }
+
+  void clear() {
+    spans_.clear();
+    samples_.clear();
+    counter_values_.clear();
+    metrics_.clear();
+  }
 
   // Renders an ASCII Gantt chart: one row per (device, lane), time bucketed
   // into `columns` cells; each cell shows the dominant activity's initial.
@@ -39,6 +161,9 @@ class Tracer {
  private:
   bool enabled_ = false;
   std::vector<TraceSpan> spans_;
+  std::vector<CounterSample> samples_;
+  std::map<std::pair<std::int32_t, std::string>, double> counter_values_;
+  std::map<std::string, double> metrics_;
 };
 
 }  // namespace dcuda::sim

@@ -1,0 +1,323 @@
+#include "sim/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace dcuda::sim {
+
+namespace {
+
+// Devices per group are numbered into disjoint pid ranges so merged
+// variants keep distinct process tracks.
+constexpr std::int64_t kPidStride = 1000;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string lane_name(std::int32_t lane) {
+  if (lane == kFabricLane) return "fabric tx";
+  if (lane == kPcieLaneH2D) return "pcie h2d";
+  if (lane == kPcieLaneD2H) return "pcie d2h";
+  if (lane == kRuntimeLane) return "runtime";
+  if (lane >= kHostRankLaneBase && lane < kFabricLane) {
+    return "host rank " + std::to_string(lane - kHostRankLaneBase);
+  }
+  return "rank " + std::to_string(lane);
+}
+
+struct JsonEvent {
+  Time ts = 0.0;
+  std::string body;  // full event object text
+};
+
+}  // namespace
+
+void export_chrome(std::ostream& os, const std::vector<TracerGroup>& groups) {
+  std::vector<JsonEvent> events;
+  std::string meta;  // metadata events, timestamp-less, emitted first
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const Tracer* t = groups[g].tracer;
+    if (t == nullptr) continue;
+    const std::string& label = groups[g].label;
+    const std::int64_t pid_base = static_cast<std::int64_t>(g) * kPidStride;
+
+    // Collect the (device, lane) universe for metadata.
+    std::set<std::int32_t> devices;
+    std::set<std::pair<std::int32_t, std::int32_t>> lanes;
+    for (const auto& s : t->spans()) {
+      devices.insert(s.device);
+      lanes.insert({s.device, s.lane});
+    }
+    for (const auto& c : t->counter_samples()) devices.insert(c.device);
+
+    for (std::int32_t d : devices) {
+      const std::int64_t pid = pid_base + d;
+      const std::string pname =
+          (label.empty() ? "" : label + " ") + "dev" + std::to_string(d);
+      meta += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+              ",\"name\":\"process_name\",\"args\":{\"name\":\"" +
+              json_escape(pname) + "\"}},\n";
+      meta += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+              ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":" +
+              std::to_string(pid) + "}},\n";
+    }
+    for (const auto& [d, lane] : lanes) {
+      meta += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid_base + d) +
+              ",\"tid\":" + std::to_string(lane) +
+              ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+              json_escape(lane_name(lane)) + "\"}},\n";
+    }
+
+    for (const auto& s : t->spans()) {
+      std::string e = "{\"ph\":\"X\",\"pid\":" + std::to_string(pid_base + s.device) +
+                      ",\"tid\":" + std::to_string(s.lane) +
+                      ",\"ts\":" + fmt_num(to_micros(s.begin)) +
+                      ",\"dur\":" + fmt_num(to_micros(s.end - s.begin)) +
+                      ",\"name\":\"" + json_escape(s.activity) +
+                      "\",\"cat\":\"" + category_name(s.category) + "\"";
+      if (s.bytes > 0.0) e += ",\"args\":{\"bytes\":" + fmt_num(s.bytes) + "}";
+      e += "}";
+      events.push_back({s.begin, std::move(e)});
+    }
+    for (const auto& c : t->counter_samples()) {
+      std::string e = "{\"ph\":\"C\",\"pid\":" + std::to_string(pid_base + c.device) +
+                      ",\"tid\":0,\"ts\":" + fmt_num(to_micros(c.t)) +
+                      ",\"name\":\"" + json_escape(c.name) +
+                      "\",\"args\":{\"value\":" + fmt_num(c.value) + "}}";
+      events.push_back({c.t, std::move(e)});
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const JsonEvent& a, const JsonEvent& b) { return a.ts < b.ts; });
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" << meta;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    os << events[i].body << (i + 1 < events.size() ? ",\n" : "\n");
+  }
+  if (events.empty() && !meta.empty()) {
+    // meta ends with ",\n": close the array with a dummy metadata event so
+    // the JSON stays valid without trailing-comma surgery.
+    os << "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"empty\"}}\n";
+  }
+  if (meta.empty() && events.empty()) {
+    // Empty trace: nothing between the brackets.
+  }
+  os << "]}\n";
+}
+
+bool export_chrome_file(const std::string& path,
+                        const std::vector<TracerGroup>& groups) {
+  std::ofstream f(path);
+  if (!f) return false;
+  export_chrome(f, groups);
+  return static_cast<bool>(f);
+}
+
+namespace {
+
+bool is_compute_class(Category c) {
+  return c == Category::kCompute || c == Category::kMemory;
+}
+
+bool is_comm_class(Category c) {
+  switch (c) {
+    case Category::kPut:
+    case Category::kGet:
+    case Category::kNotify:
+    case Category::kPcie:
+    case Category::kFabric:
+    case Category::kQueue:
+    case Category::kDrain:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Total length of the union of [begin, end) intervals. Sorts in place.
+double union_length(std::vector<std::pair<Time, Time>>& iv) {
+  if (iv.empty()) return 0.0;
+  std::sort(iv.begin(), iv.end());
+  double total = 0.0;
+  Time lo = iv.front().first, hi = iv.front().second;
+  for (const auto& [b, e] : iv) {
+    if (b > hi) {
+      total += hi - lo;
+      lo = b;
+      hi = e;
+    } else {
+      hi = std::max(hi, e);
+    }
+  }
+  total += hi - lo;
+  return total;
+}
+
+// Length of the intersection of two interval unions (inputs must be the
+// sorted, merged output ranges of union_length's sweep — we re-merge here
+// for simplicity).
+double intersection_length(std::vector<std::pair<Time, Time>> a,
+                           std::vector<std::pair<Time, Time>> b) {
+  auto merge = [](std::vector<std::pair<Time, Time>>& iv) {
+    if (iv.empty()) return;
+    std::sort(iv.begin(), iv.end());
+    std::vector<std::pair<Time, Time>> out;
+    out.push_back(iv.front());
+    for (const auto& [bb, ee] : iv) {
+      if (bb > out.back().second) {
+        out.push_back({bb, ee});
+      } else {
+        out.back().second = std::max(out.back().second, ee);
+      }
+    }
+    iv = std::move(out);
+  };
+  merge(a);
+  merge(b);
+  double total = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Time lo = std::max(a[i].first, b[j].first);
+    const Time hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) total += hi - lo;
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+TraceSummary summarize(const Tracer& t) {
+  TraceSummary s;
+  const auto& spans = t.spans();
+  s.num_spans = spans.size();
+  if (spans.empty()) return s;
+
+  std::set<std::pair<std::int32_t, std::int32_t>> lanes;
+  std::map<std::int32_t, std::vector<std::pair<Time, Time>>> compute_iv, comm_iv;
+  std::vector<double> waits;
+  double rank_lane_time = 0.0;
+
+  s.t0 = spans.front().begin;
+  s.t1 = spans.front().end;
+  for (const auto& sp : spans) {
+    s.t0 = std::min(s.t0, sp.begin);
+    s.t1 = std::max(s.t1, sp.end);
+    lanes.insert({sp.device, sp.lane});
+    const double d = sp.end - sp.begin;
+    s.by_category[static_cast<int>(sp.category)] += d;
+    if (is_compute_class(sp.category)) compute_iv[sp.device].push_back({sp.begin, sp.end});
+    if (is_comm_class(sp.category)) comm_iv[sp.device].push_back({sp.begin, sp.end});
+    if (sp.category == Category::kWait) {
+      waits.push_back(to_micros(d));
+      s.wait_total += d;
+    }
+    if (sp.lane < kFabricLane) rank_lane_time += d;  // rank + host-rank lanes
+  }
+  s.lanes = static_cast<int>(lanes.size());
+  s.wall = s.t1 - s.t0;
+
+  std::set<std::int32_t> devices;
+  for (const auto& [d, iv] : compute_iv) devices.insert(d);
+  for (const auto& [d, iv] : comm_iv) devices.insert(d);
+  for (std::int32_t d : devices) {
+    auto ci = compute_iv[d];
+    auto mi = comm_iv[d];
+    s.compute_time += union_length(ci);
+    s.comm_time += union_length(mi);
+    s.overlap_time += intersection_length(compute_iv[d], comm_iv[d]);
+  }
+  s.overlap_ratio = s.comm_time > 0.0 ? s.overlap_time / s.comm_time : 0.0;
+  s.wait_fraction = rank_lane_time > 0.0 ? s.wait_total / rank_lane_time : 0.0;
+  s.wait_us = Summary(std::move(waits));
+  return s;
+}
+
+void write_summary(std::ostream& os, const Tracer& t, const std::string& label) {
+  const TraceSummary s = summarize(t);
+  char buf[256];
+
+  os << "== trace summary" << (label.empty() ? "" : " (" + label + ")") << " ==\n";
+  std::snprintf(buf, sizeof(buf), "spans: %zu on %d lanes, wall %.3f ms\n",
+                s.num_spans, s.lanes, to_millis(s.wall));
+  os << buf;
+  if (s.num_spans == 0) return;
+
+  os << "by category [ms]:";
+  bool first = true;
+  for (int c = 0; c < kNumCategories; ++c) {
+    if (s.by_category[c] <= 0.0) continue;
+    std::snprintf(buf, sizeof(buf), "%s %s %.3f", first ? "" : ",",
+                  category_name(static_cast<Category>(c)),
+                  to_millis(s.by_category[c]));
+    os << buf;
+    first = false;
+  }
+  os << "\n";
+
+  std::snprintf(buf, sizeof(buf),
+                "overlap: compute %.3f ms, comm %.3f ms, overlapped %.3f ms "
+                "(%.1f%% of comm hidden)\n",
+                to_millis(s.compute_time), to_millis(s.comm_time),
+                to_millis(s.overlap_time), 100.0 * s.overlap_ratio);
+  os << buf;
+
+  if (!s.wait_us.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "wait: total %.3f ms (%.1f%% of rank time), per-wait us "
+                  "p50 %.1f p90 %.1f p99 %.1f max %.1f (n=%zu)\n",
+                  to_millis(s.wait_total), 100.0 * s.wait_fraction,
+                  s.wait_us.percentile(0.5), s.wait_us.percentile(0.9),
+                  s.wait_us.percentile(0.99), s.wait_us.max(), s.wait_us.count());
+    os << buf;
+  }
+
+  if (!t.metrics().empty()) {
+    os << "counters:";
+    first = true;
+    for (const auto& [name, value] : t.metrics()) {
+      std::snprintf(buf, sizeof(buf), "%s %s %.0f", first ? "" : ",",
+                    name.c_str(), value);
+      os << buf;
+      first = false;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace dcuda::sim

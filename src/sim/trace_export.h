@@ -1,0 +1,73 @@
+#pragma once
+
+// Trace exporters: Chrome trace_event JSON (loadable in chrome://tracing
+// and Perfetto's ui.perfetto.dev) and a compact text summary with overlap
+// and wait statistics. See docs/OBSERVABILITY.md for the event taxonomy,
+// the counter definitions, and a worked example.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace dcuda::sim {
+
+// One traced run (e.g. one benchmark variant). Groups are merged into a
+// single Chrome trace; each (group, device) pair becomes one process so
+// variants sit side by side in the timeline.
+struct TracerGroup {
+  const Tracer* tracer = nullptr;
+  std::string label;  // process-name prefix, e.g. "dCUDA" / "MPI-CUDA"
+};
+
+// Writes the merged groups as Chrome trace_event JSON ("traceEvents"
+// array object format): process/thread metadata, "X" complete events for
+// spans (ts/dur in microseconds), "C" counter events for counter samples.
+// Events are emitted in nondecreasing timestamp order.
+void export_chrome(std::ostream& os, const std::vector<TracerGroup>& groups);
+
+inline void export_chrome(std::ostream& os, const Tracer& t,
+                          const std::string& label = "") {
+  export_chrome(os, std::vector<TracerGroup>{{&t, label}});
+}
+
+// Convenience: writes to `path`; returns false if the file cannot be opened.
+bool export_chrome_file(const std::string& path,
+                        const std::vector<TracerGroup>& groups);
+
+// Aggregate statistics of one traced run (definitions in
+// docs/OBSERVABILITY.md).
+struct TraceSummary {
+  std::size_t num_spans = 0;
+  int lanes = 0;              // distinct (device, lane) pairs
+  Time t0 = 0.0, t1 = 0.0;    // span time range
+  double wall = 0.0;          // t1 - t0
+
+  double by_category[kNumCategories] = {};  // summed span time per category
+
+  // Overlap: per device, the union of compute-class intervals (compute,
+  // memory) is intersected with the union of communication-class intervals
+  // (put, get, notify, pcie, fabric, queue, drain); summed over devices.
+  double compute_time = 0.0;   // union of compute-class intervals
+  double comm_time = 0.0;      // union of communication-class intervals
+  double overlap_time = 0.0;   // |compute ∩ comm|
+  double overlap_ratio = 0.0;  // overlap_time / comm_time (0 when no comm)
+
+  // Wait: total time ranks spend blocked in wait_notifications and the
+  // fraction of all rank-lane span time it represents.
+  double wait_total = 0.0;
+  double wait_fraction = 0.0;
+  Summary wait_us;  // distribution of individual wait durations [µs]
+};
+
+TraceSummary summarize(const Tracer& t);
+
+// Compact text rendering of summarize(): per-category time table, overlap
+// ratio, wait-time distribution (p50/p90/p99), and the tracer's scalar
+// metrics. Stable formatting — a golden test pins it down.
+void write_summary(std::ostream& os, const Tracer& t,
+                   const std::string& label = "");
+
+}  // namespace dcuda::sim
