@@ -1,0 +1,227 @@
+// Wall-clock microbenchmark of the simulation engine itself (events/sec).
+//
+// Unlike the simulated-time figure benches, this binary measures *real* time:
+// how fast the event engine schedules, orders, dispatches, and cancels
+// events. It exercises only the public sim:: API, so the same source builds
+// against any engine revision — scripts/bench_perf.sh uses it to record
+// before/after numbers into BENCH_engine.json.
+//
+// Output is a single JSON object on stdout; human-readable rates go to
+// stderr. Scenario sizes scale with DCUDA_MICRO_SCALE (default 1).
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/proc.h"
+#include "sim/random.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "sim/trigger.h"
+#include "sim/units.h"
+
+namespace dcuda {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  const char* name;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec() const { return seconds > 0 ? events / seconds : 0.0; }
+};
+
+int scale() {
+  if (const char* s = std::getenv("DCUDA_MICRO_SCALE")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+// Runs `body` (which builds a Simulation, populates it, runs it, and returns
+// the event count) `reps` times and wall-clocks the whole thing.
+template <typename Body>
+Result scenario(const char* name, int reps, Body body) {
+  Result r{name};
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) r.events += body();
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::fprintf(stderr, "%-18s %10" PRIu64 " events  %8.3f s  %12.0f ev/s\n",
+               name, r.events, r.seconds, r.events_per_sec());
+  return r;
+}
+
+// A deep heap: N one-shot callbacks pre-scheduled at random times, drained
+// in one run. Dominated by heap push/pop and callback dispatch.
+std::uint64_t timer_churn(int n) {
+  sim::Simulation s;
+  sim::Rng rng(17);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < n; ++i) {
+    s.schedule(rng.uniform(0.0, 1.0), [&acc] { ++acc; });
+  }
+  s.run();
+  return s.events_processed() + (acc == 0 ? 1 : 0);
+}
+
+// A shallow heap in steady state: k independent callback chains, each
+// rescheduling itself from inside the callback. Measures per-event constant
+// overhead with a warm pool.
+std::uint64_t self_chain(int chains, int steps) {
+  sim::Simulation s;
+  struct Chain {
+    sim::Simulation* s;
+    int left;
+    double period;
+    void fire() {
+      if (--left > 0) s->schedule(period, [this] { fire(); });
+    }
+  };
+  std::vector<Chain> cs;
+  cs.reserve(static_cast<size_t>(chains));
+  for (int i = 0; i < chains; ++i) {
+    cs.push_back(Chain{&s, steps, 1e-6 * (1.0 + 0.01 * i)});
+  }
+  for (auto& c : cs) s.schedule(c.period, [&c] { c.fire(); });
+  s.run();
+  return s.events_processed();
+}
+
+// The schedule_resume hot path: coroutines that repeatedly co_await a delay.
+std::uint64_t resume_chain(int procs, int steps) {
+  sim::Simulation s;
+  auto worker = [](sim::Simulation& sim, int n, double d) -> sim::Proc<void> {
+    for (int i = 0; i < n; ++i) co_await sim.delay(d);
+  };
+  for (int p = 0; p < procs; ++p) {
+    s.spawn(worker(s, steps, 1e-6 * (1.0 + 0.01 * p)), "w");
+  }
+  s.run();
+  return s.events_processed();
+}
+
+// Trigger handoff between two coroutines (the mailbox/queue wake-up path).
+std::uint64_t ping_pong(int rounds) {
+  sim::Simulation s;
+  sim::Trigger ping(s), pong(s);
+  auto a = [&]() -> sim::Proc<void> {
+    for (int i = 0; i < rounds; ++i) {
+      ping.notify_all();
+      co_await pong.wait();
+    }
+  };
+  auto b = [&]() -> sim::Proc<void> {
+    for (int i = 0; i < rounds; ++i) {
+      co_await ping.wait();
+      pong.notify_all();
+    }
+  };
+  s.spawn(b(), "b");
+  s.spawn(a(), "a");
+  s.run();
+  return s.events_processed();
+}
+
+// Cancellable events: arm N timeouts, cancel every other one before it
+// fires (the SharedResource::reschedule pattern).
+std::uint64_t cancel_churn(int n) {
+  sim::Simulation s;
+  sim::Rng rng(5);
+  std::vector<sim::EventToken> tokens;
+  tokens.reserve(static_cast<size_t>(n));
+  std::uint64_t acc = 0;
+  for (int i = 0; i < n; ++i) {
+    tokens.push_back(
+        s.schedule_cancellable(rng.uniform(0.0, 1.0), [&acc] { ++acc; }));
+  }
+  for (int i = 0; i < n; i += 2) tokens[static_cast<size_t>(i)].cancel();
+  s.run();
+  return s.events_processed() + static_cast<std::uint64_t>(n) / 2;
+}
+
+// Processor-sharing churn: every arrival/completion cancels and re-arms the
+// resource's completion event.
+std::uint64_t resource_churn(int jobs) {
+  sim::Simulation s;
+  sim::SharedResource res(s, 100.0, 10.0);
+  auto job = [](sim::Simulation& sim, sim::SharedResource& r, double delay,
+                double work) -> sim::Proc<void> {
+    co_await sim.delay(delay);
+    co_await r.use(work);
+  };
+  sim::Rng rng(7);
+  for (int i = 0; i < jobs; ++i) {
+    s.spawn(job(s, res, rng.uniform(0.0, 1.0), rng.uniform(1.0, 5.0)), "j");
+  }
+  s.run();
+  return s.events_processed();
+}
+
+// FIFO semaphore handoff under contention.
+std::uint64_t fifo_contention(int users) {
+  sim::Simulation s;
+  sim::FifoResource res(s, 2);
+  auto user = [](sim::Simulation& sim, sim::FifoResource& r) -> sim::Proc<void> {
+    co_await r.acquire();
+    co_await sim.delay(1e-6);
+    r.release();
+  };
+  for (int i = 0; i < users; ++i) s.spawn(user(s, res), "u");
+  s.run();
+  return s.events_processed();
+}
+
+// Channel streaming: per-message delivery events carrying a payload.
+std::uint64_t channel_stream(int msgs) {
+  sim::Simulation s;
+  sim::Channel<int> ch(s, sim::micros(1), sim::gbs(1.0));
+  auto rx = [&]() -> sim::Proc<void> {
+    for (int i = 0; i < msgs; ++i) (void)co_await ch.rx().pop();
+  };
+  s.spawn(rx(), "rx");
+  for (int i = 0; i < msgs; ++i) ch.send(i, 256.0);
+  s.run();
+  return s.events_processed();
+}
+
+}  // namespace
+}  // namespace dcuda
+
+int main() {
+  using namespace dcuda;
+  const int k = scale();
+  std::vector<Result> results;
+  results.push_back(scenario("timer_churn", 4 * k, [] { return timer_churn(1 << 17); }));
+  results.push_back(scenario("self_chain", 4 * k, [] { return self_chain(64, 4096); }));
+  results.push_back(scenario("resume_chain", 4 * k, [] { return resume_chain(64, 4096); }));
+  results.push_back(scenario("ping_pong", 4 * k, [] { return ping_pong(40000); }));
+  results.push_back(scenario("cancel_churn", 4 * k, [] { return cancel_churn(1 << 17); }));
+  results.push_back(scenario("resource_churn", 2 * k, [] { return resource_churn(4096); }));
+  results.push_back(scenario("fifo_contention", 4 * k, [] { return fifo_contention(8192); }));
+  results.push_back(scenario("channel_stream", 4 * k, [] { return channel_stream(32768); }));
+
+  std::uint64_t total_events = 0;
+  double total_seconds = 0.0;
+  std::printf("{\n  \"scenarios\": {\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    total_events += r.events;
+    total_seconds += r.seconds;
+    std::printf("    \"%s\": {\"events\": %" PRIu64
+                ", \"seconds\": %.6f, \"events_per_sec\": %.0f}%s\n",
+                r.name, r.events, r.seconds, r.events_per_sec(),
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  },\n");
+  std::printf("  \"total_events\": %" PRIu64 ",\n", total_events);
+  std::printf("  \"total_seconds\": %.6f,\n", total_seconds);
+  std::printf("  \"events_per_sec\": %.0f\n}\n",
+              total_seconds > 0 ? total_events / total_seconds : 0.0);
+  return 0;
+}

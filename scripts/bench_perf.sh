@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Wall-clock perf harness for the simulation engine (docs/PERF.md).
+#
+# Runs bench/micro_engine (engine events/sec, real time) and wall-clocks
+# every fig* figure bench, then writes the combined record to a JSON file.
+# Pass a previous run's JSON as BASELINE to embed it under "baseline" —
+# that is how BENCH_engine.json carries before/after engine numbers.
+#
+# Usage: scripts/bench_perf.sh [build-dir] [out.json] [baseline.json]
+#   build-dir     defaults to ./build
+#   out.json      defaults to ./BENCH_engine.json
+#   baseline.json optional previous record to embed for comparison
+# Env:
+#   DCUDA_BENCH_ITERS   fig-bench main-loop iterations (default 10)
+#   DCUDA_MICRO_SCALE   micro_engine repetition multiplier (default 1)
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_engine.json}"
+BASELINE="${3:-}"
+export DCUDA_BENCH_ITERS="${DCUDA_BENCH_ITERS:-10}"
+
+command -v jq > /dev/null || { echo "error: jq required" >&2; exit 1; }
+[ -x "$BUILD/bench/micro_engine" ] || {
+  echo "error: $BUILD/bench/micro_engine not built" >&2
+  exit 1
+}
+
+echo "== micro_engine (wall clock) ==" >&2
+micro_json="$("$BUILD/bench/micro_engine")"
+
+fig_json="{}"
+for b in "$BUILD"/bench/fig*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "== $name (iters=$DCUDA_BENCH_ITERS) ==" >&2
+  t0="$(date +%s.%N)"
+  "$b" > /dev/null
+  t1="$(date +%s.%N)"
+  sec="$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')"
+  echo "   $sec s" >&2
+  fig_json="$(jq --arg n "$name" --argjson s "$sec" '. + {($n): $s}' <<< "$fig_json")"
+done
+
+record="$(jq -n \
+  --argjson iters "$DCUDA_BENCH_ITERS" \
+  --argjson micro "$micro_json" \
+  --argjson figs "$fig_json" \
+  '{schema: "dcuda-bench-engine-v1", fig_bench_iters: $iters,
+    micro_engine: $micro, fig_bench_seconds: $figs}')"
+
+if [ -n "$BASELINE" ] && [ -f "$BASELINE" ]; then
+  # Keep only the baseline's own measurements (strip nested baselines).
+  record="$(jq --argjson base "$(jq 'del(.baseline, .speedup)' "$BASELINE")" \
+    '. + {baseline: $base}' <<< "$record")"
+  record="$(jq '. + {speedup: {events_per_sec:
+    (.micro_engine.events_per_sec / .baseline.micro_engine.events_per_sec)}}' \
+    <<< "$record")"
+fi
+
+printf '%s\n' "$record" > "$OUT"
+echo "wrote $OUT" >&2

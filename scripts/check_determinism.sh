@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Determinism gate: the engine must produce bit-identical output across runs.
+# Runs fig6 (put latency/bandwidth) and fig10 (stencil scaling) twice each
+# and diffs stdout byte-for-byte. Wired into ctest as `determinism_fig_benches`.
+#
+# Usage: scripts/check_determinism.sh [build-dir]
+# Env:   DCUDA_BENCH_ITERS  main-loop iterations (default 5, keeps ctest fast)
+set -euo pipefail
+
+BUILD="${1:-build}"
+export DCUDA_BENCH_ITERS="${DCUDA_BENCH_ITERS:-5}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+status=0
+for name in fig6_put_bandwidth fig10_stencil_scaling; do
+  bin="$BUILD/bench/$name"
+  [ -x "$bin" ] || { echo "error: $bin not built" >&2; exit 1; }
+  "$bin" > "$tmp/$name.run1"
+  "$bin" > "$tmp/$name.run2"
+  if cmp -s "$tmp/$name.run1" "$tmp/$name.run2"; then
+    echo "OK   $name: two runs bit-identical"
+  else
+    echo "FAIL $name: runs differ" >&2
+    diff "$tmp/$name.run1" "$tmp/$name.run2" >&2 || true
+    status=1
+  fi
+done
+exit $status

@@ -78,6 +78,8 @@ sim::Proc<void> Device::launch(const LaunchConfig& lc, Kernel k,
   st->lc = lc;
   st->kernel = std::move(k);
   st->name = name;
+  st->block_name_prefix =
+      "dev" + std::to_string(node_) + "/" + name + "/blk";
   st->per_sm_limit = per_sm;
   st->done = std::make_unique<sim::Trigger>(sim_);
   active_launches_.push_back(st);
@@ -110,8 +112,7 @@ void Device::fill_slots() {
                              resident_blocks());
       }
       sim_.spawn(run_block(st, id, best_sm),
-                 "dev" + std::to_string(node_) + "/" + st->name + "/blk" +
-                     std::to_string(id));
+                 st->block_name_prefix + std::to_string(id));
     }
   }
 }

@@ -152,6 +152,7 @@ class Device {
     LaunchConfig lc;
     Kernel kernel;
     std::string name;
+    std::string block_name_prefix;  // "dev<node>/<name>/blk", built once
     int next_block = 0;
     int finished = 0;
     int per_sm_limit = 0;

@@ -30,9 +30,8 @@ void Fabric::send(Packet p, sim::Rate rate_cap) {
     tracer_->bump("fabric_bytes", p.bytes);
   }
   const sim::Time deliver = end + cfg_.latency + cfg_.sw_overhead;
-  auto holder = std::make_shared<Packet>(std::move(p));
-  sim_.schedule(deliver - sim_.now(), [this, holder]() mutable {
-    nics_[static_cast<size_t>(holder->dst)]->rx.push(std::move(*holder));
+  sim_.schedule(deliver - sim_.now(), [this, pkt = std::move(p)]() mutable {
+    nics_[static_cast<size_t>(pkt.dst)]->rx.push(std::move(pkt));
   });
 }
 

@@ -80,13 +80,20 @@ class CircularQueue {
     const std::uint64_t seq = ++send_count_;
     ++enqueues_;
     if (traced()) tracer_->bump(enqueue_metric_);
+    // Stage the entry into its ring slot right away: holding a credit means
+    // the receiver already consumed the slot's previous occupant, and the
+    // entry stays invisible until the sequence number is committed below.
+    // The commit closure then captures only (this, seq) — small enough for
+    // std::function's inline storage, so the posted write allocates nothing.
+    {
+      Slot& slot = ring_[static_cast<size_t>((seq - 1) % ring_.size())];
+      assert(slot.seq + ring_.size() == seq || slot.seq == 0);
+      slot.entry = std::move(e);
+    }
     // The posted write carries entry + sequence number in one transaction.
     co_await transport_.write(
-        sizeof(Entry) + sizeof(std::uint64_t), [this, seq, e = std::move(e)] {
+        sizeof(Entry) + sizeof(std::uint64_t), [this, seq] {
           Slot& slot = ring_[static_cast<size_t>((seq - 1) % ring_.size())];
-          // Credits guarantee the receiver consumed the previous occupant.
-          assert(slot.seq + ring_.size() == seq || slot.seq == 0);
-          slot.entry = e;
           slot.seq = seq;
           if (traced()) {
             tracer_->counter_add(sim_.now(), trace_device_, depth_counter_, 1.0);

@@ -93,11 +93,14 @@ sim::Proc<void> NodeRuntime::host_dispatch_cost() {
 
 sim::Proc<void> NodeRuntime::command_loop(int local_rank) {
   RankState& rs = rank(local_rank);
+  // One name for every command processor of this rank — built once, not per
+  // dispatched command (the loop runs once per device-side operation).
+  const std::string proc_name =
+      "cmd@" + std::to_string(node()) + "/" + std::to_string(local_rank);
   for (;;) {
     Command c = co_await rs.cmd_q.dequeue();
     co_await host_dispatch_cost();
-    sim_.spawn(process_command(local_rank, c),
-               "cmd@" + std::to_string(node()) + "/" + std::to_string(local_rank));
+    sim_.spawn(process_command(local_rank, c), proc_name);
   }
 }
 
@@ -298,10 +301,11 @@ sim::Proc<void> NodeRuntime::handle_finish(int local_rank, Command c) {
 
 sim::Proc<void> NodeRuntime::meta_loop() {
   Meta m;
+  const std::string proc_name = "meta@" + std::to_string(node());
   for (;;) {
     co_await ep_.recv(mpi::kAnySource, kMetaTag, gpu::mem_ref(&m, 1));
     co_await host_dispatch_cost();
-    sim_.spawn(handle_meta(m), "meta@" + std::to_string(node()));
+    sim_.spawn(handle_meta(m), proc_name);
   }
 }
 

@@ -34,10 +34,10 @@ class Channel {
     link_free_ = end;
     bytes_sent_ += bytes;
     ++messages_sent_;
-    // shared_ptr shim: std::function requires copyable callables.
-    auto holder = std::make_shared<T>(std::move(msg));
+    // The event engine accepts move-only callables, so the message rides in
+    // the delivery event itself (inline in the event slot when it fits).
     sim_.schedule(end + latency_ - sim_.now(),
-                  [this, holder]() mutable { rx_.push(std::move(*holder)); });
+                  [this, m = std::move(msg)]() mutable { rx_.push(std::move(m)); });
   }
 
   Mailbox<T>& rx() { return rx_; }

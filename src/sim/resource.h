@@ -13,8 +13,9 @@
 // serialized links (PCIe directions, NIC send queues).
 
 #include <coroutine>
+#include <cstdint>
+#include <deque>
 #include <limits>
-#include <map>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -39,7 +40,7 @@ class SharedResource {
     return Awaiter{this, work};
   }
 
-  std::size_t active_jobs() const { return jobs_.size(); }
+  std::size_t active_jobs() const { return job_count_; }
   double capacity() const { return capacity_; }
   double per_job_cap() const { return per_job_cap_; }
 
@@ -61,10 +62,30 @@ class SharedResource {
 
   // Virtual service progress: every active job accrues service at the same
   // rate, so a job admitted at virtual time v with work w completes when the
-  // virtual clock reaches v + w. multimap keeps completions ordered.
+  // virtual clock reaches v + w.
+  //
+  // Active jobs live in a flat 4-ary min-heap keyed on (end, admission
+  // sequence) — the sequence tie-break reproduces the old std::multimap's
+  // FIFO order among equal completion times, and the backing vector is
+  // reused, so admission and completion are O(log n) with no per-job
+  // allocation once the vector is warm.
+  struct Job {
+    double end;         // completion virtual time
+    std::uint64_t seq;  // admission order, breaks ties deterministically
+    std::coroutine_handle<> h;
+  };
+  static bool job_less(const Job& a, const Job& b) {
+    if (a.end != b.end) return a.end < b.end;
+    return a.seq < b.seq;
+  }
+  void insert_job(double end, std::coroutine_handle<> h);
+  Job pop_min_job();
+
   double vclock_ = 0.0;
   Time last_update_ = 0.0;
-  std::multimap<double, std::coroutine_handle<>> jobs_;
+  std::vector<Job> jobs_;  // 4-ary min-heap
+  std::uint64_t next_job_seq_ = 0;
+  std::size_t job_count_ = 0;
   EventToken completion_;
 
   double work_done_ = 0.0;
@@ -97,7 +118,7 @@ class FifoResource {
   void release() {
     if (!waiters_.empty()) {
       auto h = waiters_.front();
-      waiters_.erase(waiters_.begin());
+      waiters_.pop_front();
       sim_.schedule_resume(h);  // slot handed over directly
     } else {
       ++free_;
@@ -110,7 +131,7 @@ class FifoResource {
  private:
   Simulation& sim_;
   int free_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::deque<std::coroutine_handle<>> waiters_;
 };
 
 }  // namespace dcuda::sim

@@ -32,44 +32,119 @@ Simulation::~Simulation() {
   };
   reap(live_);
   reap(daemons_);
+  // Free payloads of events still pending (or cancelled-but-unpopped): the
+  // key heap plus the resume ring list exactly the occupied slots, once
+  // each. (Ring slots are direct resumes and carry no payload, but walking
+  // them keeps the invariant obvious.)
+  for (std::size_t i = 0; i < heap_size_; ++i) {
+    destroy_payload(slot(static_cast<std::uint32_t>(heap_data_[i].key & kSlotMask)));
+  }
+  for (std::size_t i = ring_head_; i < ring_.size(); ++i) {
+    destroy_payload(slot(static_cast<std::uint32_t>(ring_[i].key & kSlotMask)));
+  }
+  heap_dealloc();
+  // Detach from outstanding EventTokens; the last of them frees the block.
+  blk_->sim = nullptr;
+  if (--blk_->refs == 0) delete blk_;
 }
 
-void Simulation::schedule(Dur delay, std::function<void()> fn) {
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), nullptr});
+void Simulation::heap_grow() {
+  // Element 0 sits 48 bytes into a 64-byte-aligned block so that elements
+  // 4i+1 .. 4i+4 — the children of node i — share one cache line.
+  const std::size_t cap = heap_cap_ > 0 ? heap_cap_ * 2 : 1024;
+  void* raw = ::operator new(48 + cap * sizeof(HeapEntry), std::align_val_t{64});
+  auto* data = reinterpret_cast<HeapEntry*>(static_cast<unsigned char*>(raw) + 48);
+  if (heap_size_ > 0) std::memcpy(data, heap_data_, heap_size_ * sizeof(HeapEntry));
+  heap_dealloc();
+  heap_data_ = data;
+  heap_cap_ = cap;
 }
 
-EventToken Simulation::schedule_cancellable(Dur delay, std::function<void()> fn) {
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), alive});
-  return EventToken(alive);
+void Simulation::heap_dealloc() {
+  if (heap_data_ != nullptr) {
+    ::operator delete(reinterpret_cast<unsigned char*>(heap_data_) - 48,
+                      std::align_val_t{64});
+    heap_data_ = nullptr;
+  }
 }
 
-void Simulation::schedule_resume(std::coroutine_handle<> h, Dur delay) {
-  schedule(delay, [h] { h.resume(); });
+void Simulation::heap_push(HeapEntry e) {
+  if (heap_size_ == heap_cap_) heap_grow();
+  std::size_t i = heap_size_++;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!key_less(e, heap_data_[parent])) break;
+    heap_data_[i] = heap_data_[parent];
+    i = parent;
+  }
+  heap_data_[i] = e;
+}
+
+Simulation::HeapEntry Simulation::heap_pop() {
+  const HeapEntry top = heap_data_[0];
+  const HeapEntry last = heap_data_[--heap_size_];
+  const std::size_t n = heap_size_;
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      // The sift is a chain of dependent cache misses in a deep heap;
+      // prefetching all four grandchild groups (one line each) overlaps the
+      // next level's fetch with this level's compare, whichever child wins.
+      const std::size_t gfirst = 4 * first + 1;
+      if (gfirst < n) {
+        __builtin_prefetch(&heap_data_[gfirst]);
+        __builtin_prefetch(&heap_data_[gfirst + 4]);
+        __builtin_prefetch(&heap_data_[gfirst + 8]);
+        __builtin_prefetch(&heap_data_[gfirst + 12]);
+      }
+      std::size_t min_child = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (key_less(heap_data_[c], heap_data_[min_child])) min_child = c;
+      }
+      if (!key_less(heap_data_[min_child], last)) break;
+      heap_data_[i] = heap_data_[min_child];
+      i = min_child;
+    }
+    heap_data_[i] = last;
+  }
+  return top;
 }
 
 JoinHandle Simulation::spawn(Proc<void> p, std::string name, bool daemon) {
   auto st = std::make_shared<JoinHandle::State>();
   st->name = std::move(name);
+  st->daemon = daemon;
   st->sim = this;
 
   Proc<void> runner = root_runner(std::move(p), st);
   auto h = runner.release();
   h.promise().detached = true;
   st->frame = h;
-  h.promise().on_final = [this, st] {
-    st->done = true;
-    st->frame = nullptr;
-    if (st->exception && st->joiners.empty()) escaped_.push_back(st->exception);
-    for (auto j : st->joiners) schedule_resume(j);
-    st->joiners.clear();
+  // Two raw pointers: fits std::function's inline storage, so arming the
+  // completion hook allocates nothing. root_runner holds its own shared_ptr
+  // to the state, which outlives final_suspend.
+  JoinHandle::State* stp = st.get();
+  h.promise().on_final = [this, stp] {
+    stp->done = true;
+    stp->frame = nullptr;
+    ++(stp->daemon ? done_daemons_ : done_live_);
+    if (stp->exception && stp->joiners.empty()) escaped_.push_back(stp->exception);
+    for (auto j : stp->joiners) schedule_resume(j);
+    stp->joiners.clear();
   };
   auto& registry = daemon ? daemons_ : live_;
+  std::size_t& done_count = daemon ? done_daemons_ : done_live_;
   registry.push_back(st);
   // Completed states would otherwise accumulate forever (one per spawned
-  // process — millions in long runs); compact opportunistically.
-  if (registry.size() >= 4096) {
-    std::erase_if(registry, [](const auto& p) { return p->done; });
+  // process — millions in long runs). Compact only when at least half the
+  // registry is dead, so workloads with thousands of concurrently live
+  // processes don't rescan it on every spawn.
+  if (registry.size() >= 4096 && done_count * 2 >= registry.size()) {
+    std::erase_if(registry, [](const auto& q) { return q->done; });
+    done_count = 0;
   }
   schedule_resume(h);
   return JoinHandle(st);
@@ -90,16 +165,55 @@ Proc<void> JoinHandle::join() {
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.alive && !*ev.alive) continue;  // cancelled
-    now_ = ev.t;
+  for (;;) {
+    HeapEntry e;
+    const bool ring_pending = ring_head_ < ring_.size();
+    if (ring_pending &&
+        (heap_size_ == 0 || key_less(ring_[ring_head_], heap_data_[0]))) {
+      // Zero-delay resume ring: entries are pre-sorted (all at now_, seq
+      // ascending), so this is the global minimum.
+      e = ring_[ring_head_++];
+      if (ring_head_ == ring_.size()) {
+        ring_.clear();
+        ring_head_ = 0;
+      }
+    } else if (heap_size_ > 0) {
+      // Start fetching the winning event's slot line before the sift-down
+      // touches the heap: the two are independent, so the slot arrives from
+      // cache by the time dispatch needs it.
+      __builtin_prefetch(
+          &slot(static_cast<std::uint32_t>(heap_data_[0].key & kSlotMask)));
+      e = heap_pop();
+    } else {
+      return false;
+    }
+    const std::uint32_t si = static_cast<std::uint32_t>(e.key & kSlotMask);
+    EventSlot& s = slot(si);
+    if ((s.gen & kGenCancelled) != 0u) {
+      destroy_payload(s);
+      release_slot(si);
+      continue;
+    }
+    now_ = e.t;
     ++events_processed_;
-    ev.fn();
+    if (s.invoke == nullptr) {
+      // Direct resume. Release before resuming: the slot is immediately
+      // reusable (warm for whatever the coroutine schedules next) and holds
+      // no payload.
+      void* addr;
+      std::memcpy(&addr, s.buf, sizeof(addr));
+      release_slot(si);
+      std::coroutine_handle<>::from_address(addr).resume();
+    } else {
+      // Invoke in place; the slot stays off the free list during the call,
+      // and chunks never move, so `s` stays valid if the callback schedules
+      // (and thereby grows the pool).
+      s.invoke(s.buf);
+      destroy_payload(s);
+      release_slot(si);
+    }
     return true;
   }
-  return false;
 }
 
 void Simulation::run() {
@@ -110,7 +224,16 @@ void Simulation::run() {
 }
 
 void Simulation::run_until(Time t) {
-  while (!queue_.empty() && queue_.top().t <= t) {
+  for (;;) {
+    Time next;
+    if (ring_head_ < ring_.size()) {
+      next = ring_[ring_head_].t;  // ≤ any heap time by construction
+    } else if (heap_size_ > 0) {
+      next = heap_data_[0].t;
+    } else {
+      break;
+    }
+    if (next > t) break;
     step();
   }
   now_ = std::max(now_, t);

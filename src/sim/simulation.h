@@ -6,14 +6,33 @@
 // (time, insertion-sequence) order. Processes are C++20 coroutines (Proc<T>)
 // driven from the event queue. Simulated entities (resources, channels,
 // queues) schedule events to resume suspended processes.
+//
+// Engine layout (docs/PERF.md): event payloads live in 64-byte slots —
+// exactly one cache line each — allocated in fixed-size chunks and recycled
+// through an intrusive free list. A slot holds either a coroutine handle
+// resumed directly (the hot path, marked by a null invoke pointer) or a
+// small callback constructed in place in the slot's inline buffer; larger
+// callbacks fall back to one heap allocation whose pointer lives in the
+// buffer instead. The pending set is a 4-ary min-heap of 16-byte
+// (time, seq|slot) keys stored so that each 4-child group spans exactly one
+// cache line — sift operations move keys, never payloads. Cancellation is a
+// (slot, generation) comparison: the generation advances on every release,
+// which invalidates every outstanding EventToken for the slot, and its two
+// low bits double as the cancelled/heap-payload flags. In steady state
+// (chunks warm, callbacks within the inline buffer) scheduling and
+// dispatching allocate nothing.
 
+#include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
 #include <memory>
-#include <queue>
+#include <new>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/proc.h"
@@ -22,6 +41,17 @@
 namespace dcuda::sim {
 
 class Simulation;
+
+namespace detail {
+// Liveness anchor shared by a Simulation and its EventTokens. The engine
+// holds one reference for its whole lifetime and nulls `sim` on
+// destruction, so a token can always tell a dead engine from a live one.
+// Plain (non-atomic) counts: the simulator is single-threaded by contract.
+struct TokenBlock {
+  Simulation* sim;
+  std::uint64_t refs;
+};
+}  // namespace detail
 
 // Thrown by Simulation::run when non-daemon processes remain but no events
 // are pending: every remaining process waits on a condition nobody can
@@ -33,22 +63,49 @@ class DeadlockError : public std::runtime_error {
 };
 
 // Cancellation token for a scheduled event (used for timeouts and for
-// rescheduling completion events in shared resources).
+// rescheduling completion events in shared resources). Holds a (slot,
+// generation) pair into the engine's event pool plus a shared liveness
+// anchor, so a token may safely outlive both its event (the slot's
+// generation has moved on) and the whole Simulation (the anchor's engine
+// pointer is nulled).
 class EventToken {
  public:
   EventToken() = default;
-  explicit EventToken(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  void cancel() {
-    if (auto a = alive_.lock()) *a = false;
-    alive_.reset();
+  EventToken(const EventToken& o) : blk_(o.blk_), slot_(o.slot_), gen_(o.gen_) {
+    if (blk_ != nullptr) ++blk_->refs;
   }
-  bool pending() const {
-    auto a = alive_.lock();
-    return a && *a;
+  EventToken(EventToken&& o) noexcept
+      : blk_(o.blk_), slot_(o.slot_), gen_(o.gen_) {
+    o.blk_ = nullptr;
   }
+  EventToken& operator=(EventToken o) noexcept {
+    std::swap(blk_, o.blk_);
+    std::swap(slot_, o.slot_);
+    std::swap(gen_, o.gen_);
+    return *this;
+  }
+  ~EventToken() { drop(); }
+
+  void cancel();
+  bool pending() const;
 
  private:
-  std::weak_ptr<bool> alive_;
+  friend class Simulation;
+  EventToken(detail::TokenBlock* blk, std::uint32_t slot, std::uint32_t gen)
+      : blk_(blk), slot_(slot), gen_(gen) {
+    ++blk_->refs;
+  }
+
+  void drop() {
+    // The engine keeps its own reference while alive, so refs only reaches
+    // zero once the Simulation is gone and the last token lets go.
+    if (blk_ != nullptr && --blk_->refs == 0) delete blk_;
+    blk_ = nullptr;
+  }
+
+  detail::TokenBlock* blk_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 // Handle to a spawned root process; join() suspends until it completes and
@@ -80,9 +137,38 @@ class Simulation {
 
   // -- Event scheduling ------------------------------------------------
 
-  void schedule(Dur delay, std::function<void()> fn);
-  EventToken schedule_cancellable(Dur delay, std::function<void()> fn);
-  void schedule_resume(std::coroutine_handle<> h, Dur delay = 0.0);
+  // Schedules `fn` to run after `delay`. The callable is moved into the
+  // event slot's inline buffer when it fits (kInlineBytes); larger callables
+  // fall back to one heap allocation, counted in pool_stats().
+  template <typename F>
+  void schedule(Dur delay, F&& fn) {
+    emplace_event(now_ + delay, std::forward<F>(fn));
+  }
+
+  template <typename F>
+  EventToken schedule_cancellable(Dur delay, F&& fn) {
+    const std::uint32_t si = emplace_event(now_ + delay, std::forward<F>(fn));
+    return EventToken(blk_, si, slot(si).gen);
+  }
+
+  // Direct coroutine resumption: no callable at all, just the handle.
+  // Zero-delay resumes — the dominant event in trigger notifies, FIFO
+  // handoffs, and spawns — bypass the heap through a FIFO ring: they all
+  // carry the current time, so their (time, seq) keys arrive pre-sorted.
+  void schedule_resume(std::coroutine_handle<> h, Dur delay = 0.0) {
+    const std::uint32_t si = acquire_slot();
+    EventSlot& s = slot(si);
+    s.invoke = nullptr;  // marks the slot as a direct resume
+    void* addr = h.address();
+    std::memcpy(s.buf, &addr, sizeof(addr));
+    assert(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)) &&
+           "event sequence numbers exhausted");
+    if (delay == 0.0) {
+      ring_.push_back(HeapEntry{now_, (next_seq_++ << kSlotBits) | si});
+    } else {
+      heap_push(HeapEntry{now_ + delay, (next_seq_++ << kSlotBits) | si});
+    }
+  }
 
   // -- Processes -------------------------------------------------------
 
@@ -117,19 +203,148 @@ class Simulation {
   std::size_t events_processed() const { return events_processed_; }
   std::size_t live_processes() const { return live_.size(); }
 
+  // -- Engine introspection (docs/PERF.md) -----------------------------
+
+  // Allocation accounting for the steady-state zero-allocation guarantee:
+  // once the pool and heap are warm, `pool_growths` and `heap_fallbacks`
+  // stop increasing — every schedule/dispatch reuses pooled storage.
+  struct PoolStats {
+    std::size_t pool_slots = 0;        // slots ever created
+    std::size_t free_slots = 0;        // currently on the free list
+    std::size_t pending_events = 0;    // keys in the heap
+    std::uint64_t pool_growths = 0;    // pool chunk allocations
+    std::uint64_t heap_fallbacks = 0;  // callables too big for inline buffer
+  };
+  PoolStats pool_stats() const {
+    return PoolStats{pool_size_, free_count_,
+                     heap_size_ + (ring_.size() - ring_head_), pool_growths_,
+                     heap_fallbacks_};
+  }
+
  private:
-  struct Event {
+  friend class EventToken;
+
+  // Payload slot: exactly one cache line. The two generation flag bits
+  // (kGenCancelled, kGenHeap) travel with the generation value, so a token
+  // comparing its remembered generation simultaneously checks liveness and
+  // cancellation. Releasing a slot rounds the generation up to the next
+  // multiple of kGenStep, invalidating every outstanding token for it.
+  // The generation is 32-bit (30 usable bits); a stale token would be
+  // revived only if it survived exactly 2^30 reuses of its slot.
+  struct EventSlot {
+    static constexpr std::size_t kInlineBytes = 40;
+
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+    void (*invoke)(void*) = nullptr;   // null: buf holds a coroutine address
+    void (*destroy)(void*) = nullptr;  // non-null: payload needs teardown
+    std::uint32_t gen = kGenStep;
+    std::uint32_t next_free = kNilSlot;
+  };
+  static_assert(sizeof(EventSlot) == 64, "EventSlot must be one cache line");
+
+  static constexpr std::uint32_t kGenCancelled = 1u;
+  static constexpr std::uint32_t kGenHeap = 2u;
+  static constexpr std::uint32_t kGenStep = 4u;
+
+  // Heap key: 16 bytes. `key` packs (seq << kSlotBits) | slot — seq is
+  // strictly increasing, so comparing packed keys compares sequence numbers
+  // and the slot index rides along for free.
+  struct HeapEntry {
     Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;  // null => not cancellable
+    std::uint64_t key;
   };
-  struct EventCmp {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;  // min-heap: earlier sequence first
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1u;
+
+  // Slots live in fixed 64 KiB chunks: addresses are stable (callbacks may
+  // schedule, growing the pool, while the engine still points at their
+  // slot), indexing is shift+mask, and growth never copies.
+  static constexpr unsigned kChunkBits = 10;
+  static constexpr std::size_t kChunkSlots = std::size_t{1} << kChunkBits;
+
+  static bool key_less(const HeapEntry& a, const HeapEntry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.key < b.key;  // earlier sequence first
+  }
+
+  EventSlot& slot(std::uint32_t i) {
+    return chunks_[i >> kChunkBits][i & (kChunkSlots - 1)];
+  }
+  const EventSlot& slot(std::uint32_t i) const {
+    return chunks_[i >> kChunkBits][i & (kChunkSlots - 1)];
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t s = free_head_;
+      free_head_ = slot(s).next_free;
+      --free_count_;
+      return s;
     }
-  };
+    assert(pool_size_ < kSlotMask && "event pool exhausted (2^24 pending)");
+    if (pool_size_ == chunks_.size() * kChunkSlots) {
+      chunks_.emplace_back(new EventSlot[kChunkSlots]);
+      ++pool_growths_;
+    }
+    return static_cast<std::uint32_t>(pool_size_++);
+  }
+
+  void release_slot(std::uint32_t si) {
+    EventSlot& s = slot(si);
+    s.gen = (s.gen | (kGenStep - 1u)) + 1u;  // next generation, flags cleared
+    s.next_free = free_head_;
+    free_head_ = si;
+    ++free_count_;
+  }
+
+  void destroy_payload(EventSlot& s) {
+    if (s.invoke != nullptr && s.destroy != nullptr) s.destroy(s.buf);
+  }
+
+  template <typename F>
+  std::uint32_t emplace_event(Time t, F&& fn) {
+    using D = std::decay_t<F>;
+    const std::uint32_t si = acquire_slot();
+    EventSlot& s = slot(si);
+    if constexpr (sizeof(D) <= EventSlot::kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(s.buf)) D(std::forward<F>(fn));
+      s.invoke = [](void* p) { (*static_cast<D*>(p))(); };
+      s.destroy = std::is_trivially_destructible_v<D>
+                      ? nullptr
+                      : +[](void* p) { static_cast<D*>(p)->~D(); };
+    } else {
+      // Too big for the slot: one heap allocation, its pointer parked in
+      // the inline buffer so dispatch stays uniform.
+      ::new (static_cast<void*>(s.buf)) D*(new D(std::forward<F>(fn)));
+      s.gen |= kGenHeap;
+      s.invoke = [](void* p) { (**static_cast<D**>(p))(); };
+      s.destroy = [](void* p) { delete *static_cast<D**>(p); };
+      ++heap_fallbacks_;
+    }
+    push_key(t, si);
+    return si;
+  }
+
+  void push_key(Time t, std::uint32_t si) {
+    assert(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)) &&
+           "event sequence numbers exhausted");
+    heap_push(HeapEntry{t, (next_seq_++ << kSlotBits) | si});
+  }
+
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop();
+  void heap_grow();
+  void heap_dealloc();
+
+  void cancel_event(std::uint32_t si, std::uint32_t gen) {
+    EventSlot& s = slot(si);
+    if (s.gen == gen) s.gen = gen | kGenCancelled;
+  }
+  bool event_pending(std::uint32_t si, std::uint32_t gen) const {
+    return slot(si).gen == gen;
+  }
 
   bool step();  // processes one event; false if queue empty
   void check_deadlock() const;
@@ -138,15 +353,54 @@ class Simulation {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+
+  // 4-ary min-heap of keys. The element array starts 48 bytes into a
+  // 64-byte-aligned allocation, so each child group {4i+1 .. 4i+4} occupies
+  // exactly one cache line.
+  HeapEntry* heap_data_ = nullptr;
+  std::size_t heap_size_ = 0;
+  std::size_t heap_cap_ = 0;
+
+  // FIFO ring of zero-delay resumes. Every entry's time equals now_ — no
+  // event can fire in between without violating (time, seq) order — and the
+  // backing vector is reused once drained, so pushes are allocation-free in
+  // steady state.
+  std::vector<HeapEntry> ring_;
+  std::size_t ring_head_ = 0;
+
+  std::vector<std::unique_ptr<EventSlot[]>> chunks_;
+  std::size_t pool_size_ = 0;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t free_count_ = 0;
+  std::uint64_t pool_growths_ = 0;
+  std::uint64_t heap_fallbacks_ = 0;
+
+  // Liveness anchor for EventTokens (one allocation per Simulation).
+  detail::TokenBlock* blk_ = new detail::TokenBlock{this, 1};
+
   std::vector<std::shared_ptr<JoinHandle::State>> live_;  // non-daemon roots
   std::vector<std::shared_ptr<JoinHandle::State>> daemons_;
+  std::size_t done_live_ = 0;     // completed-but-uncompacted, per registry
+  std::size_t done_daemons_ = 0;
   std::vector<std::exception_ptr> escaped_;  // from unjoined roots
 };
+
+inline void EventToken::cancel() {
+  if (blk_ != nullptr && blk_->sim != nullptr) {
+    blk_->sim->cancel_event(slot_, gen_);
+  }
+  drop();
+}
+
+inline bool EventToken::pending() const {
+  return blk_ != nullptr && blk_->sim != nullptr &&
+         blk_->sim->event_pending(slot_, gen_);
+}
 
 struct JoinHandle::State {
   std::string name;
   bool done = false;
+  bool daemon = false;
   bool exception_consumed = false;
   std::exception_ptr exception;
   std::vector<std::coroutine_handle<>> joiners;
@@ -155,6 +409,10 @@ struct JoinHandle::State {
 };
 
 inline bool JoinHandle::done() const { return st_ && st_->done; }
-inline const std::string& JoinHandle::name() const { return st_->name; }
+
+inline const std::string& JoinHandle::name() const {
+  static const std::string kInvalid;
+  return st_ ? st_->name : kInvalid;
+}
 
 }  // namespace dcuda::sim

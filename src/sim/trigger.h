@@ -30,12 +30,12 @@ class Trigger {
   }
 
   // Wakes all current waiters at the current simulated time (as separate
-  // events, never inline, to avoid re-entrancy).
+  // events, never inline, to avoid re-entrancy). schedule_resume only
+  // enqueues — no user code runs during the loop, so waiters_ cannot change
+  // under us and its capacity is reused across notifications.
   void notify_all() {
-    if (waiters_.empty()) return;
-    auto w = std::move(waiters_);
+    for (auto h : waiters_) sim_->schedule_resume(h);
     waiters_.clear();
-    for (auto h : w) sim_->schedule_resume(h);
   }
 
   std::size_t waiter_count() const { return waiters_.size(); }

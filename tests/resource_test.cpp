@@ -149,11 +149,13 @@ TEST(SharedResource, FasterThanSerialWhenShared) {
     SharedResource res(sim, 100.0);
     double total_work = 0.0;
     const int n = 3 + static_cast<int>(rng.next_below(8));
+    // The finish times must outlive the loop body: each coroutine writes its
+    // slot during sim.run(), long after a loop-local would be gone.
+    std::vector<Time> fins(static_cast<size_t>(n), -1.0);
     for (int i = 0; i < n; ++i) {
       const double w = rng.uniform(5.0, 50.0);
       total_work += w;
-      Time dummy;
-      sim.spawn(job(sim, res, 0.0, w, dummy), "j");
+      sim.spawn(job(sim, res, 0.0, w, fins[static_cast<size_t>(i)]), "j");
     }
     sim.run();
     EXPECT_GE(sim.now(), total_work / 100.0 - 1e-9);
@@ -206,6 +208,52 @@ TEST(FifoResource, ReleaseHandsSlotToWaiter) {
   sim.run_until(micros(10));
   EXPECT_EQ(res.queue_length(), 0u);
   EXPECT_EQ(res.available(), 1);
+}
+
+TEST(SharedResource, ZeroWorkNeverCompletesInline) {
+  Simulation sim;
+  SharedResource res(sim, 100.0);
+  std::vector<int> order;
+  auto user = [&](int id) -> Proc<void> {
+    co_await res.use(0.0);
+    order.push_back(id);
+  };
+  sim.spawn(user(1), "z1");
+  sim.spawn(user(2), "z2");
+  // Completion always goes through the event queue: nothing happens until
+  // the simulation runs, then both finish at t=0 in admission order.
+  EXPECT_TRUE(order.empty());
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(SharedResource, PerJobCapEqualToFairShareIsNotSlower) {
+  // per_job_cap == capacity / n: the cap and the fair share coincide, so
+  // neither regime may throttle below the other (a strict `<` vs `<=`
+  // mistake in rate_per_job would show up here).
+  Simulation sim;
+  SharedResource res(sim, 100.0, 25.0);
+  Time f[4] = {-1, -1, -1, -1};
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(job(sim, res, 0.0, 50.0, f[i]), "j");
+  }
+  sim.run();
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(f[i], 2.0, 1e-9);
+}
+
+TEST(SharedResource, JobAdmittedAtInstantAnotherCompletes) {
+  // A finishes exactly when B arrives: B must see the resource to itself —
+  // the completion event and the admission at the same timestamp resolve in
+  // schedule order without B inheriting A's degraded rate.
+  Simulation sim;
+  SharedResource res(sim, 100.0);
+  Time fa = -1, fb = -1;
+  sim.spawn(job(sim, res, 0.0, 100.0, fa), "a");  // alone: done at t=1
+  sim.spawn(job(sim, res, 1.0, 100.0, fb), "b");  // arrives exactly at t=1
+  sim.run();
+  EXPECT_NEAR(fa, 1.0, 1e-9);
+  EXPECT_NEAR(fb, 2.0, 1e-9);
 }
 
 }  // namespace

@@ -68,6 +68,96 @@ TEST(EventQueue, CancelledEventDoesNotFire) {
   EXPECT_FALSE(fired);
 }
 
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  Simulation sim;
+  int fired = 0;
+  EventToken tok = sim.schedule_cancellable(micros(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(tok.pending());
+  tok.cancel();  // must not disturb the (released) slot
+  // The slot is recycled for a new event; the stale token must not touch it.
+  sim.schedule(micros(1), [&] { ++fired; });
+  tok.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelTwiceIsIdempotent) {
+  Simulation sim;
+  bool fired = false;
+  EventToken tok = sim.schedule_cancellable(micros(1), [&] { fired = true; });
+  EventToken copy = tok;
+  tok.cancel();
+  tok.cancel();
+  copy.cancel();
+  EXPECT_FALSE(copy.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, TokenOutlivesEngine) {
+  EventToken tok;
+  {
+    Simulation sim;
+    tok = sim.schedule_cancellable(micros(1), [] {});
+    EXPECT_TRUE(tok.pending());
+  }
+  // The engine is gone; the token must answer and cancel safely.
+  EXPECT_FALSE(tok.pending());
+  tok.cancel();
+}
+
+TEST(EventQueue, SlotReuseDoesNotResurrectStaleTokens) {
+  Simulation sim;
+  bool first_fired = false;
+  bool second_fired = false;
+  EventToken stale = sim.schedule_cancellable(micros(1), [&] { first_fired = true; });
+  sim.run();
+  EXPECT_TRUE(first_fired);
+  // The freed slot is reused (LIFO free list) by the next event; the stale
+  // token's generation no longer matches, so cancelling it is a no-op.
+  EventToken fresh = sim.schedule_cancellable(micros(1), [&] { second_fired = true; });
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  stale.cancel();
+  EXPECT_TRUE(fresh.pending());
+  sim.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventPool, SteadyStateDispatchDoesNotAllocate) {
+  Simulation sim;
+  struct Chain {
+    Simulation& s;
+    int left;
+    void fire() {
+      if (--left > 0) s.schedule(micros(1), [this] { fire(); });
+    }
+  };
+  Chain chain{sim, 20000};
+  sim.schedule(micros(1), [&] { chain.fire(); });
+  sim.run_until(micros(100));  // warm the pool and the key heap
+  const Simulation::PoolStats warm = sim.pool_stats();
+  sim.run();
+  const Simulation::PoolStats done = sim.pool_stats();
+  EXPECT_EQ(done.pool_growths, warm.pool_growths);
+  EXPECT_EQ(done.heap_fallbacks, warm.heap_fallbacks);
+  EXPECT_EQ(done.pending_events, 0u);
+  EXPECT_EQ(done.free_slots, done.pool_slots);
+}
+
+TEST(EventPool, OversizedCallableFallsBackToHeap) {
+  Simulation sim;
+  char big[128] = {};
+  big[0] = 42;
+  char seen = 0;
+  sim.schedule(micros(1), [big, &seen] { seen = big[0]; });
+  EXPECT_EQ(sim.pool_stats().heap_fallbacks, 1u);
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
 TEST(EventQueue, CountsProcessedEvents) {
   Simulation sim;
   for (int i = 0; i < 5; ++i) sim.schedule(micros(i), [] {});
