@@ -30,6 +30,12 @@ inline int iterations(int dflt = 20) {
 inline sim::MachineConfig machine(int nodes) {
   sim::MachineConfig cfg;
   cfg.num_nodes = nodes;
+  // DCUDA_PERTURB_SEED=<uint64> reruns the benchmark under a seeded schedule
+  // perturbation (docs/TESTING.md). check_determinism.sh uses this to verify
+  // seed-replay stability; unset or 0 keeps the canonical schedule.
+  if (const char* s = std::getenv("DCUDA_PERTURB_SEED")) {
+    cfg.perturb_seed = std::strtoull(s, nullptr, 0);
+  }
   return cfg;
 }
 

@@ -1,30 +1,47 @@
 #!/usr/bin/env bash
 # Determinism gate: the engine must produce bit-identical output across runs.
-# Runs fig6 (put latency/bandwidth) and fig10 (stencil scaling) twice each
-# and diffs stdout byte-for-byte. Wired into ctest as `determinism_fig_benches`.
+#
+# Two properties, both byte-compared on stdout (docs/TESTING.md):
+#  1. Default-schedule stability: fig6 (put latency/bandwidth) and fig10
+#     (stencil scaling) run twice must match.
+#  2. Seed stability: the same benchmarks under a perturbed schedule
+#     (DCUDA_PERTURB_SEED) must replay bit-identically — a perturbation is a
+#     pure function of its seed, never of hidden state.
+#
+# Wired into ctest as `determinism_fig_benches`.
 #
 # Usage: scripts/check_determinism.sh [build-dir]
-# Env:   DCUDA_BENCH_ITERS  main-loop iterations (default 5, keeps ctest fast)
+# Env:   DCUDA_BENCH_ITERS   main-loop iterations (default 5, keeps ctest fast)
+#        DCUDA_PERTURB_SEED  seed for the perturbed pass (default 3735928559)
 set -euo pipefail
 
 BUILD="${1:-build}"
 export DCUDA_BENCH_ITERS="${DCUDA_BENCH_ITERS:-5}"
+PERTURB_SEED="${DCUDA_PERTURB_SEED:-3735928559}"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 status=0
+compare() {  # compare <label> <file1> <file2>
+  if cmp -s "$2" "$3"; then
+    echo "OK   $1"
+  else
+    echo "FAIL $1" >&2
+    diff "$2" "$3" >&2 || true
+    status=1
+  fi
+}
+
 for name in fig6_put_bandwidth fig10_stencil_scaling; do
   bin="$BUILD/bench/$name"
   [ -x "$bin" ] || { echo "error: $bin not built" >&2; exit 1; }
   "$bin" > "$tmp/$name.run1"
   "$bin" > "$tmp/$name.run2"
-  if cmp -s "$tmp/$name.run1" "$tmp/$name.run2"; then
-    echo "OK   $name: two runs bit-identical"
-  else
-    echo "FAIL $name: runs differ" >&2
-    diff "$tmp/$name.run1" "$tmp/$name.run2" >&2 || true
-    status=1
-  fi
+  compare "$name: two runs bit-identical" "$tmp/$name.run1" "$tmp/$name.run2"
+  DCUDA_PERTURB_SEED="$PERTURB_SEED" "$bin" > "$tmp/$name.seed1"
+  DCUDA_PERTURB_SEED="$PERTURB_SEED" "$bin" > "$tmp/$name.seed2"
+  compare "$name: perturbed seed $PERTURB_SEED replays bit-identically" \
+          "$tmp/$name.seed1" "$tmp/$name.seed2"
 done
 exit $status

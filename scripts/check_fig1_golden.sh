@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Golden-file regression gate for the Figure 1 schedule trace: the ASCII
+# Gantt chart and the --summary metric tables must be byte-identical to
+# tests/golden/fig1_schedule.golden under the default (unperturbed)
+# schedule. Any engine change that shifts the canonical event interleaving
+# shows up here as a diff; regenerate with
+#
+#   env -u DCUDA_PERTURB_SEED build/bench/fig1_schedule_trace --summary \
+#     > tests/golden/fig1_schedule.golden
+#
+# only when the schedule change is intentional (docs/TESTING.md).
+#
+# Usage: scripts/check_fig1_golden.sh [build-dir] [golden-file]
+set -euo pipefail
+
+BUILD="${1:-build}"
+GOLDEN="${2:-tests/golden/fig1_schedule.golden}"
+BIN="$BUILD/bench/fig1_schedule_trace"
+
+[ -x "$BIN" ] || { echo "error: $BIN not built" >&2; exit 1; }
+[ -f "$GOLDEN" ] || { echo "error: $GOLDEN missing" >&2; exit 1; }
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# The golden run is the canonical schedule: make sure no perturbation or
+# iteration-scale environment leaks in.
+env -u DCUDA_PERTURB_SEED -u DCUDA_BENCH_ITERS "$BIN" --summary > "$tmp"
+
+if cmp -s "$tmp" "$GOLDEN"; then
+  echo "OK   fig1 schedule trace matches $GOLDEN"
+else
+  echo "FAIL fig1 schedule trace drifted from $GOLDEN" >&2
+  diff "$GOLDEN" "$tmp" >&2 || true
+  exit 1
+fi

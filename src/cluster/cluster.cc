@@ -6,6 +6,13 @@ namespace dcuda {
 
 Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
     : cfg_(cfg), rpd_(ranks_per_device), host_ranks_(host_ranks) {
+  // Install the perturbation before any component spawns daemons, so every
+  // event of the run — including runtime startup — draws from the seeded
+  // streams.
+  if (cfg_.perturb_seed != 0) {
+    sim_.set_perturbation(cfg_.perturb_seed,
+                          cfg_.perturb_classes & sim::Perturbation::kAllClasses);
+  }
   fabric_ = std::make_unique<net::Fabric>(sim_, cfg_.num_nodes, cfg_.net);
   fabric_->set_tracer(&tracer_);
   std::vector<gpu::Device*> dev_ptrs;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "sim/invariants.h"
+
 namespace dcuda {
 
 namespace {
@@ -52,6 +54,10 @@ sim::Proc<void> issue_rma(Context& ctx, rt::CmdKind kind, Window win,
   const auto count_inflight = [&] {
     if (traced) tr->counter_add(ctx.sim().now(), node.node(), "inflight_rma", 1.0);
   };
+  if (sim::InvariantObserver* obs = ctx.sim().invariant_observer(); obs != nullptr) {
+    obs->window_accessed(win.global_id);
+    if (notify) obs->notify_sent();
+  }
   co_await charge_issue(ctx);
 
   const int rpn = node.ranks_per_node();
@@ -301,9 +307,11 @@ sim::Proc<void> wait_notifications(Context& ctx, std::int32_t win_filter, int so
     // Match in arrival order; mismatches stay (queue compression).
     int scanned = 0;
     const int matched_before = matched;
+    sim::InvariantObserver* obs = ctx.sim().invariant_observer();
     for (auto it = rs.pending.begin(); it != rs.pending.end() && matched < count;) {
       ++scanned;
       if (notification_matches(*it, win_filter, source, tag)) {
+        if (obs != nullptr) obs->notification_matched();
         it = rs.pending.erase(it);
         ++matched;
       } else {
@@ -338,9 +346,11 @@ sim::Proc<int> test_notifications(Context& ctx, std::int32_t win_filter, int sou
   while (auto n = rs.notif_q.try_dequeue()) rs.pending.push_back(*n);
   int matched = 0;
   int scanned = 0;
+  sim::InvariantObserver* obs = ctx.sim().invariant_observer();
   for (auto it = rs.pending.begin(); it != rs.pending.end() && matched < count;) {
     ++scanned;
     if (notification_matches(*it, win_filter, source, tag)) {
+      if (obs != nullptr) obs->notification_matched();
       it = rs.pending.erase(it);
       ++matched;
     } else {
@@ -361,6 +371,14 @@ sim::Proc<int> test_notifications(Context& ctx, std::int32_t win_filter, int sou
 
 sim::Proc<void> barrier(Context& ctx, Comm comm) {
   const sim::Time begin = ctx.sim().now();
+  // Barrier domains for the oracle: the world communicator spans every rank
+  // (key -1); a device communicator spans one node's device ranks (key =
+  // node id).
+  const int comm_key = comm == Comm::kWorld ? -1 : ctx.node->node();
+  const int participants = comm == Comm::kWorld ? ctx.world_size : ctx.device_size;
+  if (sim::InvariantObserver* obs = ctx.sim().invariant_observer(); obs != nullptr) {
+    obs->barrier_enter(comm_key, ctx.world_rank, participants);
+  }
   co_await charge_issue(ctx);
   rt::Command c;
   c.kind = rt::CmdKind::kBarrier;
@@ -369,6 +387,9 @@ sim::Proc<void> barrier(Context& ctx, Comm comm) {
   rt::Ack a = co_await ctx.rs->ack_q.dequeue();
   assert(a.kind == rt::AckKind::kBarrierDone);
   (void)a;
+  if (sim::InvariantObserver* obs = ctx.sim().invariant_observer(); obs != nullptr) {
+    obs->barrier_exit(comm_key, ctx.world_rank);
+  }
   ctx.trace("barrier", sim::Category::kBarrier, begin, ctx.sim().now());
 }
 

@@ -91,7 +91,11 @@ sim::Proc<void> Device::launch(const LaunchConfig& lc, Kernel k,
 
 void Device::fill_slots() {
   // Greedy round-robin over SMs for every launch that still has pending
-  // blocks. Keeps block->SM assignment deterministic.
+  // blocks. Keeps block->SM assignment deterministic: lowest index wins
+  // ties — unless a schedule perturbation is installed, which picks among
+  // the equally least-loaded SMs (the hardware scheduler promises no
+  // particular assignment).
+  sim::Perturbation* pert = sim_.perturbation();
   for (auto& st : active_launches_) {
     while (st->next_block < st->lc.grid_blocks) {
       int best_sm = -1;
@@ -105,6 +109,19 @@ void Device::fill_slots() {
         }
       }
       if (best_sm < 0) break;  // no slot free; retried when a block finishes
+      if (pert != nullptr && pert->has(sim::Perturbation::kSmPick)) {
+        int ties = 0;
+        for (int i = 0; i < cfg_.num_sms; ++i) {
+          if (sms_[static_cast<size_t>(i)]->resident == best_load) ++ties;
+        }
+        int k = pert->pick(ties);
+        for (int i = 0; i < cfg_.num_sms; ++i) {
+          if (sms_[static_cast<size_t>(i)]->resident == best_load && k-- == 0) {
+            best_sm = i;
+            break;
+          }
+        }
+      }
       const int id = st->next_block++;
       ++sms_[static_cast<size_t>(best_sm)]->resident;
       if (tracer_ && tracer_->enabled()) {

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/invariants.h"
+
 namespace dcuda::net {
 
 Fabric::Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg)
     : sim_(s), cfg_(cfg) {
   nics_.reserve(static_cast<size_t>(num_nodes));
-  for (int i = 0; i < num_nodes; ++i) nics_.push_back(std::make_unique<Nic>(s));
+  for (int i = 0; i < num_nodes; ++i) {
+    nics_.push_back(std::make_unique<Nic>(s, num_nodes));
+  }
 }
 
 void Fabric::send(Packet p, sim::Rate rate_cap) {
@@ -29,8 +33,22 @@ void Fabric::send(Packet p, sim::Rate rate_cap) {
     tracer_->bump("fabric_messages");
     tracer_->bump("fabric_bytes", p.bytes);
   }
-  const sim::Time deliver = end + cfg_.latency + cfg_.sw_overhead;
-  sim_.schedule(deliver - sim_.now(), [this, pkt = std::move(p)]() mutable {
+  sim::Time deliver = end + cfg_.latency + cfg_.sw_overhead;
+  if (sim::Perturbation* pert = sim_.perturbation(); pert != nullptr) {
+    // Bounded extra wire delay (congestion, adaptive routing), then clamp so
+    // delivery per (src, dst) pair stays strictly increasing: jitter must
+    // not break the non-overtaking FIFO guarantee MPI matching relies on.
+    deliver += pert->jitter(cfg_.latency);
+    deliver = std::max(deliver,
+                       tx.pair_deliver[static_cast<size_t>(p.dst)] +
+                           sim::Perturbation::kOrderEpsilon);
+  }
+  tx.pair_deliver[static_cast<size_t>(p.dst)] = deliver;
+  const std::uint64_t wire_seq = ++tx.pair_seq[static_cast<size_t>(p.dst)];
+  sim_.schedule(deliver - sim_.now(), [this, wire_seq, pkt = std::move(p)]() mutable {
+    if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+      obs->fabric_delivered(pkt.src, pkt.dst, wire_seq);
+    }
     nics_[static_cast<size_t>(pkt.dst)]->rx.push(std::move(pkt));
   });
 }

@@ -53,11 +53,19 @@ class Fabric {
 
  private:
   struct Nic {
-    explicit Nic(sim::Simulation& s) : rx(s) {}
+    Nic(sim::Simulation& s, int num_nodes)
+        : rx(s),
+          pair_deliver(static_cast<size_t>(num_nodes), 0.0),
+          pair_seq(static_cast<size_t>(num_nodes), 0) {}
     sim::Time tx_free = 0.0;
     double bytes = 0.0;
     std::uint64_t msgs = 0;
     sim::Mailbox<Packet> rx;
+    // Per-destination FIFO state: last scheduled delivery time (the clamp
+    // that keeps the non-overtaking guarantee under jitter) and a wire
+    // sequence number reported to the invariant oracle at delivery.
+    std::vector<sim::Time> pair_deliver;
+    std::vector<std::uint64_t> pair_seq;
   };
 
   sim::Simulation& sim_;

@@ -26,20 +26,39 @@ sim::Time PcieLink::serialize(Dir d, double bytes) {
 sim::Proc<void> PcieLink::post_write(Dir d, double bytes,
                                      std::function<void()> on_visible) {
   const sim::Time done = serialize(d, bytes);
-  sim_.schedule(done + cfg_.txn_latency - sim_.now(), std::move(on_visible));
+  sim::Time visible = done + cfg_.txn_latency;
+  if (sim::Perturbation* pert = sim_.perturbation(); pert != nullptr) {
+    // Bounded completion jitter, clamped so posted writes in one direction
+    // stay visible in strictly increasing order — PCIe ordering rules
+    // guarantee posted writes commit in issue order, and the queue protocol
+    // (§III-C) depends on that.
+    Lane& l = lane(d);
+    visible += pert->jitter(cfg_.txn_latency);
+    visible = std::max(visible, l.visible_free + sim::Perturbation::kOrderEpsilon);
+    l.visible_free = visible;
+  }
+  sim_.schedule(visible - sim_.now(), std::move(on_visible));
   co_await sim_.delay(cfg_.post_cost);
 }
 
 sim::Proc<void> PcieLink::mapped_read(Dir d, double bytes) {
   const sim::Time done = serialize(d, bytes);
-  // Request flight + data serialization + response flight.
-  co_await sim_.delay(done + 2.0 * cfg_.txn_latency - sim_.now());
+  // Request flight + data serialization + response flight. A non-posted
+  // read blocks its issuer, so completion jitter needs no ordering clamp.
+  co_await sim_.delay(done + 2.0 * cfg_.txn_latency + completion_jitter() -
+                      sim_.now());
 }
 
 sim::Proc<void> PcieLink::dma(Dir d, double bytes) {
   co_await sim_.delay(cfg_.dma_startup);
   const sim::Time done = serialize(d, bytes);
-  co_await sim_.delay(std::max(0.0, done + cfg_.txn_latency - sim_.now()));
+  co_await sim_.delay(
+      std::max(0.0, done + cfg_.txn_latency + completion_jitter() - sim_.now()));
+}
+
+sim::Dur PcieLink::completion_jitter() {
+  sim::Perturbation* pert = sim_.perturbation();
+  return pert != nullptr ? pert->jitter(cfg_.txn_latency) : 0.0;
 }
 
 }  // namespace dcuda::pcie

@@ -58,6 +58,9 @@ class PcieLink {
  private:
   struct Lane {
     sim::Time free_at = 0.0;
+    // Latest posted-write visibility time, the clamp that keeps posted
+    // writes committing in issue order under completion jitter.
+    sim::Time visible_free = 0.0;
     std::uint64_t txns = 0;
     double bytes = 0.0;
   };
@@ -67,6 +70,10 @@ class PcieLink {
   // Reserves the lane for `bytes` and returns the completion time of the
   // serialization (before latency).
   sim::Time serialize(Dir d, double bytes);
+
+  // Seed-derived extra completion latency for blocking transfers (0 when no
+  // perturbation is installed).
+  sim::Dur completion_jitter();
 
   sim::Simulation& sim_;
   sim::PcieConfig cfg_;

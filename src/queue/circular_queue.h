@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/invariants.h"
 #include "sim/proc.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
@@ -78,6 +79,9 @@ class CircularQueue {
     }
     --credits_;
     const std::uint64_t seq = ++send_count_;
+    if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+      obs->queue_credit(send_count_, recv_count_, capacity());
+    }
     ++enqueues_;
     if (traced()) tracer_->bump(enqueue_metric_);
     // Stage the entry into its ring slot right away: holding a credit means
@@ -108,6 +112,9 @@ class CircularQueue {
     Slot& slot = ring_[static_cast<size_t>(recv_count_ % ring_.size())];
     if (slot.seq != recv_count_ + 1) return std::nullopt;
     ++recv_count_;  // the tail pointer, in receiver memory
+    if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+      obs->queue_credit(send_count_, recv_count_, capacity());
+    }
     if (traced()) {
       tracer_->counter_add(sim_.now(), trace_device_, depth_counter_, -1.0);
     }

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "sim/invariants.h"
+
 namespace dcuda::rt {
 
 namespace {
@@ -79,6 +81,9 @@ const NodeRuntime::WinRankInfo* NodeRuntime::window_peer(std::int32_t global_id,
 }
 
 void NodeRuntime::device_local_notify(int target_local_rank, Notification n) {
+  if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+    obs->notification_delivered();
+  }
   RankState& rs = rank(target_local_rank);
   rs.pending.push_back(n);
   ++rs.notify_epoch;
@@ -143,6 +148,9 @@ sim::Proc<void> NodeRuntime::handle_win_create(int local_rank, Command c) {
   if (wi.per_rank.empty()) {
     wi.comm = c.comm;
     wi.per_rank.resize(static_cast<size_t>(ranks_per_node()));
+    if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+      obs->window_created(gid);
+    }
   }
   WinRankInfo& info = wi.per_rank[static_cast<size_t>(local_rank)];
   info.base = c.win_base;
@@ -174,6 +182,9 @@ sim::Proc<void> NodeRuntime::handle_win_free(int local_rank, Command c) {
   if (wi.comm == Comm::kWorld && ep_.size() > 1) co_await ep_.barrier();
   const std::vector<WinRankInfo> per_rank = wi.per_rank;  // acks need ids
   windows_.erase(gid);
+  if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+    obs->window_freed(gid);
+  }
   for (int r = 0; r < ranks_per_node(); ++r) {
     Ack a;
     a.kind = AckKind::kWinFreed;
@@ -198,6 +209,14 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
       n.win_device_id = peer->win_device_id;
       n.source = rs.global_rank;
       n.tag = c.tag;
+      if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+        // Local notified puts are ordered by per-rank command processing;
+        // issue and delivery coincide in this coroutine.
+        obs->notify_put_ordered(rs.global_rank, c.target_rank, gid,
+                                c.bytes, c.tag);
+        obs->notify_put_delivered(rs.global_rank, c.target_rank, gid,
+                                  c.bytes, c.tag);
+      }
       co_await push_notification(target_local, n);
     }
     co_await complete_flush(rs, c.flush_id, c.win_device_id);
@@ -215,6 +234,15 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
   m.tag = c.tag;
   m.notify = c.notify;
 
+  if (sim::InvariantObserver* obs = sim_.invariant_observer();
+      obs != nullptr && c.notify && c.bytes <= cfg_.mpi.eager_limit) {
+    // Sequence point of the §III-B non-overtaking guarantee: metas leave in
+    // per-rank command order on a FIFO channel and eager payloads follow the
+    // same posting-order matching. (Rendezvous-sized transfers promise only
+    // completion order, like MPI, so they are not sequence-tracked.)
+    obs->notify_put_ordered(rs.global_rank, c.target_rank, m.win_global_id,
+                            c.bytes, c.tag);
+  }
   // Step 2/3 of Fig. 5: forward meta information to the target event handler
   // and move the data directly device-to-device with a second nonblocking
   // send. The meta buffer must stay alive until the send buffered it.
@@ -327,6 +355,11 @@ sim::Proc<void> NodeRuntime::handle_meta(Meta m) {
                         gpu::MemRef{info.base + m.offset, m.bytes, node()});
     }
     if (m.notify) {
+      if (sim::InvariantObserver* obs = sim_.invariant_observer();
+          obs != nullptr && m.bytes <= cfg_.mpi.eager_limit) {
+        obs->notify_put_delivered(m.origin_rank, m.target_rank, m.win_global_id,
+                                  m.bytes, m.tag);
+      }
       Notification n;
       n.win_device_id = info.win_device_id;
       n.source = m.origin_rank;
@@ -342,6 +375,9 @@ sim::Proc<void> NodeRuntime::handle_meta(Meta m) {
 }
 
 sim::Proc<void> NodeRuntime::push_notification(int local_rank, Notification n) {
+  if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+    obs->notification_delivered();
+  }
   sim::Tracer* tr = dev_.tracer();
   if (tr == nullptr || !tr->enabled()) {
     co_await rank(local_rank).notif_q.enqueue(n);

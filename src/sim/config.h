@@ -122,6 +122,13 @@ struct MachineConfig {
   NetConfig net;
   MpiConfig mpi;
   RuntimeConfig runtime;
+  // Schedule perturbation (docs/TESTING.md): 0 runs the canonical
+  // deterministic schedule; any other value seeds a sim::Perturbation that
+  // explores an alternative — still fully reproducible — event interleaving.
+  // perturb_classes selects the decision classes (sim/perturb.h bit mask);
+  // the default enables all of them.
+  std::uint64_t perturb_seed = 0;
+  std::uint32_t perturb_classes = 0xffffffffu;
 };
 
 inline MachineConfig machine_config(int num_nodes) {

@@ -1,0 +1,195 @@
+#include "sim/invariants.h"
+
+#include <sstream>
+
+namespace dcuda::sim {
+
+void InvariantObserver::violation(std::string what) {
+  if (violations_.size() < kMaxViolations) violations_.push_back(std::move(what));
+}
+
+void InvariantObserver::fabric_delivered(int src, int dst, std::uint64_t wire_seq) {
+  ++checks_;
+  std::uint64_t& last = fabric_seq_[{src, dst}];
+  if (wire_seq != last + 1) {
+    std::ostringstream os;
+    os << "fabric non-overtaking violated: link " << src << "->" << dst
+       << " delivered wire_seq " << wire_seq << " after " << last;
+    violation(os.str());
+  }
+  if (wire_seq > last) last = wire_seq;
+}
+
+void InvariantObserver::queue_credit(std::uint64_t send_count,
+                                     std::uint64_t recv_count, int capacity) {
+  ++checks_;
+  if (recv_count > send_count ||
+      send_count - recv_count > static_cast<std::uint64_t>(capacity)) {
+    std::ostringstream os;
+    os << "queue credit accounting violated: send_count=" << send_count
+       << " recv_count=" << recv_count << " capacity=" << capacity;
+    violation(os.str());
+  }
+}
+
+void InvariantObserver::notify_sent() { ++sent_; }
+
+void InvariantObserver::notify_put_ordered(int origin_rank, int target_rank,
+                                           std::int32_t win_global_id,
+                                           std::uint64_t bytes, int tag) {
+  put_order_[PutKey{origin_rank, target_rank, win_global_id, bytes}].push_back(tag);
+}
+
+void InvariantObserver::notify_put_delivered(int origin_rank, int target_rank,
+                                             std::int32_t win_global_id,
+                                             std::uint64_t bytes, int tag) {
+  ++checks_;
+  auto it = put_order_.find(PutKey{origin_rank, target_rank, win_global_id, bytes});
+  if (it == put_order_.end() || it->second.empty()) {
+    std::ostringstream os;
+    os << "notified put delivered without matching issue: origin=" << origin_rank
+       << " target=" << target_rank << " win=" << win_global_id
+       << " bytes=" << bytes << " tag=" << tag;
+    violation(os.str());
+    return;
+  }
+  const int expected = it->second.front();
+  it->second.pop_front();
+  if (expected != tag) {
+    std::ostringstream os;
+    os << "notified put overtaking: origin=" << origin_rank
+       << " target=" << target_rank << " win=" << win_global_id
+       << " bytes=" << bytes << " delivered tag " << tag
+       << " while tag " << expected << " was issued first";
+    violation(os.str());
+  }
+}
+
+void InvariantObserver::notification_delivered() { ++delivered_; }
+
+void InvariantObserver::notification_matched() {
+  ++matched_;
+  ++checks_;
+  if (matched_ > delivered_) {
+    std::ostringstream os;
+    os << "notification matched before delivery: matched=" << matched_
+       << " delivered=" << delivered_;
+    violation(os.str());
+  }
+}
+
+void InvariantObserver::window_created(std::int32_t win_global_id) {
+  ++window_live_[win_global_id];
+  window_seen_[win_global_id] = true;
+}
+
+void InvariantObserver::window_accessed(std::int32_t win_global_id) {
+  ++checks_;
+  auto it = window_live_.find(win_global_id);
+  if (it == window_live_.end() || it->second <= 0) {
+    std::ostringstream os;
+    os << "window lifecycle violated: access to window " << win_global_id
+       << (window_seen_.count(win_global_id) != 0 ? " after win_free"
+                                                  : " before win_create");
+    violation(os.str());
+  }
+}
+
+void InvariantObserver::window_freed(std::int32_t win_global_id) {
+  ++checks_;
+  auto it = window_live_.find(win_global_id);
+  if (it == window_live_.end() || it->second <= 0) {
+    std::ostringstream os;
+    os << "window lifecycle violated: win_free of window " << win_global_id
+       << " that is not live";
+    violation(os.str());
+    return;
+  }
+  --it->second;
+}
+
+void InvariantObserver::barrier_enter(int comm_key, int rank, int participants) {
+  BarrierDomain& d = barriers_[comm_key];
+  if (d.participants == 0) d.participants = participants;
+  if (d.participants != participants) {
+    std::ostringstream os;
+    os << "barrier domain " << comm_key << " entered with participants="
+       << participants << " but was established with " << d.participants;
+    violation(os.str());
+  }
+  ++d.enters[rank];
+}
+
+void InvariantObserver::barrier_exit(int comm_key, int rank) {
+  ++checks_;
+  BarrierDomain& d = barriers_[comm_key];
+  const std::uint64_t round = ++d.exits[rank];
+  if (round > d.enters[rank]) {
+    std::ostringstream os;
+    os << "barrier round agreement violated: rank " << rank << " exited round "
+       << round << " of domain " << comm_key << " without entering it";
+    violation(os.str());
+    return;
+  }
+  int entered = 0;
+  for (const auto& [r, n] : d.enters) {
+    if (n >= round) ++entered;
+  }
+  if (entered < d.participants) {
+    std::ostringstream os;
+    os << "barrier round agreement violated: rank " << rank << " exited round "
+       << round << " of domain " << comm_key << " while only " << entered
+       << " of " << d.participants << " participants entered it";
+    violation(os.str());
+  }
+}
+
+void InvariantObserver::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (delivered_ != sent_) {
+    std::ostringstream os;
+    os << "notification conservation violated: " << sent_
+       << " notified operations issued but " << delivered_
+       << " notifications delivered";
+    violation(os.str());
+  }
+  if (matched_ > delivered_) {
+    std::ostringstream os;
+    os << "notification conservation violated: " << matched_
+       << " notifications matched but only " << delivered_ << " delivered";
+    violation(os.str());
+  }
+  for (const auto& [key, pending] : put_order_) {
+    if (!pending.empty()) {
+      std::ostringstream os;
+      os << "notified put never delivered: origin=" << std::get<0>(key)
+         << " target=" << std::get<1>(key) << " win=" << std::get<2>(key)
+         << " bytes=" << std::get<3>(key) << " (" << pending.size()
+         << " outstanding, first tag " << pending.front() << ")";
+      violation(os.str());
+    }
+  }
+  for (const auto& [comm, d] : barriers_) {
+    for (const auto& [rank, n] : d.enters) {
+      const auto it = d.exits.find(rank);
+      const std::uint64_t exits = it == d.exits.end() ? 0 : it->second;
+      if (exits != n) {
+        std::ostringstream os;
+        os << "barrier domain " << comm << ": rank " << rank << " entered " << n
+           << " rounds but exited " << exits;
+        violation(os.str());
+      }
+    }
+  }
+}
+
+std::string InvariantObserver::report() const {
+  std::ostringstream os;
+  os << "invariant checks: " << checks_ << ", notifications sent/delivered/matched: "
+     << sent_ << "/" << delivered_ << "/" << matched_ << "\n";
+  for (const auto& v : violations_) os << "  VIOLATION: " << v << "\n";
+  return os.str();
+}
+
+}  // namespace dcuda::sim

@@ -1,0 +1,140 @@
+#pragma once
+
+// Invariant oracles for schedule fuzzing (docs/TESTING.md).
+//
+// An InvariantObserver is an out-of-band protocol checker: components report
+// state transitions through hooks (guarded by `sim.invariant_observer() !=
+// nullptr`, so normal runs pay one pointer test), and the observer validates
+// the ordering/conservation properties the paper's runtime guarantees:
+//
+//  * fabric non-overtaking — wire deliveries between a fixed (src, dst)
+//    node pair carry strictly increasing sequence numbers (the FIFO
+//    property MPI matching relies on; net/fabric.h).
+//  * queue credit accounting — a circular queue never holds more entries
+//    than its capacity and never dequeues more than was sent (§III-C's
+//    single-transaction protocol depends on the credit bound).
+//  * notification conservation — every notified RMA operation delivers
+//    exactly one notification, and every match consumed a delivered one.
+//  * notified-put sequence non-overtaking — notifications for equal-sized
+//    notified puts of the same (origin rank, target rank, window) are
+//    delivered in issue order (§III-B; put_2d_notify relies on exactly
+//    this: equal-sized row puts, only the last carries the notification).
+//    Differently-sized puts may legitimately complete out of order (eager
+//    vs. rendezvous), so the key includes the byte count.
+//  * window lifecycle — no RMA access to a window before its collective
+//    creation completed or after its free began.
+//  * barrier round agreement — no rank exits barrier round N of a
+//    communicator before all participants entered round N.
+//
+// All tracking is out of band: no wire struct grows (simulated transaction
+// sizes — and therefore all golden timings — depend on sizeof of the
+// protocol structs).
+//
+// Violations are recorded, not thrown: an oracle failure inside an event
+// callback must not unwind through the engine. The fuzz harness checks
+// `violations()` after the run (and `finalize()` for the end-of-run
+// conservation checks).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace dcuda::sim {
+
+class InvariantObserver {
+ public:
+  // -- Hooks (called by instrumented components) -----------------------
+
+  // net/fabric.cc, at delivery into the destination mailbox.
+  void fabric_delivered(int src, int dst, std::uint64_t wire_seq);
+
+  // queue/circular_queue.h, after every send/recv counter change.
+  void queue_credit(std::uint64_t send_count, std::uint64_t recv_count,
+                    int capacity);
+
+  // dcuda.cc issue_rma: a notified operation was issued (exactly one
+  // notification must eventually be delivered for it).
+  void notify_sent();
+
+  // Ordered notified put entering its delivery channel (runtime handle_put,
+  // in per-rank command order). Pairs with notify_put_delivered.
+  void notify_put_ordered(int origin_rank, int target_rank,
+                          std::int32_t win_global_id, std::uint64_t bytes,
+                          int tag);
+
+  // A notified put's notification handed to the target's notification
+  // queue. Checks FIFO against notify_put_ordered for the same key.
+  void notify_put_delivered(int origin_rank, int target_rank,
+                            std::int32_t win_global_id, std::uint64_t bytes,
+                            int tag);
+
+  // Any notification delivered (puts, gets, device-local ablation path).
+  void notification_delivered();
+
+  // dcuda.cc wait/test_notifications: one pending notification matched.
+  void notification_matched();
+
+  // runtime window lifecycle (global window ids; counted per node since
+  // every node registers the collective window).
+  void window_created(std::int32_t win_global_id);
+  void window_accessed(std::int32_t win_global_id);
+  void window_freed(std::int32_t win_global_id);
+
+  // dcuda.cc barrier: device-side entry/exit. comm_key identifies the
+  // barrier domain (see schedule_fuzz_test: world = -1, device comm =
+  // node id), participants its size.
+  void barrier_enter(int comm_key, int rank, int participants);
+  void barrier_exit(int comm_key, int rank);
+
+  // -- Results ---------------------------------------------------------
+
+  // End-of-run conservation checks; call after Simulation::run returned.
+  void finalize();
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool ok() const { return violations_.empty(); }
+  // Everything recorded, one line per violation (for failure reports).
+  std::string report() const;
+
+  std::uint64_t notifications_sent() const { return sent_; }
+  std::uint64_t notifications_delivered() const { return delivered_; }
+  std::uint64_t notifications_matched() const { return matched_; }
+  std::uint64_t checks_performed() const { return checks_; }
+
+ private:
+  void violation(std::string what);
+
+  static constexpr std::size_t kMaxViolations = 16;
+
+  // fabric: last wire_seq per (src, dst).
+  std::map<std::pair<int, int>, std::uint64_t> fabric_seq_;
+
+  // notified puts: FIFO of tags per (origin, target, window, bytes).
+  using PutKey = std::tuple<int, int, std::int32_t, std::uint64_t>;
+  std::map<PutKey, std::deque<int>> put_order_;
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t matched_ = 0;
+  std::uint64_t checks_ = 0;
+
+  // windows: live registration count per global id (one per node), plus a
+  // freed set to distinguish "never created" from "already freed".
+  std::map<std::int32_t, int> window_live_;
+  std::map<std::int32_t, bool> window_seen_;
+
+  struct BarrierDomain {
+    int participants = 0;
+    std::map<int, std::uint64_t> enters;
+    std::map<int, std::uint64_t> exits;
+  };
+  std::map<int, BarrierDomain> barriers_;
+
+  std::vector<std::string> violations_;
+  bool finalized_ = false;
+};
+
+}  // namespace dcuda::sim

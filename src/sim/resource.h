@@ -11,6 +11,14 @@
 //
 // FifoResource is a counting semaphore with FIFO handoff, used for
 // serialized links (PCIe directions, NIC send queues).
+//
+// Perturbation contract (sim/perturb.h, docs/TESTING.md): a schedule
+// perturbation may shuffle the firing order of *same-timestamp* events, so
+// neither class may encode an ordering guarantee in event insertion order
+// alone. SharedResource keys equal completion times on the admission
+// sequence inside its own heap, and FifoResource grants slots from an
+// explicit waiter deque — both orders therefore survive tie-break
+// shuffling, which the perturbed property sweeps assert.
 
 #include <coroutine>
 #include <cstdint>
@@ -104,7 +112,11 @@ class FifoResource {
       bool await_suspend(std::coroutine_handle<> h) {
         if (res->free_ > 0) {
           --res->free_;
-          res->sim_.schedule_resume(h);  // keep resume order deterministic
+          // Resume through the engine (never inline) so acquisition stays
+          // deterministic; the grant itself was decided here, so tie-break
+          // perturbation can only shuffle wake-up interleaving, not who
+          // holds the slot.
+          res->sim_.schedule_resume(h);
           return true;
         }
         res->waiters_.push_back(h);

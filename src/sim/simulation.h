@@ -35,12 +35,14 @@
 #include <utility>
 #include <vector>
 
+#include "sim/perturb.h"
 #include "sim/proc.h"
 #include "sim/units.h"
 
 namespace dcuda::sim {
 
 class Simulation;
+class InvariantObserver;
 
 namespace detail {
 // Liveness anchor shared by a Simulation and its EventTokens. The engine
@@ -161,12 +163,12 @@ class Simulation {
     s.invoke = nullptr;  // marks the slot as a direct resume
     void* addr = h.address();
     std::memcpy(s.buf, &addr, sizeof(addr));
-    assert(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)) &&
-           "event sequence numbers exhausted");
-    if (delay == 0.0) {
-      ring_.push_back(HeapEntry{now_, (next_seq_++ << kSlotBits) | si});
+    if (delay == 0.0 && !tiebreak_active()) {
+      ring_.push_back(HeapEntry{now_, make_key(si)});
     } else {
-      heap_push(HeapEntry{now_ + delay, (next_seq_++ << kSlotBits) | si});
+      // Under tie-break perturbation the ring's precondition (keys arrive
+      // pre-sorted) no longer holds, so zero-delay resumes take the heap.
+      heap_push(HeapEntry{now_ + delay, make_key(si)});
     }
   }
 
@@ -202,6 +204,24 @@ class Simulation {
 
   std::size_t events_processed() const { return events_processed_; }
   std::size_t live_processes() const { return live_.size(); }
+
+  // -- Schedule perturbation (docs/TESTING.md) -------------------------
+
+  // Installs a seeded perturbation policy. Must be called before the first
+  // event is scheduled (the fuzz harness installs it right after
+  // construction); the run remains fully deterministic — a function of
+  // (workload, seed, classes) only.
+  void set_perturbation(std::uint64_t seed,
+                        std::uint32_t classes = Perturbation::kAllClasses) {
+    perturb_ = std::make_unique<Perturbation>(seed, classes);
+  }
+  Perturbation* perturbation() { return perturb_.get(); }
+  const Perturbation* perturbation() const { return perturb_.get(); }
+
+  // Invariant-oracle hook sink (src/sim/invariants.h). Null in normal runs;
+  // components report protocol transitions through it when set. Not owned.
+  void set_invariant_observer(InvariantObserver* obs) { observer_ = obs; }
+  InvariantObserver* invariant_observer() const { return observer_; }
 
   // -- Engine introspection (docs/PERF.md) -----------------------------
 
@@ -327,11 +347,28 @@ class Simulation {
     return si;
   }
 
-  void push_key(Time t, std::uint32_t si) {
+  bool tiebreak_active() const {
+    return perturb_ != nullptr && perturb_->has(Perturbation::kTieBreak);
+  }
+
+  // Key for a newly scheduled event. Default: strictly increasing insertion
+  // sequence in the high bits (FIFO among same-time events). Under tie-break
+  // perturbation: seeded random priority bits instead, so same-time events
+  // fire in a seed-determined shuffle; the slot index in the low bits keeps
+  // the comparison total, so replays of a seed are exact. Events at distinct
+  // times are unaffected either way.
+  std::uint64_t make_key(std::uint32_t si) {
+    if (tiebreak_active()) {
+      constexpr std::uint64_t kPrioMask =
+          (std::uint64_t{1} << (64 - kSlotBits)) - 1u;
+      return ((perturb_->tiebreak_bits() & kPrioMask) << kSlotBits) | si;
+    }
     assert(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)) &&
            "event sequence numbers exhausted");
-    heap_push(HeapEntry{t, (next_seq_++ << kSlotBits) | si});
+    return (next_seq_++ << kSlotBits) | si;
   }
+
+  void push_key(Time t, std::uint32_t si) { heap_push(HeapEntry{t, make_key(si)}); }
 
   void heap_push(HeapEntry e);
   HeapEntry heap_pop();
@@ -377,6 +414,9 @@ class Simulation {
 
   // Liveness anchor for EventTokens (one allocation per Simulation).
   detail::TokenBlock* blk_ = new detail::TokenBlock{this, 1};
+
+  std::unique_ptr<Perturbation> perturb_;   // null: canonical schedule
+  InvariantObserver* observer_ = nullptr;   // null: no oracle checking
 
   std::vector<std::shared_ptr<JoinHandle::State>> live_;  // non-daemon roots
   std::vector<std::shared_ptr<JoinHandle::State>> daemons_;

@@ -200,6 +200,156 @@ INSTANTIATE_TEST_SUITE_P(Random, MatchSweep,
                                            MatchCase{16, 33}, MatchCase{5, 44},
                                            MatchCase{10, 55}));
 
+// ------------------------------------- perturbed-schedule properties ------
+
+// The queue/resource invariants above must also hold when the engine's
+// same-timestamp tie-breaks are shuffled and deliveries jittered
+// (sim/perturb.h): FIFO handoff and processor-sharing conservation are
+// structural guarantees, not accidents of insertion order.
+
+class QueuePerturbedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueuePerturbedSweep, FifoNoLossUnderShuffledTies) {
+  const std::uint64_t seed = GetParam();
+  Simulation s;
+  s.set_perturbation(seed);
+  queue::CircularQueue<int> q(s, 3, queue::local_transport(s));
+  std::vector<int> got;
+  auto producer = [](Simulation& sim, queue::CircularQueue<int>& qq) -> Proc<void> {
+    for (int i = 0; i < 64; ++i) {
+      // Zero-delay bursts: every enqueue is a same-timestamp tie.
+      if (i % 8 == 0) co_await sim.delay(sim::micros(1.0));
+      co_await qq.enqueue(i);
+    }
+  };
+  auto consumer = [](queue::CircularQueue<int>& qq, std::vector<int>& out) -> Proc<void> {
+    for (int i = 0; i < 64; ++i) out.push_back(co_await qq.dequeue());
+  };
+  s.spawn(producer(s, q), "p");
+  s.spawn(consumer(q, got), "c");
+  s.run();
+  ASSERT_EQ(got.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueuePerturbedSweep,
+                         ::testing::Values(0x71001, 0x71002, 0x71003, 0x71004,
+                                           0x71005, 0x71006, 0x71007, 0x71008));
+
+class PsPerturbedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PsPerturbedSweep, WorkConservationSurvivesShuffledTies) {
+  const std::uint64_t seed = GetParam();
+  Simulation s;
+  s.set_perturbation(seed);
+  sim::SharedResource res(s, 100.0, 30.0);
+  sim::Rng rng(seed);
+  std::vector<double> works(25);
+  double total = 0;
+  auto job = [](sim::SharedResource& r, double w) -> Proc<void> {
+    co_await r.use(w);
+  };
+  for (double& w : works) {
+    w = rng.uniform(1.0, 20.0);
+    total += w;
+    s.spawn(job(res, w), "j");
+  }
+  s.run();
+  EXPECT_NEAR(res.work_done(), total, 1e-6 * total);
+  EXPECT_GE(s.now() + 1e-9, total / 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsPerturbedSweep,
+                         ::testing::Values(0x72001, 0x72002, 0x72003, 0x72004,
+                                           0x72005, 0x72006, 0x72007, 0x72008));
+
+// ------------------------------------------------ wildcard matching -------
+
+// Sweeps wait_notifications across every wildcard axis combination
+// (kAnyWindow x kAnySource x kAnyTag) and counts > 1. Senders 1..3 each
+// put `count` notifications on both windows with tag == sender rank, so the
+// expected match total is a closed-form function of the wildcard mask.
+class WildcardSweep
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool, int>> {};
+
+TEST_P(WildcardSweep, WaitConsumesExactlyCountThenRestIsDrainable) {
+  const auto [any_win, any_src, any_tag, count] = GetParam();
+  Cluster c(sim::machine_config(1), 4);
+  auto mem = c.device(0).alloc<std::byte>(256);
+  // Matching notifications available to the first wait under this filter:
+  // exact filters pin window 0, source 1, tag 1; tag equals the sender, so
+  // an exact tag with wildcard source still selects a single sender.
+  const int avail = count * (any_win ? 2 : 1) *
+                    (any_src ? (any_tag ? 3 : 1) : 1);
+  int drained = -1;
+  c.run([&](Context& ctx) -> Proc<void> {
+    Window w0 = co_await win_create(ctx, kCommWorld, mem);
+    Window w1 = co_await win_create(ctx, kCommWorld, mem);
+    if (ctx.world_rank != 0) {
+      for (int i = 0; i < count; ++i) {
+        co_await put_notify(ctx, w0, 0, 0, 0, nullptr, ctx.world_rank);
+        co_await put_notify(ctx, w1, 0, 0, 0, nullptr, ctx.world_rank);
+      }
+      co_await flush(ctx);
+    }
+    co_await barrier(ctx, kCommWorld);
+    if (ctx.world_rank == 0) {
+      const std::int32_t win_f = any_win ? kAnyWindow : w0.device_id;
+      const int src_f = any_src ? kAnySource : 1;
+      const int tag_f = any_tag ? kAnyTag : 1;
+      co_await wait_notifications(ctx, win_f, src_f, tag_f, count);
+      // The wait consumed exactly `count`; the rest of the matching set must
+      // still be pending.
+      drained = co_await test_notifications(ctx, win_f, src_f, tag_f, 1 << 20);
+      // Drain everything else so win_free doesn't leave queued entries.
+      co_await test_notifications(ctx, kAnyWindow, kAnySource, kAnyTag, 1 << 20);
+    }
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w1);
+    co_await win_free(ctx, w0);
+  });
+  EXPECT_EQ(drained, avail - count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, WildcardSweep,
+                         ::testing::Combine(::testing::Bool(),   // kAnyWindow
+                                            ::testing::Bool(),   // kAnySource
+                                            ::testing::Bool(),   // kAnyTag
+                                            ::testing::Values(1, 2, 5)));
+
+// Mixed wildcard/exact waiters contending for the same notifications: the
+// wildcard waiter runs first and must take the *earliest* arrival (matching
+// is in arrival order, §III-C queue compression), leaving the later
+// duplicate for the exact waiter instead of starving it.
+TEST(WildcardSweep, WildcardWaiterTakesEarliestArrivalNotTheLast) {
+  Cluster c(sim::machine_config(1), 2);
+  auto mem = c.device(0).alloc<std::byte>(64);
+  int leftover = -1;
+  c.run([&](Context& ctx) -> Proc<void> {
+    Window w = co_await win_create(ctx, kCommWorld, mem);
+    if (ctx.world_rank == 1) {
+      // Equal-sized puts from one origin deliver in issue order: 5, 6, 5.
+      co_await put_notify(ctx, w, 0, 0, 0, nullptr, 5);
+      co_await put_notify(ctx, w, 0, 0, 0, nullptr, 6);
+      co_await put_notify(ctx, w, 0, 0, 0, nullptr, 5);
+      co_await flush(ctx);
+    }
+    co_await barrier(ctx, kCommWorld);
+    if (ctx.world_rank == 0) {
+      // Wildcard waiter races ahead: consumes the first tag-5 arrival.
+      co_await wait_notifications(ctx, kAnyWindow, kAnySource, kAnyTag, 1);
+      // Exact waiters still complete from what is left.
+      co_await wait_notifications(ctx, w, 1, 5, 1);
+      co_await wait_notifications(ctx, w, 1, 6, 1);
+      leftover = co_await test_notifications(ctx, kAnyWindow, kAnySource,
+                                             kAnyTag, 1 << 20);
+    }
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+  EXPECT_EQ(leftover, 0);
+}
+
 // ------------------------------------------------------- determinism ------
 
 class AppDeterminism : public ::testing::TestWithParam<int> {};

@@ -244,6 +244,60 @@ TEST(RuntimeDeadlock, WaitForMissingNotificationIsDiagnosed) {
                sim::DeadlockError);
 }
 
+TEST(RuntimeDeadlock, MixedHostAndDeviceRankDeadlockIsDiagnosed) {
+  // Host rank waits for a device-rank notification that is never sent while
+  // the device rank blocks in the barrier: a cross-processor deadlock (§V
+  // host ranks share the RMA machinery) must be detected, not hang.
+  Cluster c(machine(1), /*ranks_per_device=*/1, /*host_ranks=*/1);
+  auto mem = c.device(0).alloc<std::byte>(64);
+  std::vector<std::byte> host_mem(64);
+  try {
+    c.run([&](Context& ctx) -> Proc<void> {
+      std::span<std::byte> mine =
+          ctx.is_host_rank() ? std::span<std::byte>(host_mem)
+                             : std::span<std::byte>(mem);
+      Window w = co_await win_create(ctx, kCommWorld, mine);
+      if (ctx.is_host_rank()) {
+        co_await wait_notifications(ctx, w, 0, 7, 1);  // never sent
+      }
+      co_await barrier(ctx, kCommWorld);
+      co_await win_free(ctx, w);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const sim::DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RuntimeDeadlock, OneBlockPastResidencyLimitIsDiagnosed) {
+  // The paper requires all blocks of the kernel to be co-resident (208 on
+  // the K80 at the launch configuration). One block more and a global
+  // barrier can never complete: the 208 resident blocks wait for rank 208,
+  // which cannot start until an SM slot frees. The engine must turn this
+  // into a DeadlockError naming a stuck rank, not a silent hang.
+  Cluster c(machine(1), /*ranks_per_device=*/209);
+  try {
+    c.run([&](Context& ctx) -> Proc<void> {
+      co_await barrier(ctx, kCommWorld);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const sim::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    // The diagnostic names at least one blocked rank process.
+    EXPECT_NE(what.find("blocked"), std::string::npos) << what;
+  }
+}
+
+TEST(RuntimeDeadlock, ExactResidencyLimitStillCompletes) {
+  // The companion positive case: exactly 208 blocks barrier fine.
+  Cluster c(machine(1), /*ranks_per_device=*/208);
+  EXPECT_NO_THROW(c.run([&](Context& ctx) -> Proc<void> {
+    co_await barrier(ctx, kCommWorld);
+  }));
+}
+
 TEST(RuntimeGet, ConcurrentGetsFromManyRanks) {
   // All ranks of node 1 read disjoint slices of rank 0's window at once.
   Cluster c(machine(2), 4);

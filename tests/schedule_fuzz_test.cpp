@@ -1,0 +1,490 @@
+// Schedule-perturbation fuzzing harness (docs/TESTING.md).
+//
+// Each fuzz case runs a mini-workload on a Cluster whose event schedule is
+// perturbed by a seeded sim::Perturbation (tie-break shuffling, link jitter,
+// SM pick variation) while a sim::InvariantObserver checks the runtime's
+// ordering and conservation guarantees. The workload result is additionally
+// validated against its serial reference, so a schedule-dependent wrong
+// answer is caught even when every protocol invariant holds.
+//
+// On failure the harness shrinks the perturbation to a minimal failing class
+// mask and prints the seed, the per-class decision counts, the tail of the
+// decision trace, and a one-command replay line:
+//
+//   DCUDA_FUZZ_WORKLOAD=<w> DCUDA_FUZZ_SEED=<s> DCUDA_FUZZ_CLASSES=<m>
+//     tests/schedule_fuzz_test --gtest_filter=ScheduleFuzz.ReplayFromEnv
+//
+// Seed ranges are disjoint per sweep so every case in the suite exercises a
+// distinct perturbation (>200 seeds total across the four workloads).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/particles.h"
+#include "apps/spmv.h"
+#include "apps/stencil.h"
+#include "cluster/cluster.h"
+#include "sim/invariants.h"
+#include "sim/perturb.h"
+
+namespace dcuda {
+namespace {
+
+using sim::InvariantObserver;
+using sim::Perturbation;
+using sim::Proc;
+
+sim::MachineConfig fuzz_machine(int nodes, std::uint64_t seed,
+                                std::uint32_t classes) {
+  sim::MachineConfig m;
+  m.num_nodes = nodes;
+  m.perturb_seed = seed;
+  m.perturb_classes = classes;
+  return m;
+}
+
+// Outcome of one perturbed run: validation errors (empty == pass) plus the
+// perturbation introspection needed for a useful failure report.
+struct RunResult {
+  double elapsed = 0.0;
+  std::string errors;
+  std::string obs_report;
+  std::uint64_t decisions[Perturbation::kNumClasses] = {};
+  std::string trace_txt;
+};
+
+void collect(Cluster& c, InvariantObserver& obs, RunResult& r) {
+  obs.finalize();
+  for (const std::string& v : obs.violations()) {
+    r.errors += "  oracle: " + v + "\n";
+  }
+  r.obs_report = obs.report();
+  if (Perturbation* p = c.sim().perturbation()) {
+    r.decisions[0] = p->decisions(Perturbation::kTieBreak);
+    r.decisions[1] = p->decisions(Perturbation::kLinkJitter);
+    r.decisions[2] = p->decisions(Perturbation::kSmPick);
+    Perturbation::Decision tail[Perturbation::kTraceCap];
+    const std::size_t n = p->trace(tail);
+    std::ostringstream os;
+    for (std::size_t i = 0; i < n; ++i) {
+      os << (tail[i].cls == Perturbation::kTieBreak   ? " t:"
+             : tail[i].cls == Perturbation::kLinkJitter ? " j:"
+                                                        : " s:")
+         << std::hex << (tail[i].value >> 48);
+    }
+    r.trace_txt = os.str();
+  }
+}
+
+// -- Workloads ---------------------------------------------------------
+
+RunResult run_stencil(std::uint64_t seed, std::uint32_t classes) {
+  RunResult r;
+  apps::stencil::Config cfg;
+  cfg.isize = 16;  // 128-byte halo lines: every notified put is eager
+  cfg.jlocal = 2;
+  cfg.ksize = 3;
+  cfg.iterations = 4;
+  Cluster c(fuzz_machine(2, seed, classes), 4);
+  InvariantObserver obs;
+  c.sim().set_invariant_observer(&obs);
+  apps::stencil::Result res = apps::stencil::run_dcuda(c, cfg);
+  r.elapsed = res.elapsed;
+  static const double want = apps::stencil::reference_checksum(cfg, 2, 4);
+  if (std::abs(res.checksum - want) > 1e-9) {
+    std::ostringstream os;
+    os << "  checksum: stencil got " << res.checksum << " want " << want << "\n";
+    r.errors += os.str();
+  }
+  collect(c, obs, r);
+  return r;
+}
+
+RunResult run_particles(std::uint64_t seed, std::uint32_t classes) {
+  RunResult r;
+  apps::particles::Config cfg;
+  cfg.cells_per_node = 4;
+  cfg.particles_per_cell = 12;
+  cfg.iterations = 10;
+  cfg.dt = 0.02;
+  Cluster c(fuzz_machine(2, seed, classes), 4);
+  InvariantObserver obs;
+  c.sim().set_invariant_observer(&obs);
+  apps::particles::Result res = apps::particles::run_dcuda(c, cfg);
+  r.elapsed = res.elapsed;
+  static const apps::particles::Result ref = apps::particles::reference(cfg, 2);
+  if (res.total_particles != ref.total_particles) {
+    std::ostringstream os;
+    os << "  conservation: " << res.total_particles << " particles, want "
+       << ref.total_particles << "\n";
+    r.errors += os.str();
+  }
+  if (std::abs(res.checksum - ref.checksum) >
+      1e-9 * std::abs(ref.checksum) + 1e-9) {
+    std::ostringstream os;
+    os << "  checksum: particles got " << res.checksum << " want "
+       << ref.checksum << "\n";
+    r.errors += os.str();
+  }
+  collect(c, obs, r);
+  return r;
+}
+
+RunResult run_spmv(std::uint64_t seed, std::uint32_t classes) {
+  RunResult r;
+  apps::spmv::Config cfg;
+  cfg.n_dev = 32;  // 8 rows per rank at rpd=4
+  cfg.density = 0.05;
+  cfg.iterations = 2;
+  Cluster c(fuzz_machine(4, seed, classes), 4);  // 2x2 device grid
+  InvariantObserver obs;
+  c.sim().set_invariant_observer(&obs);
+  apps::spmv::Result res = apps::spmv::run_dcuda(c, cfg);
+  r.elapsed = res.elapsed;
+  static const double want = apps::spmv::reference_checksum(cfg, 4);
+  if (std::abs(res.checksum - want) > 1e-9 * std::abs(want) + 1e-9) {
+    std::ostringstream os;
+    os << "  checksum: spmv got " << res.checksum << " want " << want << "\n";
+    r.errors += os.str();
+  }
+  collect(c, obs, r);
+  return r;
+}
+
+// Collectives and wildcard matching under perturbation: bcast_notify tree,
+// a notified-put ring, a device-communicator barrier, and a shared-memory
+// multicast (put_notify_all) — the operations whose correctness leans
+// hardest on notification ordering.
+RunResult run_collectives(std::uint64_t seed, std::uint32_t classes) {
+  RunResult r;
+  const int nodes = 2, rpd = 3;
+  const int world = nodes * rpd;
+  Cluster c(fuzz_machine(nodes, seed, classes), rpd);
+  InvariantObserver obs;
+  c.sim().set_invariant_observer(&obs);
+  std::vector<std::span<double>> bufs;
+  for (int n = 0; n < nodes; ++n)
+    for (int k = 0; k < rpd; ++k) bufs.push_back(c.device(n).alloc<double>(16));
+  for (int g = 0; g < world; ++g)
+    for (double& x : bufs[static_cast<size_t>(g)]) x = g == 0 ? 7.75 : 0.0;
+  r.elapsed = c.run([&](Context& ctx) -> Proc<void> {
+    auto mine = bufs[static_cast<size_t>(ctx.world_rank)];
+    Window w = co_await win_create(ctx, kCommWorld, mine);
+    co_await bcast_notify(ctx, w, kCommWorld, 0, 0, 16 * sizeof(double),
+                          mine.data(), 9);
+    co_await barrier(ctx, kCommWorld);
+    // Notified-put ring: three rounds, tag per round.
+    const int peer = (ctx.world_rank + 1) % ctx.world_size;
+    for (int i = 0; i < 3; ++i) {
+      co_await put_notify(ctx, w, peer, 0, 8 * sizeof(double), mine.data(), i);
+      co_await wait_notifications(ctx, w, kAnySource, i, 1);
+    }
+    co_await barrier(ctx, kCommDevice);
+    // Multicast from world rank 0 to every rank of node 1.
+    if (ctx.world_rank == 0) {
+      co_await put_notify_all(ctx, w, rpd, 0, 4 * sizeof(double), mine.data(), 77);
+    }
+    if (ctx.world_rank >= rpd) {
+      co_await wait_notifications(ctx, w, kAnySource, 77, 1);
+    }
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+  for (int g = 0; g < world; ++g) {
+    if (bufs[static_cast<size_t>(g)][15] != 7.75) {
+      std::ostringstream os;
+      os << "  bcast payload missing at rank " << g << "\n";
+      r.errors += os.str();
+    }
+  }
+  collect(c, obs, r);
+  return r;
+}
+
+// -- Driver ------------------------------------------------------------
+
+struct Workload {
+  const char* name;
+  RunResult (*run)(std::uint64_t seed, std::uint32_t classes);
+};
+
+constexpr Workload kWorkloads[] = {
+    {"stencil", run_stencil},
+    {"particles", run_particles},
+    {"spmv", run_spmv},
+    {"collectives", run_collectives},
+};
+
+const Workload* find_workload(const std::string& name) {
+  for (const Workload& w : kWorkloads) {
+    if (name == w.name) return &w;
+  }
+  return nullptr;
+}
+
+// Shrinks a failing seed to a minimal perturbation class mask: masks are
+// tried in increasing popcount, the first that still fails wins. Masked
+// class streams draw nothing, so the surviving classes replay the decisions
+// of the full run for as long as the schedules coincide.
+std::uint32_t shrink_classes(const Workload& w, std::uint64_t seed) {
+  static constexpr std::uint32_t kMasks[] = {
+      Perturbation::kTieBreak,
+      Perturbation::kLinkJitter,
+      Perturbation::kSmPick,
+      Perturbation::kTieBreak | Perturbation::kLinkJitter,
+      Perturbation::kTieBreak | Perturbation::kSmPick,
+      Perturbation::kLinkJitter | Perturbation::kSmPick,
+  };
+  for (std::uint32_t m : kMasks) {
+    if (!w.run(seed, m).errors.empty()) return m;
+  }
+  return Perturbation::kAllClasses;
+}
+
+std::string failure_report(const Workload& w, std::uint64_t seed) {
+  const std::uint32_t minimal = shrink_classes(w, seed);
+  RunResult r = w.run(seed, minimal);
+  // r.errors already lists the oracle violations; keep only the counts line
+  // of the observer report.
+  const std::string counts = r.obs_report.substr(0, r.obs_report.find('\n') + 1);
+  std::ostringstream os;
+  os << "schedule fuzz failure: workload=" << w.name << " seed=" << seed
+     << " minimal classes=0x" << std::hex << minimal << std::dec << "\n"
+     << r.errors << "  " << counts
+     << "  decisions tie-break/jitter/sm-pick: " << r.decisions[0] << "/"
+     << r.decisions[1] << "/" << r.decisions[2] << "\n"
+     << "  decision tail:" << r.trace_txt << "\n"
+     << "  replay: DCUDA_FUZZ_WORKLOAD=" << w.name << " DCUDA_FUZZ_SEED="
+     << seed << " DCUDA_FUZZ_CLASSES=0x" << std::hex << minimal << std::dec
+     << " tests/schedule_fuzz_test --gtest_filter=ScheduleFuzz.ReplayFromEnv\n";
+  return os.str();
+}
+
+void sweep(const Workload& w, std::uint64_t seed_base, int count) {
+  std::uint64_t total_decisions = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+    RunResult r = w.run(seed, Perturbation::kAllClasses);
+    ASSERT_TRUE(r.errors.empty()) << failure_report(w, seed);
+    total_decisions += r.decisions[0] + r.decisions[1] + r.decisions[2];
+  }
+  // The perturbation must actually be exercised, or the sweep proves nothing.
+  EXPECT_GT(total_decisions, 0u) << w.name << " sweep drew no decisions";
+}
+
+// -- Seed sweeps (disjoint ranges, >200 distinct seeds in total) --------
+
+TEST(ScheduleFuzz, StencilSweep) { sweep(kWorkloads[0], 0x51000, 200); }
+TEST(ScheduleFuzz, ParticlesSweep) { sweep(kWorkloads[1], 0x52000, 150); }
+TEST(ScheduleFuzz, SpmvSweep) { sweep(kWorkloads[2], 0x53000, 120); }
+TEST(ScheduleFuzz, CollectivesSweep) { sweep(kWorkloads[3], 0x54000, 200); }
+
+// 25-seed smoke across all workloads (the ctest `fuzz` label's quick gate).
+TEST(FuzzSmoke, TwentyFiveSeedsAcrossWorkloads) {
+  for (int i = 0; i < 25; ++i) {
+    const Workload& w = kWorkloads[static_cast<std::size_t>(i) % 4];
+    const std::uint64_t seed = 0x55000 + static_cast<std::uint64_t>(i);
+    RunResult r = w.run(seed, Perturbation::kAllClasses);
+    ASSERT_TRUE(r.errors.empty()) << failure_report(w, seed);
+  }
+}
+
+// -- Reproducibility ----------------------------------------------------
+
+TEST(ScheduleFuzz, SameSeedReplaysBitIdentically) {
+  for (std::uint64_t seed : {0x61001ull, 0x61002ull, 0x61003ull}) {
+    RunResult a = run_stencil(seed, Perturbation::kAllClasses);
+    RunResult b = run_stencil(seed, Perturbation::kAllClasses);
+    ASSERT_TRUE(a.errors.empty()) << failure_report(kWorkloads[0], seed);
+    EXPECT_EQ(a.elapsed, b.elapsed) << "seed " << seed;
+    for (int c = 0; c < Perturbation::kNumClasses; ++c) {
+      EXPECT_EQ(a.decisions[c], b.decisions[c]) << "seed " << seed;
+    }
+    EXPECT_EQ(a.trace_txt, b.trace_txt) << "seed " << seed;
+  }
+}
+
+TEST(ScheduleFuzz, PerturbationActuallyChangesTheSchedule) {
+  Cluster canonical(fuzz_machine(2, 0, 0), 4);
+  apps::stencil::Config cfg;
+  cfg.isize = 16;
+  cfg.jlocal = 2;
+  cfg.ksize = 3;
+  cfg.iterations = 4;
+  const double base = apps::stencil::run_dcuda(canonical, cfg).elapsed;
+  bool any_diff = false;
+  for (std::uint64_t seed : {0x62001ull, 0x62002ull, 0x62003ull}) {
+    RunResult r = run_stencil(seed, Perturbation::kAllClasses);
+    any_diff = any_diff || r.elapsed != base;
+  }
+  EXPECT_TRUE(any_diff) << "three perturbed schedules all matched canonical";
+}
+
+// -- Deadlock detection under perturbation ------------------------------
+
+TEST(ScheduleFuzz, DeadlockIsDiagnosedNotHung) {
+  for (std::uint64_t seed : {0x63001ull, 0x63002ull, 0x63003ull}) {
+    Cluster c(fuzz_machine(1, seed, Perturbation::kAllClasses), 2);
+    auto mem = c.device(0).alloc<std::byte>(64);
+    try {
+      c.run([&](Context& ctx) -> Proc<void> {
+        Window w = co_await win_create(ctx, kCommWorld, mem);
+        if (ctx.world_rank == 0) {
+          // Nobody sends: rank 0 hangs, rank 1 blocks in the barrier.
+          co_await wait_notifications(ctx, w, kAnySource, 5, 1);
+        }
+        co_await barrier(ctx, kCommWorld);
+        co_await win_free(ctx, w);
+      });
+      FAIL() << "deadlock not detected under seed " << seed;
+    } catch (const sim::DeadlockError& e) {
+      EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// -- One-command replay --------------------------------------------------
+
+TEST(ScheduleFuzz, ReplayFromEnv) {
+  const char* seed_s = std::getenv("DCUDA_FUZZ_SEED");
+  if (seed_s == nullptr) {
+    GTEST_SKIP() << "set DCUDA_FUZZ_SEED (optionally DCUDA_FUZZ_WORKLOAD, "
+                    "DCUDA_FUZZ_CLASSES) to replay a fuzz case";
+  }
+  const std::uint64_t seed = std::strtoull(seed_s, nullptr, 0);
+  const char* wl_s = std::getenv("DCUDA_FUZZ_WORKLOAD");
+  const char* cls_s = std::getenv("DCUDA_FUZZ_CLASSES");
+  const std::uint32_t classes =
+      cls_s != nullptr
+          ? static_cast<std::uint32_t>(std::strtoul(cls_s, nullptr, 0))
+          : Perturbation::kAllClasses;
+  std::vector<const Workload*> todo;
+  if (wl_s != nullptr) {
+    const Workload* w = find_workload(wl_s);
+    ASSERT_NE(w, nullptr) << "unknown DCUDA_FUZZ_WORKLOAD " << wl_s;
+    todo.push_back(w);
+  } else {
+    for (const Workload& w : kWorkloads) todo.push_back(&w);
+  }
+  for (const Workload* w : todo) {
+    RunResult r = w->run(seed, classes);
+    std::printf("replay %s seed=%llu classes=0x%x elapsed=%.9g\n%s", w->name,
+                static_cast<unsigned long long>(seed), classes, r.elapsed,
+                r.obs_report.c_str());
+    EXPECT_TRUE(r.errors.empty())
+        << "workload=" << w->name << " seed=" << seed << " classes=0x"
+        << std::hex << classes << std::dec << "\n"
+        << r.errors << r.obs_report << "  decision tail:" << r.trace_txt;
+  }
+}
+
+// -- Oracle self-tests ---------------------------------------------------
+//
+// The oracles must be falsifiable: each check fires on a hand-built
+// violating history (the cheap half of the mutation check documented in
+// docs/TESTING.md).
+
+TEST(InvariantOracle, DetectsFabricOvertaking) {
+  InvariantObserver obs;
+  obs.fabric_delivered(0, 1, 1);
+  obs.fabric_delivered(0, 1, 3);  // wire_seq 2 overtaken
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("fabric non-overtaking"), std::string::npos);
+}
+
+TEST(InvariantOracle, DetectsQueueCreditOverflow) {
+  InvariantObserver obs;
+  obs.queue_credit(5, 0, 4);  // five in flight in a four-entry ring
+  EXPECT_FALSE(obs.ok());
+  obs = {};
+  obs.queue_credit(2, 3, 4);  // received more than was sent
+  EXPECT_FALSE(obs.ok());
+}
+
+TEST(InvariantOracle, DetectsNotifiedPutOvertaking) {
+  InvariantObserver obs;
+  obs.notify_put_ordered(0, 1, 7, 64, /*tag=*/1);
+  obs.notify_put_ordered(0, 1, 7, 64, /*tag=*/2);
+  obs.notify_put_delivered(0, 1, 7, 64, /*tag=*/2);
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("overtaking"), std::string::npos);
+}
+
+TEST(InvariantOracle, DifferentSizedPutsMayReorder) {
+  // Eager vs. rendezvous completion order is not guaranteed; the oracle
+  // must not flag it (keys include the byte count).
+  InvariantObserver obs;
+  obs.notify_put_ordered(0, 1, 7, 64, /*tag=*/1);
+  obs.notify_put_ordered(0, 1, 7, 1 << 20, /*tag=*/2);
+  obs.notify_put_delivered(0, 1, 7, 1 << 20, /*tag=*/2);
+  obs.notify_put_delivered(0, 1, 7, 64, /*tag=*/1);
+  obs.finalize();
+  EXPECT_TRUE(obs.ok()) << obs.report();
+}
+
+TEST(InvariantOracle, DetectsLostNotification) {
+  InvariantObserver obs;
+  obs.notify_sent();
+  obs.finalize();
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("conservation"), std::string::npos);
+}
+
+TEST(InvariantOracle, DetectsMatchWithoutDelivery) {
+  InvariantObserver obs;
+  obs.notification_matched();
+  EXPECT_FALSE(obs.ok());
+}
+
+TEST(InvariantOracle, DetectsWindowUseAfterFree) {
+  InvariantObserver obs;
+  obs.window_created(3);
+  obs.window_freed(3);
+  obs.window_accessed(3);
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("after win_free"), std::string::npos);
+  obs = {};
+  obs.window_accessed(4);
+  EXPECT_NE(obs.report().find("before win_create"), std::string::npos);
+}
+
+TEST(InvariantOracle, DetectsBarrierRoundDisagreement) {
+  InvariantObserver obs;
+  obs.barrier_enter(/*comm=*/-1, /*rank=*/0, /*participants=*/2);
+  obs.barrier_exit(-1, 0);  // rank 1 never entered round 1
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("barrier round agreement"), std::string::npos);
+}
+
+TEST(InvariantOracle, CleanHistoryPasses) {
+  InvariantObserver obs;
+  obs.fabric_delivered(0, 1, 1);
+  obs.fabric_delivered(0, 1, 2);
+  obs.queue_credit(1, 0, 4);
+  obs.queue_credit(1, 1, 4);
+  obs.window_created(3);
+  obs.window_accessed(3);
+  obs.notify_sent();
+  obs.notify_put_ordered(0, 1, 3, 64, 5);
+  obs.notify_put_delivered(0, 1, 3, 64, 5);
+  obs.notification_delivered();
+  obs.notification_matched();
+  obs.window_freed(3);
+  obs.barrier_enter(-1, 0, 2);
+  obs.barrier_enter(-1, 1, 2);
+  obs.barrier_exit(-1, 0);
+  obs.barrier_exit(-1, 1);
+  obs.finalize();
+  EXPECT_TRUE(obs.ok()) << obs.report();
+  EXPECT_GT(obs.checks_performed(), 0u);
+}
+
+}  // namespace
+}  // namespace dcuda

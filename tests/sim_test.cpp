@@ -335,6 +335,25 @@ TEST(Deadlock, DaemonsAreExempt) {
   EXPECT_NO_THROW(sim.run());
 }
 
+TEST(Deadlock, DaemonNotNamedWhenNonDaemonIsStuck) {
+  // A blocked daemon (e.g. a runtime service loop) must neither mask a real
+  // deadlock nor pollute its diagnostic: only the stuck non-daemon process
+  // is reported.
+  Simulation sim;
+  Trigger trig(sim);
+  auto waiter = [&]() -> Proc<void> { co_await trig.wait(); };
+  sim.spawn(waiter(), "service-daemon", /*daemon=*/true);
+  sim.spawn(waiter(), "stuck-worker");
+  try {
+    sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck-worker"), std::string::npos) << what;
+    EXPECT_EQ(what.find("service-daemon"), std::string::npos) << what;
+  }
+}
+
 TEST(Deadlock, MessageNamesStuckProcess) {
   Simulation sim;
   Trigger trig(sim);
