@@ -47,8 +47,8 @@ int main() {
       const std::size_t slot =
           (static_cast<size_t>(ctx.device_rank) * kChunks + static_cast<size_t>(cidx)) *
           kChunkElems;
-      co_await put_notify(ctx, w, host_rank, slot * sizeof(double),
-                          kChunkElems * sizeof(double), chunk.data(), /*tag=*/cidx);
+      co_await put_notify(ctx, w, host_rank, slot,
+                          std::span<const double>(chunk), /*tag=*/cidx);
       co_await flush(ctx);
     }
     co_await barrier(ctx, kCommWorld);

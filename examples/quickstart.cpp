@@ -50,14 +50,14 @@ sim::Proc<void> stencil_rank(Context& ctx, std::span<double> in,
     }
     co_await ctx.block->compute_flops(6.0 * static_cast<double>(len));
 
-    // dcuda_put_notify: move the boundary rows into the neighbor windows.
+    // dcuda_put_notify: move the boundary rows into the neighbor windows
+    // (typed span API: offsets and lengths count doubles).
     if (lsend) {
-      co_await put_notify(ctx, wout, rank - 1, (len + kJstride) * sizeof(double),
-                          kJstride * sizeof(double), &out[kJstride], tag);
+      co_await put_notify(ctx, wout, rank - 1, len + kJstride,
+                          out.subspan(kJstride, kJstride), tag);
     }
     if (rsend) {
-      co_await put_notify(ctx, wout, rank + 1, 0, kJstride * sizeof(double),
-                          &out[len], tag);
+      co_await put_notify(ctx, wout, rank + 1, 0, out.subspan(len, kJstride), tag);
     }
     // dcuda_wait_notifications: wait for the neighbors' halos.
     co_await wait_notifications(ctx, wout, kAnySource, tag,

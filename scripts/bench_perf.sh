@@ -6,9 +6,15 @@
 # Pass a previous run's JSON as BASELINE to embed it under "baseline" —
 # that is how BENCH_engine.json carries before/after engine numbers.
 #
+# Also runs bench/micro_comm (simulated-time message rate of the eager/
+# aggregated notified-put fast path, on vs off) and writes its record next
+# to the engine one as BENCH_comm.json, failing if the small-message
+# speedup drops below the 1.5x acceptance bar (docs/PERF.md).
+#
 # Usage: scripts/bench_perf.sh [build-dir] [out.json] [baseline.json]
 #   build-dir     defaults to ./build
-#   out.json      defaults to ./BENCH_engine.json
+#   out.json      defaults to ./BENCH_engine.json (comm record goes to
+#                 the same directory as out.json, named BENCH_comm.json)
 #   baseline.json optional previous record to embed for comparison
 # Env:
 #   DCUDA_BENCH_ITERS   fig-bench main-loop iterations (default 10)
@@ -60,3 +66,21 @@ fi
 
 printf '%s\n' "$record" > "$OUT"
 echo "wrote $OUT" >&2
+
+# -- Communication-protocol record (simulated time, deterministic) --------
+COMM_OUT="$(dirname "$OUT")/BENCH_comm.json"
+if [ -x "$BUILD/bench/micro_comm" ]; then
+  echo "== micro_comm (eager/aggregated put fast path) ==" >&2
+  comm_json="$("$BUILD/bench/micro_comm")"
+  printf '%s\n' "$comm_json" > "$COMM_OUT"
+  echo "wrote $COMM_OUT" >&2
+  speedup="$(jq -r '.min_small_speedup' <<< "$comm_json")"
+  ok="$(awk -v s="$speedup" 'BEGIN { print (s >= 1.5) ? 1 : 0 }')"
+  if [ "$ok" -ne 1 ]; then
+    echo "FAIL: small-message eager speedup $speedup < 1.5x" >&2
+    exit 1
+  fi
+  echo "   small-message speedup ${speedup}x (bar: 1.5x)" >&2
+else
+  echo "warning: $BUILD/bench/micro_comm not built, skipping BENCH_comm.json" >&2
+fi

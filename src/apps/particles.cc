@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <span>
 
 #include "baseline/mpi_cuda.h"
 #include "sim/random.h"
@@ -374,39 +375,39 @@ Result run_dcuda(Cluster& cluster, const Config& cfg) {
     const bool has_right = grank + 1 < gsize;
     const int expected = (has_left ? 1 : 0) + (has_right ? 1 : 0);
 
-    // Slot byte offsets in the *target* device's (rank-local, side) layout.
+    // Slot element offsets in the *target* device's (rank-local, side)
+    // layout, for the typed span API.
     auto slot_off = [&](int target_rank, int side) -> std::size_t {
       const int lr = target_rank % rpd;
-      return (static_cast<size_t>(lr) * 2 + static_cast<size_t>(side)) * cap *
-             sizeof(double);
+      return (static_cast<size_t>(lr) * 2 + static_cast<size_t>(side)) * cap;
     };
     auto count_off = [&](int target_rank, int side) -> std::size_t {
       const int lr = target_rank % rpd;
-      return (static_cast<size_t>(lr) * 2 + static_cast<size_t>(side)) *
-             sizeof(std::int32_t);
+      return static_cast<size_t>(lr) * 2 + static_cast<size_t>(side);
     };
 
     for (int it = 0; it < cfg.iterations; ++it) {
       const std::int32_t my_count = p.count[static_cast<size_t>(r)];
-      const std::size_t cell_bytes = static_cast<size_t>(my_count) * sizeof(double);
       CellView mine = p.cell(r);
+      const std::span<const double> mine_x(mine.x, static_cast<size_t>(my_count));
+      const std::span<const double> mine_y(mine.y, static_cast<size_t>(my_count));
+      const std::span<const std::int32_t> count_span(
+          &p.count[static_cast<size_t>(r)], 1);
 
       // 1) halo exchange: my cell's positions into the neighbors' halo
       // slots. The count put carries the notification.
       if (cfg.exchange) {
         if (has_left) {
-          co_await put(ctx, whx, grank - 1, slot_off(grank - 1, 1), cell_bytes, mine.x);
-          co_await put(ctx, why, grank - 1, slot_off(grank - 1, 1), cell_bytes, mine.y);
+          co_await put(ctx, whx, grank - 1, slot_off(grank - 1, 1), mine_x);
+          co_await put(ctx, why, grank - 1, slot_off(grank - 1, 1), mine_y);
           co_await put_notify(ctx, whc, grank - 1, count_off(grank - 1, 1),
-                              sizeof(std::int32_t), &p.count[static_cast<size_t>(r)],
-                              kHaloTag);
+                              count_span, kHaloTag);
         }
         if (has_right) {
-          co_await put(ctx, whx, grank + 1, slot_off(grank + 1, 0), cell_bytes, mine.x);
-          co_await put(ctx, why, grank + 1, slot_off(grank + 1, 0), cell_bytes, mine.y);
+          co_await put(ctx, whx, grank + 1, slot_off(grank + 1, 0), mine_x);
+          co_await put(ctx, why, grank + 1, slot_off(grank + 1, 0), mine_y);
           co_await put_notify(ctx, whc, grank + 1, count_off(grank + 1, 0),
-                              sizeof(std::int32_t), &p.count[static_cast<size_t>(r)],
-                              kHaloTag);
+                              count_span, kHaloTag);
         }
         // The put sources (cell arrays, count) are modified below; flush
         // guarantees the runtime buffered them.
@@ -433,27 +434,27 @@ Result run_dcuda(Cluster& cluster, const Config& cfg) {
         std::int32_t lcnt = moved.left, rcnt = moved.right;
         if (has_left) {
           CellView ob = p.outbox(r, 0);
-          const std::size_t b = static_cast<size_t>(lcnt) * sizeof(double);
+          const std::size_t n = static_cast<size_t>(lcnt);
           const std::size_t o = slot_off(grank - 1, 1);
-          co_await put(ctx, wibx, grank - 1, o, b, ob.x);
-          co_await put(ctx, wiby, grank - 1, o, b, ob.y);
-          co_await put(ctx, wibvx, grank - 1, o, b, ob.vx);
-          co_await put(ctx, wibvy, grank - 1, o, b, ob.vy);
+          co_await put(ctx, wibx, grank - 1, o, std::span<const double>(ob.x, n));
+          co_await put(ctx, wiby, grank - 1, o, std::span<const double>(ob.y, n));
+          co_await put(ctx, wibvx, grank - 1, o, std::span<const double>(ob.vx, n));
+          co_await put(ctx, wibvy, grank - 1, o, std::span<const double>(ob.vy, n));
           co_await put_notify(ctx, wibc, grank - 1, count_off(grank - 1, 1),
-                              sizeof(std::int32_t), &lcnt, kMigrateTag);
+                              std::span<const std::int32_t>(&lcnt, 1), kMigrateTag);
         } else {
           assert(lcnt == 0 && "mover fell off the global domain");
         }
         if (has_right) {
           CellView ob = p.outbox(r, 1);
-          const std::size_t b = static_cast<size_t>(rcnt) * sizeof(double);
+          const std::size_t n = static_cast<size_t>(rcnt);
           const std::size_t o = slot_off(grank + 1, 0);
-          co_await put(ctx, wibx, grank + 1, o, b, ob.x);
-          co_await put(ctx, wiby, grank + 1, o, b, ob.y);
-          co_await put(ctx, wibvx, grank + 1, o, b, ob.vx);
-          co_await put(ctx, wibvy, grank + 1, o, b, ob.vy);
+          co_await put(ctx, wibx, grank + 1, o, std::span<const double>(ob.x, n));
+          co_await put(ctx, wiby, grank + 1, o, std::span<const double>(ob.y, n));
+          co_await put(ctx, wibvx, grank + 1, o, std::span<const double>(ob.vx, n));
+          co_await put(ctx, wibvy, grank + 1, o, std::span<const double>(ob.vy, n));
           co_await put_notify(ctx, wibc, grank + 1, count_off(grank + 1, 0),
-                              sizeof(std::int32_t), &rcnt, kMigrateTag);
+                              std::span<const std::int32_t>(&rcnt, 1), kMigrateTag);
         } else {
           assert(rcnt == 0 && "mover fell off the global domain");
         }

@@ -157,8 +157,7 @@ Result run_dcuda(Cluster& cluster, const Config& cfg) {
             for (int child = 2 * brow + 1; child <= 2 * brow + 2; ++child) {
               if (child >= p) break;
               co_await put_notify(ctx, wx, rank_of(child, 0), 0,
-                                  static_cast<size_t>(n) * sizeof(double),
-                                  d.x.data(), tag_b);
+                                  std::span<const double>(d.x), tag_b);
             }
           }
         } else {
@@ -168,8 +167,7 @@ Result run_dcuda(Cluster& cluster, const Config& cfg) {
         for (int child = 2 * r + 1; child <= 2 * r + 2; ++child) {
           if (child >= rpd) break;
           co_await put_notify(ctx, wx, rank_of(brow, child), 0,
-                              static_cast<size_t>(n) * sizeof(double), d.x.data(),
-                              tag_b);
+                              std::span<const double>(d.x), tag_b);
         }
         co_await flush(ctx);
       }
@@ -193,9 +191,11 @@ Result run_dcuda(Cluster& cluster, const Config& cfg) {
             const int peer_node = brow * p + (bcol - step);
             const int peer_rank = peer_node * rpd + r;
             co_await put_notify(ctx, wy, peer_rank,
-                                (slot + static_cast<size_t>(my_rows0)) * sizeof(double),
-                                static_cast<size_t>(rows_pr) * sizeof(double),
-                                &d.y[static_cast<size_t>(my_rows0)], tag_r);
+                                slot + static_cast<size_t>(my_rows0),
+                                std::span<const double>(
+                                    &d.y[static_cast<size_t>(my_rows0)],
+                                    static_cast<size_t>(rows_pr)),
+                                tag_r);
             co_await flush(ctx);
             break;
           }

@@ -137,7 +137,7 @@ Result run_dcuda(Cluster& cluster, const Config& cfg) {
   for (int n = 0; n < nodes; ++n)
     dev[static_cast<size_t>(n)] = make_arrays(cluster.device(n), g, n * g.jdev, nodes * g.jdev);
 
-  const std::size_t line_bytes = static_cast<size_t>(g.isize) * sizeof(double);
+  const std::size_t line_elems = static_cast<size_t>(g.isize);
   const double phase_flops[3] = {5.0, 12.0, 9.0};
   const double phase_passes[3] = {2.0, 4.0, 4.0};
 
@@ -167,13 +167,12 @@ Result run_dcuda(Cluster& cluster, const Config& cfg) {
     auto send_line = [&](Window w, std::span<double> span, int target_rank,
                          int my_j, int target_j, int tag) -> sim::Proc<void> {
       for (int k = 0; k < g.ksize; ++k) {
-        const std::size_t src_off = g.at(0, my_j, k);
-        const std::size_t dst_off = g.at(0, target_j, k) * sizeof(double);
+        const std::span<const double> line = span.subspan(g.at(0, my_j, k), line_elems);
+        const std::size_t dst_off = g.at(0, target_j, k);  // element offset
         if (k + 1 < g.ksize) {
-          co_await put(ctx, w, target_rank, dst_off, line_bytes, &span[src_off]);
+          co_await put(ctx, w, target_rank, dst_off, line);
         } else {
-          co_await put_notify(ctx, w, target_rank, dst_off, line_bytes,
-                              &span[src_off], tag);
+          co_await put_notify(ctx, w, target_rank, dst_off, line, tag);
         }
       }
     };

@@ -27,7 +27,7 @@ Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
   for (int n = 0; n < cfg_.num_nodes; ++n) {
     runtimes_.push_back(std::make_unique<rt::NodeRuntime>(
         sim_, *devices_[static_cast<size_t>(n)], world_->at(n),
-        *pcie_[static_cast<size_t>(n)], cfg_, rpd_, host_ranks_));
+        *pcie_[static_cast<size_t>(n)], *fabric_, cfg_, rpd_, host_ranks_));
   }
 }
 

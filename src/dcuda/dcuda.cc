@@ -138,6 +138,8 @@ sim::Proc<void> issue_rma(Context& ctx, rt::CmdKind kind, Window win,
 
 }  // namespace
 
+const sim::RmaConfig& Context::rma_config() const { return node->config().rma; }
+
 sim::Proc<void> Context::charge_compute(double flops) {
   if (block != nullptr) {
     co_await block->compute_flops(flops);

@@ -13,10 +13,12 @@
 // operations (init, win_create, win_free, barrier, finish) must be called by
 // every rank of the communicator in the same order.
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <span>
+#include <type_traits>
 #include <unordered_map>
 
 #include "gpu/device.h"
@@ -73,6 +75,10 @@ class Context {
   sim::Proc<void> charge_compute(double flops);
   sim::Proc<void> charge_compute_time(sim::Dur dedicated_time);
   sim::Proc<void> charge_memory(double bytes);
+
+  // The node's communication-protocol knobs (sim::RmaConfig: eager
+  // threshold, aggregation window, batch caps).
+  const sim::RmaConfig& rma_config() const;
 
   // The cluster's tracer (may be null; check enabled() before building
   // spans — see sim/trace.h).
@@ -133,15 +139,54 @@ sim::Proc<void> get_notify(Context& ctx, Window win, int target_rank,
 sim::Proc<void> get(Context& ctx, Window win, int target_rank, std::size_t offset,
                     std::size_t bytes, void* dst);
 
-// Typed element-offset helper. Named distinctly from put_notify on purpose:
-// an overload would silently capture typed pointers passed to the byte-unit
-// API and re-scale offsets by sizeof(T).
+// -- Typed span overloads ----------------------------------------------------
+//
+// Element-unit variants mirroring win_create(span): offsets count Ts, the
+// span supplies pointer and length together. Spans never convert implicitly
+// from raw pointers, so — unlike typed-pointer overloads, which would
+// silently capture pointers passed to the byte-unit API and re-scale their
+// offsets by sizeof(T) — these cannot be picked by accident. A deduced
+// std::span<T> parameter also binds std::span<const T> arguments (T deduces
+// as const T), so one overload covers both for the read-side calls.
+
+template <typename T>
+sim::Proc<void> put_notify(Context& ctx, Window win, int target_rank,
+                           std::size_t elem_offset, std::span<T> src, int tag) {
+  return put_notify(ctx, win, target_rank, elem_offset * sizeof(T),
+                    src.size_bytes(), static_cast<const void*>(src.data()), tag);
+}
+
+template <typename T>
+sim::Proc<void> put(Context& ctx, Window win, int target_rank,
+                    std::size_t elem_offset, std::span<T> src) {
+  return put(ctx, win, target_rank, elem_offset * sizeof(T), src.size_bytes(),
+             static_cast<const void*>(src.data()));
+}
+
+template <typename T>
+sim::Proc<void> get_notify(Context& ctx, Window win, int target_rank,
+                           std::size_t elem_offset, std::span<T> dst, int tag) {
+  static_assert(!std::is_const_v<T>, "get_notify writes into dst");
+  return get_notify(ctx, win, target_rank, elem_offset * sizeof(T),
+                    dst.size_bytes(), static_cast<void*>(dst.data()), tag);
+}
+
+template <typename T>
+sim::Proc<void> get(Context& ctx, Window win, int target_rank,
+                    std::size_t elem_offset, std::span<T> dst) {
+  static_assert(!std::is_const_v<T>, "get writes into dst");
+  return get(ctx, win, target_rank, elem_offset * sizeof(T), dst.size_bytes(),
+             static_cast<void*>(dst.data()));
+}
+
+// Typed element-offset helper, kept as a thin wrapper over the span overload
+// for existing callers holding (pointer, count) pairs.
 template <typename T>
 sim::Proc<void> put_notify_elems(Context& ctx, Window win, int target_rank,
                                  std::size_t elem_offset, std::size_t elem_count,
                                  const T* src, int tag) {
-  return put_notify(ctx, win, target_rank, elem_offset * sizeof(T),
-                    elem_count * sizeof(T), static_cast<const void*>(src), tag);
+  return put_notify(ctx, win, target_rank, elem_offset,
+                    std::span<const T>(src, elem_count), tag);
 }
 
 // Waits until all remote memory accesses issued by this rank completed
@@ -168,6 +213,10 @@ inline sim::Proc<void> wait_notifications(Context& ctx, Window win, int source,
 // Nonblocking variant: consumes up to `count` matches, returns how many.
 sim::Proc<int> test_notifications(Context& ctx, std::int32_t win_filter, int source,
                                   int tag, int count);
+inline sim::Proc<int> test_notifications(Context& ctx, Window win, int source,
+                                         int tag, int count) {
+  return test_notifications(ctx, win.device_id, source, tag, count);
+}
 
 // -- Collectives ----------------------------------------------------------------
 
@@ -182,6 +231,20 @@ sim::Proc<void> put_2d_notify(Context& ctx, Window win, int target_rank,
                               std::size_t offset, std::size_t row_bytes,
                               std::size_t rows, std::size_t target_stride,
                               const void* src, std::size_t src_stride, int tag);
+
+// Typed span variant: offsets, row length, and strides all count Ts; `src`
+// must cover the last row ((rows-1) * src_stride + row_elems elements).
+template <typename T>
+sim::Proc<void> put_2d_notify(Context& ctx, Window win, int target_rank,
+                              std::size_t elem_offset, std::size_t row_elems,
+                              std::size_t rows, std::size_t target_stride,
+                              std::span<T> src, std::size_t src_stride, int tag) {
+  assert(rows == 0 || (rows - 1) * src_stride + row_elems <= src.size());
+  return put_2d_notify(ctx, win, target_rank, elem_offset * sizeof(T),
+                       row_elems * sizeof(T), rows, target_stride * sizeof(T),
+                       static_cast<const void*>(src.data()),
+                       src_stride * sizeof(T), tag);
+}
 
 // Shared-memory multicast: performs the data transfer once and notifies
 // every rank of the target device registered on the window.

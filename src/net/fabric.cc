@@ -18,6 +18,7 @@ Fabric::Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg)
 void Fabric::send(Packet p, sim::Rate rate_cap) {
   assert(p.src >= 0 && p.src < num_nodes());
   assert(p.dst >= 0 && p.dst < num_nodes());
+  assert(p.channel >= 0 && p.channel < kNumChannels);
   Nic& tx = *nics_[static_cast<size_t>(p.src)];
   const sim::Rate rate = std::min(cfg_.bandwidth, rate_cap);
   // Sender software overhead delays wire entry; transmissions serialize.
@@ -49,7 +50,9 @@ void Fabric::send(Packet p, sim::Rate rate_cap) {
     if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
       obs->fabric_delivered(pkt.src, pkt.dst, wire_seq);
     }
-    nics_[static_cast<size_t>(pkt.dst)]->rx.push(std::move(pkt));
+    const int channel = pkt.channel;
+    nics_[static_cast<size_t>(pkt.dst)]->rx[static_cast<size_t>(channel)].push(
+        std::move(pkt));
   });
 }
 

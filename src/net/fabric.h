@@ -10,6 +10,7 @@
 // on.
 
 #include <any>
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -22,11 +23,24 @@
 
 namespace dcuda::net {
 
+// Receive channels: every NIC demultiplexes arrivals into per-protocol
+// mailboxes. Channel 0 is the MPI endpoint's (mpi::Endpoint::rx_loop);
+// channel 1 carries the runtime's eager/aggregated put batches
+// (rt::NodeRuntime::eager_loop). Both share the transmit lane and the
+// per-(src, dst) FIFO delivery clamp, so the non-overtaking guarantee
+// holds across channels.
+inline constexpr int kMpiChannel = 0;
+inline constexpr int kRuntimeChannel = 1;
+inline constexpr int kNumChannels = 2;
+
 struct Packet {
   int src = -1;
   int dst = -1;
   double bytes = 0.0;
   std::any payload;
+  // Declared after payload so the many MPI-side {src, dst, bytes, payload}
+  // aggregate initializations keep defaulting to the MPI channel.
+  int channel = kMpiChannel;
 };
 
 class Fabric {
@@ -41,7 +55,9 @@ class Fabric {
   void send(Packet p,
             sim::Rate rate_cap = std::numeric_limits<sim::Rate>::infinity());
 
-  sim::Mailbox<Packet>& rx(int node) { return nics_[static_cast<size_t>(node)]->rx; }
+  sim::Mailbox<Packet>& rx(int node, int channel = kMpiChannel) {
+    return nics_[static_cast<size_t>(node)]->rx[static_cast<size_t>(channel)];
+  }
 
   // Observability: wire-serialization spans and cumulative wire-byte
   // counters on the sender's fabric lane (docs/OBSERVABILITY.md).
@@ -54,13 +70,13 @@ class Fabric {
  private:
   struct Nic {
     Nic(sim::Simulation& s, int num_nodes)
-        : rx(s),
+        : rx{sim::Mailbox<Packet>(s), sim::Mailbox<Packet>(s)},
           pair_deliver(static_cast<size_t>(num_nodes), 0.0),
           pair_seq(static_cast<size_t>(num_nodes), 0) {}
     sim::Time tx_free = 0.0;
     double bytes = 0.0;
     std::uint64_t msgs = 0;
-    sim::Mailbox<Packet> rx;
+    std::array<sim::Mailbox<Packet>, kNumChannels> rx;
     // Per-destination FIFO state: last scheduled delivery time (the clamp
     // that keeps the non-overtaking guarantee under jitter) and a wire
     // sequence number reported to the invariant oracle at delivery.

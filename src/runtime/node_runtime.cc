@@ -33,10 +33,11 @@ queue::Transport NodeRuntime::pcie_transport(pcie::Dir write_dir) {
 }
 
 NodeRuntime::NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep,
-                         pcie::PcieLink& pcie, const sim::MachineConfig& cfg,
-                         int ranks_per_device, int host_ranks)
-    : sim_(s), dev_(dev), ep_(ep), pcie_(pcie), cfg_(cfg), rpd_(ranks_per_device),
-      host_ranks_(host_ranks), host_cpu_(s, 1) {
+                         pcie::PcieLink& pcie, net::Fabric& fabric,
+                         const sim::MachineConfig& cfg, int ranks_per_device,
+                         int host_ranks)
+    : sim_(s), dev_(dev), ep_(ep), pcie_(pcie), fabric_(fabric), cfg_(cfg),
+      rpd_(ranks_per_device), host_ranks_(host_ranks), host_cpu_(s, 1) {
   host_compute_ = std::make_unique<sim::SharedResource>(
       s, cfg.host.flops, cfg.host.flops / cfg.host.threads_to_saturate);
   host_memory_ = std::make_unique<sim::SharedResource>(
@@ -70,6 +71,12 @@ NodeRuntime::NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep
   if (sim::Tracer* tr = dev.tracer()) log_q_->set_tracer(tr, node(), "log_queue");
   s.spawn(meta_loop(), "event-handler@" + std::to_string(node()), /*daemon=*/true);
   s.spawn(log_loop(), "log@" + std::to_string(node()), /*daemon=*/true);
+  if (cfg_.rma.eager_enabled()) {
+    // Only spawned when the fast path is on: disabled runs keep the exact
+    // reference event schedule (golden traces).
+    eager_agg_.resize(static_cast<size_t>(num_nodes()));
+    s.spawn(eager_loop(), "eager@" + std::to_string(node()), /*daemon=*/true);
+  }
 }
 
 const NodeRuntime::WinRankInfo* NodeRuntime::window_peer(std::int32_t global_id,
@@ -224,6 +231,14 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
   }
 
   const int target_node = c.target_rank / ranks_per_node();
+  if (cfg_.rma.eager_enabled() && c.bytes <= cfg_.rma.eager_threshold) {
+    // Small-put fast path: park the payload in the per-target aggregator
+    // instead of the two-message meta + payload pipeline. Non-notified puts
+    // take it too — put_2d rows must share their final notification's
+    // channel or the notification could overtake the data.
+    co_await handle_eager_put(local_rank, c);
+    co_return;
+  }
   Meta m;
   m.kind = CmdKind::kPut;
   m.origin_rank = rs.global_rank;
@@ -374,6 +389,154 @@ sim::Proc<void> NodeRuntime::handle_meta(Meta m) {
   }
 }
 
+sim::Proc<void> NodeRuntime::handle_eager_put(int local_rank, Command c) {
+  RankState& rs = rank(local_rank);
+  const int target_node = c.target_rank / ranks_per_node();
+  assert(target_node != node() && "local puts use the shared-memory path");
+  EagerAggregator& agg = eager_agg_[static_cast<size_t>(target_node)];
+
+  EagerPutRecord r;
+  r.origin_rank = rs.global_rank;
+  r.target_rank = c.target_rank;
+  r.win_global_id = rs.win_translate.at(c.win_device_id);
+  r.offset = c.offset;
+  r.bytes = c.bytes;
+  r.tag = c.tag;
+  r.notify = c.notify;
+
+  if (sim::InvariantObserver* obs = sim_.invariant_observer();
+      obs != nullptr && c.notify) {
+    // Appends happen in per-rank command order (no suspension between
+    // coroutine entry and here), flushes are FIFO per target, and the
+    // runtime fabric channel shares the non-overtaking clamp — so the
+    // eager path keeps the §III-B guarantee for every size it carries.
+    obs->notify_put_ordered(rs.global_rank, c.target_rank, r.win_global_id,
+                            c.bytes, c.tag);
+  }
+
+  const bool first = agg.records.empty();
+  agg.records.push_back(r);
+  agg.origins.push_back(EagerOrigin{local_rank, c.flush_id, c.win_device_id});
+  if (c.bytes > 0) {
+    agg.payload.insert(agg.payload.end(), c.local_ptr, c.local_ptr + c.bytes);
+  }
+  if (sim::Tracer* tr = dev_.tracer(); tr && tr->enabled()) tr->bump("eager_puts");
+
+  if (agg.records.size() >= static_cast<size_t>(cfg_.rma.max_batch) ||
+      agg.payload.size() >= cfg_.rma.max_batch_bytes) {
+    co_await flush_eager(target_node);
+  } else if (first) {
+    sim_.spawn(eager_flush_timer(target_node, agg.epoch),
+               "eager-timer@" + std::to_string(node()));
+  }
+}
+
+sim::Proc<void> NodeRuntime::eager_flush_timer(int target_node,
+                                               std::uint64_t epoch) {
+  co_await sim_.delay(cfg_.rma.aggregation_window);
+  // A size-triggered flush already shipped this batch (and bumped the
+  // epoch); anything parked now belongs to a newer batch with its own timer.
+  if (eager_agg_[static_cast<size_t>(target_node)].epoch != epoch) co_return;
+  co_await flush_eager(target_node);
+}
+
+sim::Proc<void> NodeRuntime::flush_eager(int target_node) {
+  EagerAggregator& agg = eager_agg_[static_cast<size_t>(target_node)];
+  assert(!agg.records.empty());
+  ++agg.epoch;  // invalidate the pending timer before any suspension
+  EagerBatch b;
+  b.origin_node = node();
+  b.batch_seq = ++agg.next_batch_seq;
+  b.records = std::move(agg.records);
+  b.payload = std::make_shared<std::vector<std::byte>>(std::move(agg.payload));
+  std::vector<EagerOrigin> origins = std::move(agg.origins);
+  agg.records.clear();
+  agg.origins.clear();
+  agg.payload.clear();
+
+  // One host-side send call per batch (the reference path pays two MPI
+  // calls per put). host_cpu_ is FIFO, so concurrent flushes to the same
+  // target hit the wire in batch_seq order.
+  co_await host_dispatch_cost();
+
+  if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+    obs->eager_batch_flushed(node(), target_node, b.batch_seq,
+                             static_cast<int>(b.records.size()));
+  }
+  if (sim::Tracer* tr = dev_.tracer(); tr && tr->enabled()) {
+    tr->bump("eager_batches");
+  }
+  const double wire_bytes =
+      kEagerEnvelopeBytes +
+      static_cast<double>(b.records.size()) * kEagerRecordWireBytes +
+      static_cast<double>(b.payload->size());
+  // The payload was gathered from device memory: cap wire entry at the
+  // GPUDirect read rate, matching the MPI eager path for device buffers.
+  fabric_.send(net::Packet{node(), target_node, wire_bytes, std::move(b),
+                           net::kRuntimeChannel},
+               cfg_.pcie.gpudirect_bandwidth);
+  // The batch buffered the payload, so origin-side completion is local
+  // completion — same semantics as the MPI eager send.
+  for (const EagerOrigin& o : origins) {
+    co_await complete_flush(rank(o.local_rank), o.flush_id, o.win_device_id);
+  }
+}
+
+sim::Proc<void> NodeRuntime::eager_loop() {
+  for (;;) {
+    net::Packet p = co_await fabric_.rx(node(), net::kRuntimeChannel).pop();
+    EagerBatch b = std::any_cast<EagerBatch>(std::move(p.payload));
+    co_await host_dispatch_cost();
+    // Processed inline, not spawned: two in-flight batch handlers blocked
+    // on a full notification queue could resume out of order and break the
+    // FIFO delivery the oracle (and put_2d_notify) relies on.
+    co_await handle_eager_batch(std::move(b));
+  }
+}
+
+sim::Proc<void> NodeRuntime::handle_eager_batch(EagerBatch b) {
+  if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+    obs->eager_batch_delivered(b.origin_node, node(), b.batch_seq,
+                               static_cast<int>(b.records.size()));
+  }
+  // Land every payload into its window, collecting notifications grouped by
+  // target rank; then each group commits with a single batched queue write.
+  std::vector<std::vector<Notification>> groups(
+      static_cast<size_t>(ranks_per_node()));
+  std::size_t off = 0;
+  for (const EagerPutRecord& r : b.records) {
+    const int target_local = r.target_rank - node() * ranks_per_node();
+    assert(target_local >= 0 && target_local < ranks_per_node());
+    auto it = windows_.find(r.win_global_id);
+    assert(it != windows_.end() && "eager put to unknown window");
+    const WinRankInfo& info =
+        it->second.per_rank[static_cast<size_t>(target_local)];
+    assert(info.valid);
+    assert(r.offset + r.bytes <= info.bytes && "eager put out of window bounds");
+    if (r.bytes > 0) {
+      assert(b.payload != nullptr && off + r.bytes <= b.payload->size());
+      std::memcpy(info.base + r.offset, b.payload->data() + off, r.bytes);
+      off += r.bytes;
+    }
+    if (r.notify) {
+      if (sim::InvariantObserver* obs = sim_.invariant_observer();
+          obs != nullptr) {
+        obs->notify_put_delivered(r.origin_rank, r.target_rank,
+                                  r.win_global_id, r.bytes, r.tag);
+      }
+      Notification n;
+      n.win_device_id = info.win_device_id;
+      n.source = r.origin_rank;
+      n.tag = r.tag;
+      groups[static_cast<size_t>(target_local)].push_back(n);
+    }
+  }
+  for (int lr = 0; lr < ranks_per_node(); ++lr) {
+    std::vector<Notification>& g = groups[static_cast<size_t>(lr)];
+    if (!g.empty()) co_await push_notification_batch(lr, std::move(g));
+  }
+}
+
 sim::Proc<void> NodeRuntime::push_notification(int local_rank, Notification n) {
   if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
     obs->notification_delivered();
@@ -388,6 +551,25 @@ sim::Proc<void> NodeRuntime::push_notification(int local_rank, Notification n) {
   tr->record(sim::TraceSpan{begin, sim_.now(), node(), sim::kRuntimeLane,
                             "notify", sim::Category::kNotify, 0.0});
   tr->bump("notifications_delivered");
+}
+
+sim::Proc<void> NodeRuntime::push_notification_batch(
+    int local_rank, std::vector<Notification> ns) {
+  assert(!ns.empty());
+  if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+    for (std::size_t i = 0; i < ns.size(); ++i) obs->notification_delivered();
+  }
+  const double n = static_cast<double>(ns.size());
+  sim::Tracer* tr = dev_.tracer();
+  if (tr == nullptr || !tr->enabled()) {
+    co_await rank(local_rank).notif_q.enqueue_batch(std::move(ns));
+    co_return;
+  }
+  const sim::Time begin = sim_.now();
+  co_await rank(local_rank).notif_q.enqueue_batch(std::move(ns));
+  tr->record(sim::TraceSpan{begin, sim_.now(), node(), sim::kRuntimeLane,
+                            "notify", sim::Category::kNotify, 0.0});
+  tr->bump("notifications_delivered", n);
 }
 
 sim::Proc<void> NodeRuntime::complete_flush(RankState& rs, std::uint64_t id,

@@ -26,6 +26,7 @@
 
 #include "gpu/device.h"
 #include "mpi/mpi.h"
+#include "net/fabric.h"
 #include "pcie/pcie.h"
 #include "queue/circular_queue.h"
 #include "runtime/protocol.h"
@@ -92,8 +93,9 @@ class NodeRuntime {
   // [rpd, rpd+host_ranks) run on the host CPU. World rank = node *
   // ranks_per_node() + local rank.
   NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep,
-              pcie::PcieLink& pcie, const sim::MachineConfig& cfg,
-              int ranks_per_device, int host_ranks = 0);
+              pcie::PcieLink& pcie, net::Fabric& fabric,
+              const sim::MachineConfig& cfg, int ranks_per_device,
+              int host_ranks = 0);
   NodeRuntime(const NodeRuntime&) = delete;
   NodeRuntime& operator=(const NodeRuntime&) = delete;
 
@@ -141,9 +143,30 @@ class NodeRuntime {
     int freed = 0;
   };
 
+  // -- Eager/aggregated small-put fast path (sim::RmaConfig) -----------
+  //
+  // Origin side: one aggregator per target node parks eager-sized puts
+  // until the batch-size/byte cap or the aggregation window flushes them
+  // as a single runtime-channel fabric packet. Target side: eager_loop
+  // lands batches strictly in delivery order and commits each batch's
+  // notifications per rank with one batched queue write.
+  struct EagerOrigin {
+    int local_rank = -1;
+    std::uint64_t flush_id = 0;
+    std::int32_t win_device_id = -1;
+  };
+  struct EagerAggregator {
+    std::vector<EagerPutRecord> records;
+    std::vector<EagerOrigin> origins;  // parallel to records
+    std::vector<std::byte> payload;    // concatenated record payloads
+    std::uint64_t epoch = 0;           // bumped per flush; stale timers no-op
+    std::uint64_t next_batch_seq = 0;
+  };
+
   sim::Proc<void> command_loop(int local_rank);
   sim::Proc<void> meta_loop();
   sim::Proc<void> log_loop();
+  sim::Proc<void> eager_loop();
   sim::Proc<void> host_dispatch_cost();
 
   sim::Proc<void> process_command(int local_rank, Command c);
@@ -154,8 +177,16 @@ class NodeRuntime {
   sim::Proc<void> handle_barrier(int local_rank, Command c);
   sim::Proc<void> handle_finish(int local_rank, Command c);
   sim::Proc<void> handle_meta(Meta m);
+  sim::Proc<void> handle_eager_put(int local_rank, Command c);
+  sim::Proc<void> flush_eager(int target_node);
+  sim::Proc<void> eager_flush_timer(int target_node, std::uint64_t epoch);
+  sim::Proc<void> handle_eager_batch(EagerBatch b);
 
   sim::Proc<void> push_notification(int local_rank, Notification n);
+  // Batched delivery: all of a batch's notifications for one rank reach the
+  // device through a single enqueue_batch commit.
+  sim::Proc<void> push_notification_batch(int local_rank,
+                                          std::vector<Notification> ns);
   // Marks flush id `id` complete for the rank and propagates the contiguous
   // frontier to device memory.
   sim::Proc<void> complete_flush(RankState& rs, std::uint64_t id,
@@ -167,6 +198,7 @@ class NodeRuntime {
   gpu::Device& dev_;
   mpi::Endpoint& ep_;
   pcie::PcieLink& pcie_;
+  net::Fabric& fabric_;
   sim::MachineConfig cfg_;
   int rpd_;
   int host_ranks_;
@@ -178,6 +210,8 @@ class NodeRuntime {
   std::vector<std::unique_ptr<sim::Trigger>> host_flush_trigs_;
   std::map<std::int32_t, WindowInfo> windows_;  // by global id
   std::array<int, 2> barrier_arrivals_{0, 0};   // per comm
+  std::vector<EagerAggregator> eager_agg_;      // by target node; empty when
+                                                // the fast path is disabled
 
   std::unique_ptr<queue::CircularQueue<LogEntry>> log_q_;
   std::vector<std::string> log_lines_;

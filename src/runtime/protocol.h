@@ -7,6 +7,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 namespace dcuda::rt {
 
@@ -92,5 +94,40 @@ struct Meta {
 inline constexpr int kMetaTag = 1 << 20;
 inline constexpr int kPutDataTagBase = 1 << 21;  // + origin world rank
 inline constexpr int kGetDataTagBase = 1 << 22;  // + origin world rank
+
+// -- Eager/aggregated small-put fast path (sim::RmaConfig) -------------------
+//
+// Remote notified puts at or below RmaConfig::eager_threshold skip the
+// two-message meta + payload pipeline: the origin block manager copies the
+// payload out of device memory, coalesces same-target-node puts, and ships
+// one runtime-channel fabric packet per batch. The target event handler
+// lands every payload and commits the batch's notifications in one sweep.
+
+// One put inside an aggregated packet. Header size on the wire is modeled
+// as kEagerRecordWireBytes, NOT sizeof — the in-memory struct may grow
+// without shifting golden timings.
+struct EagerPutRecord {
+  std::int32_t origin_rank = -1;    // world rank
+  std::int32_t target_rank = -1;    // world rank
+  std::int32_t win_global_id = -1;
+  std::uint64_t offset = 0;         // bytes into the target window
+  std::uint64_t bytes = 0;          // payload length inside the batch buffer
+  std::int32_t tag = 0;
+  bool notify = true;
+};
+
+// The fabric packet payload of one aggregated flush. `payload` concatenates
+// the records' bytes in record order.
+struct EagerBatch {
+  int origin_node = -1;
+  std::uint64_t batch_seq = 0;  // per (origin node, target node), from 1
+  std::vector<EagerPutRecord> records;
+  std::shared_ptr<std::vector<std::byte>> payload;
+};
+
+// Wire-size model of the eager path: per-packet envelope and per-record
+// header (win id, offset, length, tag — the meta tuple, packed).
+inline constexpr double kEagerEnvelopeBytes = 64.0;
+inline constexpr double kEagerRecordWireBytes = 32.0;
 
 }  // namespace dcuda::rt

@@ -104,6 +104,28 @@ struct RuntimeConfig {
   bool charge_matching_cost = true;
 };
 
+// Small-message fast path of the notified-access pipeline (docs/PERF.md,
+// "Communication protocol"). Disabled by default: the paper-faithful
+// two-message (meta + payload) path is the reference and all golden traces
+// assume it. When enabled, remote notified puts up to `eager_threshold`
+// bytes carry their payload inline in a single runtime-level fabric packet
+// and same-target-node puts are coalesced into one packet whose
+// notifications commit in one batched queue write.
+struct RmaConfig {
+  // Puts of at most this many bytes take the eager fast path; 0 disables
+  // the fast path entirely (every put uses the meta + payload pipeline).
+  std::size_t eager_threshold = 0;
+  // Maximum time an eager put may sit in a partially filled batch before
+  // the aggregator flushes it to the wire.
+  Dur aggregation_window = micros(2.0);
+  // Flush when a batch reaches this many puts ...
+  int max_batch = 8;
+  // ... or this much aggregate payload.
+  std::size_t max_batch_bytes = 16 * 1024;
+
+  bool eager_enabled() const { return eager_threshold > 0; }
+};
+
 // Host processor model, used by host ranks (§V extension): ranks that run
 // on the host CPU but communicate through the same notified remote memory
 // access machinery as device ranks.
@@ -122,6 +144,7 @@ struct MachineConfig {
   NetConfig net;
   MpiConfig mpi;
   RuntimeConfig runtime;
+  RmaConfig rma;
   // Schedule perturbation (docs/TESTING.md): 0 runs the canonical
   // deterministic schedule; any other value seeds a sim::Perturbation that
   // explores an alternative — still fully reproducible — event interleaving.

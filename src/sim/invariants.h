@@ -71,6 +71,18 @@ class InvariantObserver {
                             std::int32_t win_global_id, std::uint64_t bytes,
                             int tag);
 
+  // Aggregated eager-put batches (runtime fast path, sim::RmaConfig): one
+  // hook when the origin node flushes a batch to the fabric, one when the
+  // target event handler lands it. Checks per (origin node, target node):
+  // batches arrive in flush order (seq strictly consecutive — the fabric's
+  // runtime channel shares the FIFO clamp) and carry the flushed record
+  // count; finalize() checks every flushed batch was delivered (aggregation
+  // conservation: a put parked in an aggregator must not be lost).
+  void eager_batch_flushed(int origin_node, int target_node,
+                           std::uint64_t batch_seq, int records);
+  void eager_batch_delivered(int origin_node, int target_node,
+                             std::uint64_t batch_seq, int records);
+
   // Any notification delivered (puts, gets, device-local ablation path).
   void notification_delivered();
 
@@ -115,6 +127,13 @@ class InvariantObserver {
   // notified puts: FIFO of tags per (origin, target, window, bytes).
   using PutKey = std::tuple<int, int, std::int32_t, std::uint64_t>;
   std::map<PutKey, std::deque<int>> put_order_;
+
+  // eager batches: flushed-but-undelivered (seq, records) FIFO per
+  // (origin node, target node) pair.
+  std::map<std::pair<int, int>, std::deque<std::pair<std::uint64_t, int>>>
+      eager_batches_;
+  std::uint64_t eager_flushed_ = 0;
+  std::uint64_t eager_delivered_ = 0;
 
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;

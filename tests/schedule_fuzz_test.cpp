@@ -207,6 +207,91 @@ RunResult run_collectives(std::uint64_t seed, std::uint32_t classes) {
   return r;
 }
 
+// Eager/aggregated small-put fast path (sim::RmaConfig) under perturbation:
+// every rank streams same-sized notified puts to its peer on the other node
+// (all below the eager threshold, so they aggregate), plus one
+// rendezvous-sized put mixing the reference path in. The seed varies the
+// protocol knobs too, so the sweep covers threshold × batch geometry.
+// Payloads are validated byte-for-byte after the run; the oracle checks the
+// eager-batch FIFO/conservation hooks and notified-put ordering.
+RunResult run_eager(std::uint64_t seed, std::uint32_t classes) {
+  RunResult r;
+  const int nodes = 2, rpd = 3;
+  const int world = nodes * rpd;
+  constexpr int kElems = 32;   // 256 bytes per eager put
+  constexpr int kRounds = 6;
+  constexpr int kBigElems = 16 * kElems;  // 4 kB: above every threshold used
+  sim::MachineConfig m = fuzz_machine(nodes, seed, classes);
+  m.rma.eager_threshold = 256 + 128 * (seed % 3);       // 256/384/512 B
+  m.rma.max_batch = 2 + static_cast<int>(seed % 5);     // 2..6 records
+  m.rma.aggregation_window = sim::micros(1.0 + 0.5 * (seed % 4));
+  Cluster c(m, rpd);
+  InvariantObserver obs;
+  c.sim().set_invariant_observer(&obs);
+
+  auto value = [](int origin, int round, int e) {
+    return origin * 1000.0 + round * 100.0 + 0.5 * e;
+  };
+  const std::size_t win_elems = kRounds * kElems + kBigElems;
+  std::vector<std::span<double>> recv(static_cast<size_t>(world));
+  std::vector<std::span<double>> send(static_cast<size_t>(world));
+  for (int g = 0; g < world; ++g) {
+    gpu::Device& d = c.device(g / rpd);
+    recv[static_cast<size_t>(g)] = d.alloc<double>(win_elems);
+    send[static_cast<size_t>(g)] = d.alloc<double>((kRounds + 16) * kElems);
+    for (double& x : recv[static_cast<size_t>(g)]) x = -1.0;
+  }
+  r.elapsed = c.run([&](Context& ctx) -> Proc<void> {
+    const int g = ctx.world_rank;
+    Window w = co_await win_create(ctx, kCommWorld, recv[static_cast<size_t>(g)]);
+    const int peer = (g + rpd) % world;  // same local rank, other node
+    std::span<double> sbuf = send[static_cast<size_t>(g)];
+    for (int round = 0; round < kRounds; ++round) {
+      std::span<double> chunk = sbuf.subspan(
+          static_cast<size_t>(round) * kElems, kElems);
+      for (int e = 0; e < kElems; ++e) chunk[static_cast<size_t>(e)] = value(g, round, e);
+      co_await put_notify(ctx, w, peer, static_cast<size_t>(round) * kElems,
+                          std::span<const double>(chunk), /*tag=*/round);
+    }
+    std::span<double> big = sbuf.subspan(kRounds * kElems, kBigElems);
+    for (int e = 0; e < kBigElems; ++e) big[static_cast<size_t>(e)] = value(g, 9, e);
+    co_await put_notify(ctx, w, peer, static_cast<size_t>(kRounds) * kElems,
+                        std::span<const double>(big), /*tag=*/99);
+    co_await flush(ctx);
+    co_await wait_notifications(ctx, w, kAnySource, kAnyTag, kRounds + 1);
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+  for (int g = 0; g < world; ++g) {
+    const int origin = (g + rpd) % world;
+    const std::span<double> buf = recv[static_cast<size_t>(g)];
+    for (int round = 0; round < kRounds; ++round) {
+      for (int e = 0; e < kElems; ++e) {
+        const double got = buf[static_cast<size_t>(round) * kElems +
+                               static_cast<size_t>(e)];
+        if (got != value(origin, round, e)) {
+          std::ostringstream os;
+          os << "  payload: rank " << g << " round " << round << " elem " << e
+             << " got " << got << " want " << value(origin, round, e) << "\n";
+          r.errors += os.str();
+          round = kRounds;  // one line per rank is enough
+          break;
+        }
+      }
+    }
+    for (int e = 0; e < kBigElems; ++e) {
+      if (buf[static_cast<size_t>(kRounds * kElems + e)] != value(origin, 9, e)) {
+        std::ostringstream os;
+        os << "  payload: rank " << g << " rendezvous elem " << e << " wrong\n";
+        r.errors += os.str();
+        break;
+      }
+    }
+  }
+  collect(c, obs, r);
+  return r;
+}
+
 // -- Driver ------------------------------------------------------------
 
 struct Workload {
@@ -219,7 +304,9 @@ constexpr Workload kWorkloads[] = {
     {"particles", run_particles},
     {"spmv", run_spmv},
     {"collectives", run_collectives},
+    {"eager", run_eager},
 };
+constexpr std::size_t kNumWorkloads = sizeof(kWorkloads) / sizeof(kWorkloads[0]);
 
 const Workload* find_workload(const std::string& name) {
   for (const Workload& w : kWorkloads) {
@@ -284,11 +371,12 @@ TEST(ScheduleFuzz, StencilSweep) { sweep(kWorkloads[0], 0x51000, 200); }
 TEST(ScheduleFuzz, ParticlesSweep) { sweep(kWorkloads[1], 0x52000, 150); }
 TEST(ScheduleFuzz, SpmvSweep) { sweep(kWorkloads[2], 0x53000, 120); }
 TEST(ScheduleFuzz, CollectivesSweep) { sweep(kWorkloads[3], 0x54000, 200); }
+TEST(ScheduleFuzz, EagerAggSweep) { sweep(kWorkloads[4], 0x56000, 150); }
 
 // 25-seed smoke across all workloads (the ctest `fuzz` label's quick gate).
 TEST(FuzzSmoke, TwentyFiveSeedsAcrossWorkloads) {
   for (int i = 0; i < 25; ++i) {
-    const Workload& w = kWorkloads[static_cast<std::size_t>(i) % 4];
+    const Workload& w = kWorkloads[static_cast<std::size_t>(i) % kNumWorkloads];
     const std::uint64_t seed = 0x55000 + static_cast<std::uint64_t>(i);
     RunResult r = w.run(seed, Perturbation::kAllClasses);
     ASSERT_TRUE(r.errors.empty()) << failure_report(w, seed);
@@ -453,6 +541,50 @@ TEST(InvariantOracle, DetectsWindowUseAfterFree) {
   obs = {};
   obs.window_accessed(4);
   EXPECT_NE(obs.report().find("before win_create"), std::string::npos);
+}
+
+TEST(InvariantOracle, DetectsEagerBatchOvertaking) {
+  InvariantObserver obs;
+  obs.eager_batch_flushed(0, 1, 1, 2);
+  obs.eager_batch_flushed(0, 1, 2, 3);
+  obs.eager_batch_delivered(0, 1, 2, 3);  // batch 1 overtaken
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("eager batch overtaking"), std::string::npos);
+}
+
+TEST(InvariantOracle, DetectsEagerBatchRecordMismatch) {
+  InvariantObserver obs;
+  obs.eager_batch_flushed(0, 1, 1, 2);
+  obs.eager_batch_delivered(0, 1, 1, 3);  // one record too many
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("record count mismatch"), std::string::npos);
+}
+
+TEST(InvariantOracle, DetectsEagerBatchDeliveryWithoutFlush) {
+  InvariantObserver obs;
+  obs.eager_batch_delivered(0, 1, 1, 1);
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("delivered without flush"), std::string::npos);
+}
+
+TEST(InvariantOracle, DetectsLostEagerBatch) {
+  InvariantObserver obs;
+  obs.eager_batch_flushed(0, 1, 1, 4);
+  obs.finalize();
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("eager batch conservation"), std::string::npos);
+}
+
+TEST(InvariantOracle, CleanEagerHistoryPasses) {
+  InvariantObserver obs;
+  obs.eager_batch_flushed(0, 1, 1, 2);
+  obs.eager_batch_delivered(0, 1, 1, 2);
+  obs.eager_batch_flushed(0, 1, 2, 1);
+  obs.eager_batch_flushed(1, 0, 1, 3);  // independent pair
+  obs.eager_batch_delivered(1, 0, 1, 3);
+  obs.eager_batch_delivered(0, 1, 2, 1);
+  obs.finalize();
+  EXPECT_TRUE(obs.ok()) << obs.report();
 }
 
 TEST(InvariantOracle, DetectsBarrierRoundDisagreement) {
