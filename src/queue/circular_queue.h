@@ -145,6 +145,8 @@ class CircularQueue {
       // One posted transaction carries every staged entry plus a single
       // sequence number; the commit closure packs (first_seq, chunk) into
       // one word so the posted write still allocates nothing.
+      assert(first_seq < (1ull << 48) &&
+             "packed commit word reserves 48 bits for the sequence");
       const std::uint64_t packed = (first_seq << 16) | chunk;
       co_await transport_.write(
           static_cast<double>(chunk) * sizeof(Entry) + sizeof(std::uint64_t),

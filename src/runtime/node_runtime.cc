@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <optional>
 
 #include "sim/invariants.h"
 
@@ -75,6 +76,7 @@ NodeRuntime::NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep
     // Only spawned when the fast path is on: disabled runs keep the exact
     // reference event schedule (golden traces).
     eager_agg_.resize(static_cast<size_t>(num_nodes()));
+    rdv_landed_trig_ = std::make_unique<sim::Trigger>(s);
     s.spawn(eager_loop(), "eager@" + std::to_string(node()), /*daemon=*/true);
   }
 }
@@ -207,6 +209,8 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
     // Shared-memory put: the device library already moved the data; the
     // block manager loops the notification through the host (§III-A) and
     // completes the flush id.
+    sim::InvariantObserver* obs = sim_.invariant_observer();
+    if (obs != nullptr) obs->data_put_issued(rs.global_rank, c.target_rank);
     if (c.notify) {
       const int target_local = c.target_rank - node() * ranks_per_node();
       const std::int32_t gid = rs.win_translate.at(c.win_device_id);
@@ -216,15 +220,18 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
       n.win_device_id = peer->win_device_id;
       n.source = rs.global_rank;
       n.tag = c.tag;
-      if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+      if (obs != nullptr) {
         // Local notified puts are ordered by per-rank command processing;
-        // issue and delivery coincide in this coroutine.
+        // issue, landing, and delivery coincide in this coroutine.
         obs->notify_put_ordered(rs.global_rank, c.target_rank, gid,
                                 c.bytes, c.tag);
+        obs->data_put_landed(rs.global_rank, c.target_rank);
         obs->notify_put_delivered(rs.global_rank, c.target_rank, gid,
                                   c.bytes, c.tag);
       }
       co_await push_notification(target_local, n);
+    } else if (obs != nullptr) {
+      obs->data_put_landed(rs.global_rank, c.target_rank);
     }
     co_await complete_flush(rs, c.flush_id, c.win_device_id);
     co_return;
@@ -249,14 +256,49 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
   m.tag = c.tag;
   m.notify = c.notify;
 
-  if (sim::InvariantObserver* obs = sim_.invariant_observer();
-      obs != nullptr && c.notify && c.bytes <= cfg_.mpi.eager_limit) {
+  sim::InvariantObserver* obs = sim_.invariant_observer();
+  if (cfg_.rma.eager_enabled()) {
+    // Rendezvous fence (protocol.h): this put takes the next per-(rank,
+    // target node) sequence number; the target recovers it from per-rank
+    // meta arrival order, so everything from the increment to the isends
+    // below must stay suspension-free. A notified put additionally routes
+    // its notification through the FIFO eager stream as a zero-byte record
+    // fenced on its own sequence, so it cannot overtake parked eager data
+    // and cannot commit before its own (or any earlier) payload landed.
+    const std::uint64_t seq = ++rs.rdv_issued[target_node];
+    if (obs != nullptr) obs->data_put_issued(rs.global_rank, c.target_rank);
+    m.notify = false;
+    if (c.notify) {
+      if (obs != nullptr) {
+        obs->notify_put_ordered(rs.global_rank, c.target_rank,
+                                m.win_global_id, c.bytes, c.tag);
+      }
+      EagerAggregator& agg = eager_agg_[static_cast<size_t>(target_node)];
+      EagerPutRecord r;
+      r.origin_rank = rs.global_rank;
+      r.target_rank = c.target_rank;
+      r.win_global_id = m.win_global_id;
+      r.offset = c.offset;
+      r.bytes = 0;  // payload travels on the meta+payload pipeline
+      r.tag = c.tag;
+      r.notify = true;
+      r.rdv_before = seq;
+      r.rdv_notify = true;
+      agg.records.push_back(r);
+      // flush_id 0: the rendezvous waits below complete the real flush.
+      agg.origins.push_back(EagerOrigin{local_rank, 0, -1});
+    }
+  } else if (obs != nullptr && c.bytes <= cfg_.mpi.eager_limit) {
     // Sequence point of the §III-B non-overtaking guarantee: metas leave in
     // per-rank command order on a FIFO channel and eager payloads follow the
     // same posting-order matching. (Rendezvous-sized transfers promise only
-    // completion order, like MPI, so they are not sequence-tracked.)
-    obs->notify_put_ordered(rs.global_rank, c.target_rank, m.win_global_id,
-                            c.bytes, c.tag);
+    // completion order, like MPI, so they are not sequence-tracked while the
+    // fast path — and with it the rendezvous fence — is off.)
+    obs->data_put_issued(rs.global_rank, c.target_rank);
+    if (c.notify) {
+      obs->notify_put_ordered(rs.global_rank, c.target_rank, m.win_global_id,
+                              c.bytes, c.tag);
+    }
   }
   // Step 2/3 of Fig. 5: forward meta information to the target event handler
   // and move the data directly device-to-device with a second nonblocking
@@ -267,6 +309,14 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
   if (c.bytes > 0) {
     rd = ep_.isend(target_node, kPutDataTagBase + rs.global_rank,
                    gpu::MemRef{c.local_ptr, c.bytes, node()});
+  }
+  if (cfg_.rma.eager_enabled() &&
+      !eager_agg_[static_cast<size_t>(target_node)].records.empty()) {
+    // Ship whatever is parked for this target — records aggregated before
+    // this put (their data must not wait behind a long transfer) and, for a
+    // notified put, its own fence record (no reason to delay the
+    // notification by the aggregation window on top of the rendezvous).
+    co_await flush_eager(target_node);
   }
   co_await rm.wait();
   if (rd.valid()) co_await rd.wait();
@@ -347,12 +397,21 @@ sim::Proc<void> NodeRuntime::meta_loop() {
   const std::string proc_name = "meta@" + std::to_string(node());
   for (;;) {
     co_await ep_.recv(mpi::kAnySource, kMetaTag, gpu::mem_ref(&m, 1));
+    // Rendezvous fence: metas travel FIFO per (origin, target) node pair and
+    // the origin issues them in per-rank command order without suspension, so
+    // counting kPut metas per origin rank here reconstructs the origin-side
+    // rdv_issued sequence exactly (protocol.h). Assigned before the dispatch
+    // suspension — concurrent handle_meta coroutines must not race for it.
+    std::uint64_t rdv_seq = 0;
+    if (cfg_.rma.eager_enabled() && m.kind == CmdKind::kPut) {
+      rdv_seq = ++rdv_meta_seen_[m.origin_rank];
+    }
     co_await host_dispatch_cost();
-    sim_.spawn(handle_meta(m), proc_name);
+    sim_.spawn(handle_meta(m, rdv_seq), proc_name);
   }
 }
 
-sim::Proc<void> NodeRuntime::handle_meta(Meta m) {
+sim::Proc<void> NodeRuntime::handle_meta(Meta m, std::uint64_t rdv_seq) {
   const int target_local = m.target_rank - node() * ranks_per_node();
   assert(target_local >= 0 && target_local < ranks_per_node());
   const int origin_node = m.origin_rank / ranks_per_node();
@@ -368,6 +427,20 @@ sim::Proc<void> NodeRuntime::handle_meta(Meta m) {
     if (m.bytes > 0) {
       co_await ep_.recv(origin_node, kPutDataTagBase + m.origin_rank,
                         gpu::MemRef{info.base + m.offset, m.bytes, node()});
+    }
+    if (cfg_.rma.eager_enabled()) {
+      // Advance the per-origin-rank landed frontier and wake fenced batch
+      // handlers. The notification (if any) arrives separately as a
+      // zero-byte rdv_notify eager record — never from this coroutine.
+      assert(!m.notify && "fast path on: notifications ride the eager stream");
+      if (sim::InvariantObserver* obs = sim_.invariant_observer();
+          obs != nullptr) {
+        obs->data_put_landed(m.origin_rank, m.target_rank);
+      }
+      mark_rdv_landed(m.origin_rank, rdv_seq);
+    } else if (sim::InvariantObserver* obs = sim_.invariant_observer();
+               obs != nullptr && m.bytes <= cfg_.mpi.eager_limit) {
+      obs->data_put_landed(m.origin_rank, m.target_rank);
     }
     if (m.notify) {
       if (sim::InvariantObserver* obs = sim_.invariant_observer();
@@ -395,6 +468,16 @@ sim::Proc<void> NodeRuntime::handle_eager_put(int local_rank, Command c) {
   assert(target_node != node() && "local puts use the shared-memory path");
   EagerAggregator& agg = eager_agg_[static_cast<size_t>(target_node)];
 
+  // Byte-cap pre-flush: if appending would blow max_batch_bytes, stage the
+  // parked batch first (synchronously — staging must not reorder against
+  // this append) and ship it after the append below. The cap is thus a real
+  // upper bound on batch payload, not a flush trigger crossed after the fact.
+  std::optional<StagedEager> overflow;
+  if (!agg.records.empty() && c.bytes > 0 &&
+      agg.payload.size() + c.bytes > cfg_.rma.max_batch_bytes) {
+    overflow = stage_eager(target_node);
+  }
+
   EagerPutRecord r;
   r.origin_rank = rs.global_rank;
   r.target_rank = c.target_rank;
@@ -403,15 +486,21 @@ sim::Proc<void> NodeRuntime::handle_eager_put(int local_rank, Command c) {
   r.bytes = c.bytes;
   r.tag = c.tag;
   r.notify = c.notify;
+  // Fence on every rendezvous-path put this rank already issued to the
+  // target node: the record's data/notification must not land before them.
+  r.rdv_before = rs.rdv_issued[target_node];
 
   if (sim::InvariantObserver* obs = sim_.invariant_observer();
-      obs != nullptr && c.notify) {
+      obs != nullptr) {
     // Appends happen in per-rank command order (no suspension between
     // coroutine entry and here), flushes are FIFO per target, and the
     // runtime fabric channel shares the non-overtaking clamp — so the
     // eager path keeps the §III-B guarantee for every size it carries.
-    obs->notify_put_ordered(rs.global_rank, c.target_rank, r.win_global_id,
-                            c.bytes, c.tag);
+    obs->data_put_issued(rs.global_rank, c.target_rank);
+    if (c.notify) {
+      obs->notify_put_ordered(rs.global_rank, c.target_rank, r.win_global_id,
+                              c.bytes, c.tag);
+    }
   }
 
   const bool first = agg.records.empty();
@@ -421,12 +510,21 @@ sim::Proc<void> NodeRuntime::handle_eager_put(int local_rank, Command c) {
     agg.payload.insert(agg.payload.end(), c.local_ptr, c.local_ptr + c.bytes);
   }
   if (sim::Tracer* tr = dev_.tracer(); tr && tr->enabled()) tr->bump("eager_puts");
+  const std::uint64_t epoch_at_append = agg.epoch;
 
-  if (agg.records.size() >= static_cast<size_t>(cfg_.rma.max_batch) ||
-      agg.payload.size() >= cfg_.rma.max_batch_bytes) {
+  if (overflow) co_await ship_eager(std::move(*overflow));
+
+  EagerAggregator& agg2 = eager_agg_[static_cast<size_t>(target_node)];
+  if (agg2.epoch != epoch_at_append || agg2.records.empty()) {
+    // A concurrent flush (timer or another rank's trigger) already shipped
+    // the batch holding this record while we paid for the overflow ship.
+    co_return;
+  }
+  if (agg2.records.size() >= static_cast<size_t>(cfg_.rma.max_batch) ||
+      agg2.payload.size() >= cfg_.rma.max_batch_bytes) {
     co_await flush_eager(target_node);
   } else if (first) {
-    sim_.spawn(eager_flush_timer(target_node, agg.epoch),
+    sim_.spawn(eager_flush_timer(target_node, epoch_at_append),
                "eager-timer@" + std::to_string(node()));
   }
 }
@@ -440,27 +538,33 @@ sim::Proc<void> NodeRuntime::eager_flush_timer(int target_node,
   co_await flush_eager(target_node);
 }
 
-sim::Proc<void> NodeRuntime::flush_eager(int target_node) {
+NodeRuntime::StagedEager NodeRuntime::stage_eager(int target_node) {
   EagerAggregator& agg = eager_agg_[static_cast<size_t>(target_node)];
   assert(!agg.records.empty());
   ++agg.epoch;  // invalidate the pending timer before any suspension
-  EagerBatch b;
-  b.origin_node = node();
-  b.batch_seq = ++agg.next_batch_seq;
-  b.records = std::move(agg.records);
-  b.payload = std::make_shared<std::vector<std::byte>>(std::move(agg.payload));
-  std::vector<EagerOrigin> origins = std::move(agg.origins);
+  StagedEager s;
+  s.target_node = target_node;
+  s.batch.origin_node = node();
+  s.batch.batch_seq = ++agg.next_batch_seq;
+  s.batch.records = std::move(agg.records);
+  s.batch.payload =
+      std::make_shared<std::vector<std::byte>>(std::move(agg.payload));
+  s.origins = std::move(agg.origins);
   agg.records.clear();
   agg.origins.clear();
   agg.payload.clear();
+  return s;
+}
 
+sim::Proc<void> NodeRuntime::ship_eager(StagedEager s) {
+  EagerBatch b = std::move(s.batch);
   // One host-side send call per batch (the reference path pays two MPI
-  // calls per put). host_cpu_ is FIFO, so concurrent flushes to the same
+  // calls per put). host_cpu_ is FIFO, so concurrent ships to the same
   // target hit the wire in batch_seq order.
   co_await host_dispatch_cost();
 
   if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
-    obs->eager_batch_flushed(node(), target_node, b.batch_seq,
+    obs->eager_batch_flushed(node(), s.target_node, b.batch_seq,
                              static_cast<int>(b.records.size()));
   }
   if (sim::Tracer* tr = dev_.tracer(); tr && tr->enabled()) {
@@ -472,14 +576,18 @@ sim::Proc<void> NodeRuntime::flush_eager(int target_node) {
       static_cast<double>(b.payload->size());
   // The payload was gathered from device memory: cap wire entry at the
   // GPUDirect read rate, matching the MPI eager path for device buffers.
-  fabric_.send(net::Packet{node(), target_node, wire_bytes, std::move(b),
+  fabric_.send(net::Packet{node(), s.target_node, wire_bytes, std::move(b),
                            net::kRuntimeChannel},
                cfg_.pcie.gpudirect_bandwidth);
   // The batch buffered the payload, so origin-side completion is local
   // completion — same semantics as the MPI eager send.
-  for (const EagerOrigin& o : origins) {
+  for (const EagerOrigin& o : s.origins) {
     co_await complete_flush(rank(o.local_rank), o.flush_id, o.win_device_id);
   }
+}
+
+sim::Proc<void> NodeRuntime::flush_eager(int target_node) {
+  co_await ship_eager(stage_eager(target_node));
 }
 
 sim::Proc<void> NodeRuntime::eager_loop() {
@@ -505,6 +613,15 @@ sim::Proc<void> NodeRuntime::handle_eager_batch(EagerBatch b) {
       static_cast<size_t>(ranks_per_node()));
   std::size_t off = 0;
   for (const EagerPutRecord& r : b.records) {
+    // Rendezvous fence: hold this record (and with it the rest of the batch
+    // and all later batches — eager_loop processes inline, keeping FIFO)
+    // until every rendezvous payload its origin rank issued before it has
+    // landed. The meta/payload pipeline progresses independently of this
+    // coroutine, so the wait always resolves.
+    if (r.rdv_before > 0) {
+      RdvTracker& trk = rdv_trackers_[r.origin_rank];
+      while (trk.frontier < r.rdv_before) co_await rdv_landed_trig_->wait();
+    }
     const int target_local = r.target_rank - node() * ranks_per_node();
     assert(target_local >= 0 && target_local < ranks_per_node());
     auto it = windows_.find(r.win_global_id);
@@ -518,12 +635,19 @@ sim::Proc<void> NodeRuntime::handle_eager_batch(EagerBatch b) {
       std::memcpy(info.base + r.offset, b.payload->data() + off, r.bytes);
       off += r.bytes;
     }
-    if (r.notify) {
-      if (sim::InvariantObserver* obs = sim_.invariant_observer();
-          obs != nullptr) {
+    if (sim::InvariantObserver* obs = sim_.invariant_observer();
+        obs != nullptr) {
+      // rdv_notify stand-ins carry no data of their own — their payload
+      // landed (and was reported) on the meta+payload pipeline.
+      if (!r.rdv_notify) obs->data_put_landed(r.origin_rank, r.target_rank);
+      if (r.notify) {
+        // bytes is diagnostic-only in the oracle; rdv_notify records report
+        // 0 (the payload size lives with the rendezvous transfer).
         obs->notify_put_delivered(r.origin_rank, r.target_rank,
                                   r.win_global_id, r.bytes, r.tag);
       }
+    }
+    if (r.notify) {
       Notification n;
       n.win_device_id = info.win_device_id;
       n.source = r.origin_rank;
@@ -535,6 +659,22 @@ sim::Proc<void> NodeRuntime::handle_eager_batch(EagerBatch b) {
     std::vector<Notification>& g = groups[static_cast<size_t>(lr)];
     if (!g.empty()) co_await push_notification_batch(lr, std::move(g));
   }
+}
+
+void NodeRuntime::mark_rdv_landed(int origin_rank, std::uint64_t seq) {
+  assert(seq > 0);
+  RdvTracker& trk = rdv_trackers_[origin_rank];
+  trk.landed_ooo.insert(seq);
+  // Rendezvous payloads can land out of order (MPI eager vs. RTS-CTS), so
+  // only a contiguous prefix advances the frontier the batch fence reads.
+  bool advanced = false;
+  while (!trk.landed_ooo.empty() &&
+         *trk.landed_ooo.begin() == trk.frontier + 1) {
+    trk.landed_ooo.erase(trk.landed_ooo.begin());
+    ++trk.frontier;
+    advanced = true;
+  }
+  if (advanced) rdv_landed_trig_->notify_all();
 }
 
 sim::Proc<void> NodeRuntime::push_notification(int local_rank, Notification n) {

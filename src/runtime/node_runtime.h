@@ -84,6 +84,10 @@ struct RankState {
   std::uint64_t flush_frontier = 0;        // host-side contiguous frontier
   std::set<std::uint64_t> flush_done_ooo;  // completed out of order
   sim::Trigger* host_flush_trig = nullptr;  // owned by NodeRuntime
+  // Rendezvous fence (eager fast path only): rendezvous-path puts this rank
+  // issued per target node. The target reconstructs the same sequence from
+  // per-rank meta arrival order (protocol.h).
+  std::unordered_map<int, std::uint64_t> rdv_issued;
 };
 
 class NodeRuntime {
@@ -162,6 +166,22 @@ class NodeRuntime {
     std::uint64_t epoch = 0;           // bumped per flush; stale timers no-op
     std::uint64_t next_batch_seq = 0;
   };
+  // A batch taken out of its aggregator but not yet on the wire. Staging is
+  // synchronous (no suspension), so callers can stage a full batch, append
+  // into the fresh one, and only then pay the (suspending) ship — the
+  // per-rank record order stays intact.
+  struct StagedEager {
+    int target_node = -1;
+    EagerBatch batch;
+    std::vector<EagerOrigin> origins;
+  };
+  // Target-side rendezvous fence per origin rank: contiguous landed
+  // frontier over the per-rank meta arrival sequence (payloads can land out
+  // of order, hence the out-of-order set).
+  struct RdvTracker {
+    std::uint64_t frontier = 0;
+    std::set<std::uint64_t> landed_ooo;
+  };
 
   sim::Proc<void> command_loop(int local_rank);
   sim::Proc<void> meta_loop();
@@ -176,11 +196,14 @@ class NodeRuntime {
   sim::Proc<void> handle_get(int local_rank, Command c);
   sim::Proc<void> handle_barrier(int local_rank, Command c);
   sim::Proc<void> handle_finish(int local_rank, Command c);
-  sim::Proc<void> handle_meta(Meta m);
+  sim::Proc<void> handle_meta(Meta m, std::uint64_t rdv_seq);
   sim::Proc<void> handle_eager_put(int local_rank, Command c);
+  StagedEager stage_eager(int target_node);
+  sim::Proc<void> ship_eager(StagedEager s);
   sim::Proc<void> flush_eager(int target_node);
   sim::Proc<void> eager_flush_timer(int target_node, std::uint64_t epoch);
   sim::Proc<void> handle_eager_batch(EagerBatch b);
+  void mark_rdv_landed(int origin_rank, std::uint64_t seq);
 
   sim::Proc<void> push_notification(int local_rank, Notification n);
   // Batched delivery: all of a batch's notifications for one rank reach the
@@ -212,6 +235,13 @@ class NodeRuntime {
   std::array<int, 2> barrier_arrivals_{0, 0};   // per comm
   std::vector<EagerAggregator> eager_agg_;      // by target node; empty when
                                                 // the fast path is disabled
+  // Rendezvous fence, target side (allocated only with the fast path on):
+  // kPut metas seen per origin rank (reconstructs the origin's rdv_issued
+  // sequence from FIFO meta arrival), landed frontiers, and the trigger
+  // batch handlers wait on.
+  std::unordered_map<int, std::uint64_t> rdv_meta_seen_;
+  std::unordered_map<int, RdvTracker> rdv_trackers_;
+  std::unique_ptr<sim::Trigger> rdv_landed_trig_;
 
   std::unique_ptr<queue::CircularQueue<LogEntry>> log_q_;
   std::vector<std::string> log_lines_;

@@ -102,6 +102,19 @@ inline constexpr int kGetDataTagBase = 1 << 22;  // + origin world rank
 // payload out of device memory, coalesces same-target-node puts, and ships
 // one runtime-channel fabric packet per batch. The target event handler
 // lands every payload and commits the batch's notifications in one sweep.
+//
+// Mixed sizes keep the §III-B non-overtaking guarantee through a
+// rendezvous fence: while the fast path is on, every rendezvous-path put
+// carries an implicit per-(origin rank, target node) sequence number the
+// target reconstructs from per-rank meta arrival order (metas travel FIFO,
+// so no wire field is needed), and every eager record stores in
+// `rdv_before` how many such puts its origin rank had issued. The target
+// processes no record before rendezvous payloads 1..rdv_before of that
+// rank have landed. A notified rendezvous put additionally routes its
+// notification through the eager stream as a zero-byte `rdv_notify`
+// record fenced on its own sequence number, so all notifications of a
+// connection travel one FIFO channel and none can overtake payload data
+// parked in an aggregator or still crossing the wire.
 
 // One put inside an aggregated packet. Header size on the wire is modeled
 // as kEagerRecordWireBytes, NOT sizeof — the in-memory struct may grow
@@ -114,6 +127,13 @@ struct EagerPutRecord {
   std::uint64_t bytes = 0;          // payload length inside the batch buffer
   std::int32_t tag = 0;
   bool notify = true;
+  // Rendezvous fence: rendezvous-path puts the origin rank issued to this
+  // target node before (and, for rdv_notify records, including) this one.
+  std::uint64_t rdv_before = 0;
+  // True for the zero-byte notification stand-in of a rendezvous put: the
+  // payload travels on the meta+payload pipeline, only the notification
+  // rides the eager stream.
+  bool rdv_notify = false;
 };
 
 // The fabric packet payload of one aggregated flush. `payload` concatenates
@@ -126,8 +146,9 @@ struct EagerBatch {
 };
 
 // Wire-size model of the eager path: per-packet envelope and per-record
-// header (win id, offset, length, tag — the meta tuple, packed).
+// header (win id, offset, length, tag — the meta tuple, packed — plus the
+// 8-byte rendezvous-fence sequence).
 inline constexpr double kEagerEnvelopeBytes = 64.0;
-inline constexpr double kEagerRecordWireBytes = 32.0;
+inline constexpr double kEagerRecordWireBytes = 40.0;
 
 }  // namespace dcuda::rt

@@ -34,17 +34,36 @@ void InvariantObserver::queue_credit(std::uint64_t send_count,
 
 void InvariantObserver::notify_sent() { ++sent_; }
 
+void InvariantObserver::data_put_issued(int origin_rank, int target_rank) {
+  ++conn_data_[{origin_rank, target_rank}].issued;
+}
+
+void InvariantObserver::data_put_landed(int origin_rank, int target_rank) {
+  ++checks_;
+  ConnData& cd = conn_data_[{origin_rank, target_rank}];
+  ++cd.landed;
+  if (cd.landed > cd.issued) {
+    std::ostringstream os;
+    os << "data put landed without issue: origin=" << origin_rank
+       << " target=" << target_rank << " landed=" << cd.landed
+       << " issued=" << cd.issued;
+    violation(os.str());
+  }
+}
+
 void InvariantObserver::notify_put_ordered(int origin_rank, int target_rank,
                                            std::int32_t win_global_id,
                                            std::uint64_t bytes, int tag) {
-  put_order_[PutKey{origin_rank, target_rank, win_global_id, bytes}].push_back(tag);
+  const std::uint64_t mark = conn_data_[{origin_rank, target_rank}].issued;
+  put_order_[PutKey{origin_rank, target_rank, win_global_id}].push_back(
+      PendingNotify{tag, bytes, mark});
 }
 
 void InvariantObserver::notify_put_delivered(int origin_rank, int target_rank,
                                              std::int32_t win_global_id,
                                              std::uint64_t bytes, int tag) {
   ++checks_;
-  auto it = put_order_.find(PutKey{origin_rank, target_rank, win_global_id, bytes});
+  auto it = put_order_.find(PutKey{origin_rank, target_rank, win_global_id});
   if (it == put_order_.end() || it->second.empty()) {
     std::ostringstream os;
     os << "notified put delivered without matching issue: origin=" << origin_rank
@@ -53,14 +72,25 @@ void InvariantObserver::notify_put_delivered(int origin_rank, int target_rank,
     violation(os.str());
     return;
   }
-  const int expected = it->second.front();
+  const PendingNotify expected = it->second.front();
   it->second.pop_front();
-  if (expected != tag) {
+  if (expected.tag != tag) {
     std::ostringstream os;
     os << "notified put overtaking: origin=" << origin_rank
        << " target=" << target_rank << " win=" << win_global_id
-       << " bytes=" << bytes << " delivered tag " << tag
-       << " while tag " << expected << " was issued first";
+       << " delivered tag " << tag << " (" << bytes << " B) while tag "
+       << expected.tag << " (" << expected.bytes << " B) was issued first";
+    violation(os.str());
+    return;
+  }
+  const ConnData& cd = conn_data_[{origin_rank, target_rank}];
+  if (cd.landed < expected.data_mark) {
+    std::ostringstream os;
+    os << "notification overtook data: origin=" << origin_rank
+       << " target=" << target_rank << " win=" << win_global_id << " tag="
+       << tag << " delivered while " << expected.data_mark - cd.landed
+       << " of " << expected.data_mark
+       << " preceding data puts had not landed";
     violation(os.str());
   }
 }
@@ -200,8 +230,17 @@ void InvariantObserver::finalize() {
       std::ostringstream os;
       os << "notified put never delivered: origin=" << std::get<0>(key)
          << " target=" << std::get<1>(key) << " win=" << std::get<2>(key)
-         << " bytes=" << std::get<3>(key) << " (" << pending.size()
-         << " outstanding, first tag " << pending.front() << ")";
+         << " (" << pending.size() << " outstanding, first tag "
+         << pending.front().tag << ")";
+      violation(os.str());
+    }
+  }
+  for (const auto& [conn, cd] : conn_data_) {
+    if (cd.landed != cd.issued) {
+      std::ostringstream os;
+      os << "data put conservation violated: origin=" << conn.first
+         << " target=" << conn.second << " issued=" << cd.issued
+         << " landed=" << cd.landed;
       violation(os.str());
     }
   }

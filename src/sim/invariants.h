@@ -15,12 +15,20 @@
 //    single-transaction protocol depends on the credit bound).
 //  * notification conservation — every notified RMA operation delivers
 //    exactly one notification, and every match consumed a delivered one.
-//  * notified-put sequence non-overtaking — notifications for equal-sized
-//    notified puts of the same (origin rank, target rank, window) are
-//    delivered in issue order (§III-B; put_2d_notify relies on exactly
-//    this: equal-sized row puts, only the last carries the notification).
-//    Differently-sized puts may legitimately complete out of order (eager
-//    vs. rendezvous), so the key includes the byte count.
+//  * notified-put sequence non-overtaking — notifications for notified
+//    puts of the same (origin rank, target rank, window) are delivered in
+//    issue order regardless of size (§III-B; put_2d_notify relies on
+//    this: row puts, only the last carries the notification). The runtime
+//    reports only the puts it promises ordering for (it skips true
+//    MPI-rendezvous transfers when the eager fast path is off), so the
+//    oracle checks FIFO across the eager/rendezvous protocol boundary —
+//    exactly where a mixed-size stream could reorder.
+//  * data-before-notification — every remote put (notified or not) is a
+//    tracked data transfer; a notification must not commit while any
+//    same-(origin rank, target rank) data put issued at or before it has
+//    not landed. This catches a notification racing ahead of payloads
+//    still in flight on the other protocol path (e.g. particles: large
+//    cell puts followed by a small count put_notify).
 //  * window lifecycle — no RMA access to a window before its collective
 //    creation completed or after its free began.
 //  * barrier round agreement — no rank exits barrier round N of a
@@ -59,14 +67,25 @@ class InvariantObserver {
   // notification must eventually be delivered for it).
   void notify_sent();
 
+  // A remote put's payload entering its delivery channel / landing in the
+  // target window (runtime handle_put / handle_meta / handle_eager_batch).
+  // Covers notified AND non-notified puts: the pair feeds the
+  // data-before-notification check, and finalize() verifies every issued
+  // data put landed.
+  void data_put_issued(int origin_rank, int target_rank);
+  void data_put_landed(int origin_rank, int target_rank);
+
   // Ordered notified put entering its delivery channel (runtime handle_put,
-  // in per-rank command order). Pairs with notify_put_delivered.
+  // in per-rank command order; call data_put_issued for the same put
+  // first). Pairs with notify_put_delivered.
   void notify_put_ordered(int origin_rank, int target_rank,
                           std::int32_t win_global_id, std::uint64_t bytes,
                           int tag);
 
   // A notified put's notification handed to the target's notification
-  // queue. Checks FIFO against notify_put_ordered for the same key.
+  // queue. Checks FIFO against notify_put_ordered for the same (origin,
+  // target, window) key across sizes, and that every data put issued at or
+  // before this one (same origin/target ranks) already landed.
   void notify_put_delivered(int origin_rank, int target_rank,
                             std::int32_t win_global_id, std::uint64_t bytes,
                             int tag);
@@ -124,9 +143,24 @@ class InvariantObserver {
   // fabric: last wire_seq per (src, dst).
   std::map<std::pair<int, int>, std::uint64_t> fabric_seq_;
 
-  // notified puts: FIFO of tags per (origin, target, window, bytes).
-  using PutKey = std::tuple<int, int, std::int32_t, std::uint64_t>;
-  std::map<PutKey, std::deque<int>> put_order_;
+  // notified puts: FIFO per (origin, target, window) — across sizes, so an
+  // eager-path notification overtaking a rendezvous-path one is caught.
+  // Each entry remembers how many same-connection data puts were issued up
+  // to and including it (the data-before-notification mark).
+  using PutKey = std::tuple<int, int, std::int32_t>;
+  struct PendingNotify {
+    int tag = 0;
+    std::uint64_t bytes = 0;     // diagnostic only, not part of the key
+    std::uint64_t data_mark = 0;  // conn data_issued count at issue time
+  };
+  std::map<PutKey, std::deque<PendingNotify>> put_order_;
+
+  // data puts: issued/landed counts per (origin rank, target rank).
+  struct ConnData {
+    std::uint64_t issued = 0;
+    std::uint64_t landed = 0;
+  };
+  std::map<std::pair<int, int>, ConnData> conn_data_;
 
   // eager batches: flushed-but-undelivered (seq, records) FIFO per
   // (origin node, target node) pair.

@@ -193,6 +193,141 @@ TEST(CommProtocol, SmallByteCapStillDeliversEverything) {
   check_payloads(xc, run_exchange(xc), "byte-capped");
 }
 
+// -- Mixed-size interleaving across the protocol boundary --------------
+//
+// Every round straddles the threshold: a big notified put (rendezvous path
+// when the fast path is on) immediately followed by a small notified put
+// (eager path). The receiver matches the small tag and verifies the big
+// payload of the same round already landed — §III-B's guarantee is
+// per-connection, not per-path, so neither the notification nor the
+// aggregated small payload may overtake the rendezvous transfer.
+
+struct MixedConfig {
+  std::size_t eager_threshold = 0;  // 0 = fast path off
+  bool huge_rounds = false;  // odd rounds use 12 kB (> MPI eager limit)
+  int max_batch = 8;
+  std::uint64_t perturb_seed = 0;
+  int rounds = 6;
+};
+
+struct MixedResult {
+  std::vector<std::vector<double>> recv;
+  int late_data = 0;  // big payload missing when the small tag matched
+  std::string oracle_errors;
+};
+
+MixedResult run_mixed_exchange(const MixedConfig& xc) {
+  MixedResult res;
+  const int nodes = 2, rpd = 2;
+  const int world = nodes * rpd;
+  const int rounds = xc.rounds;
+  constexpr int kSmall = 24;    // 192 B — eager at every enabled threshold
+  constexpr int kBigMax = 1536; // 12 kB slot pitch
+  sim::MachineConfig m;
+  m.num_nodes = nodes;
+  m.perturb_seed = xc.perturb_seed;
+  m.rma.eager_threshold = xc.eager_threshold;
+  m.rma.max_batch = xc.max_batch;
+  Cluster c(m, rpd);
+  InvariantObserver obs;
+  c.sim().set_invariant_observer(&obs);
+
+  auto big_elems = [&](int k) {
+    return xc.huge_rounds && k % 2 == 1 ? kBigMax : 256;  // 12 kB / 2 kB
+  };
+  const std::size_t big_base = static_cast<size_t>(rounds) * kSmall;
+  auto big_off = [&](int k) {
+    return big_base + static_cast<size_t>(k) * kBigMax;
+  };
+  const std::size_t win_elems = big_off(rounds);
+  std::vector<std::span<double>> recv(static_cast<size_t>(world));
+  std::vector<std::span<double>> send(static_cast<size_t>(world));
+  for (int g = 0; g < world; ++g) {
+    gpu::Device& d = c.device(g / rpd);
+    recv[static_cast<size_t>(g)] = d.alloc<double>(win_elems);
+    send[static_cast<size_t>(g)] = d.alloc<double>(win_elems);
+    for (double& x : recv[static_cast<size_t>(g)]) x = -1.0;
+  }
+
+  c.run([&](Context& ctx) -> Proc<void> {
+    const int g = ctx.world_rank;
+    const int peer = (g + rpd) % world;  // symmetric across two nodes
+    Window w = co_await win_create(ctx, kCommWorld, recv[static_cast<size_t>(g)]);
+    std::span<double> sbuf = send[static_cast<size_t>(g)];
+    const std::span<double> rbuf = recv[static_cast<size_t>(g)];
+    for (int k = 0; k < rounds; ++k) {
+      const int bn = big_elems(k);
+      std::span<double> big = sbuf.subspan(big_off(k), static_cast<size_t>(bn));
+      for (int e = 0; e < bn; ++e) big[static_cast<size_t>(e)] = value_of(g, 100 + k, e);
+      std::span<double> small =
+          sbuf.subspan(static_cast<size_t>(k) * kSmall, kSmall);
+      for (int e = 0; e < kSmall; ++e) small[static_cast<size_t>(e)] = value_of(g, k, e);
+      co_await put_notify(ctx, w, peer, big_off(k),
+                          std::span<const double>(big), /*tag=*/100 + k);
+      co_await put_notify(ctx, w, peer, static_cast<size_t>(k) * kSmall,
+                          std::span<const double>(small), /*tag=*/k);
+      // The small notification implies the whole round landed.
+      co_await wait_notifications(ctx, w, peer, /*tag=*/k, 1);
+      for (int e = 0; e < bn; ++e) {
+        if (rbuf[big_off(k) + static_cast<size_t>(e)] != value_of(peer, 100 + k, e)) {
+          ++res.late_data;
+          break;
+        }
+      }
+    }
+    co_await flush(ctx);
+    co_await wait_notifications(ctx, w, peer, kAnyTag, rounds);  // big tags
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+
+  for (int g = 0; g < world; ++g) {
+    res.recv.emplace_back(recv[static_cast<size_t>(g)].begin(),
+                          recv[static_cast<size_t>(g)].end());
+  }
+  obs.finalize();
+  for (const std::string& v : obs.violations()) {
+    res.oracle_errors += "  oracle: " + v + "\n";
+  }
+  return res;
+}
+
+TEST(CommProtocol, MixedSizeInterleavedSweep) {
+  // huge_rounds only with the fast path on: with it off, transfers above
+  // the MPI eager limit promise completion order only (true rendezvous).
+  struct Case { std::size_t threshold; bool huge; };
+  constexpr Case kCases[] = {
+      {0, false}, {192, false}, {192, true}, {512, false}, {512, true}};
+  for (const Case& cs : kCases) {
+    for (std::uint64_t seed : {0ull, 0x73001ull, 0x73002ull}) {
+      MixedConfig xc;
+      xc.eager_threshold = cs.threshold;
+      xc.huge_rounds = cs.huge;
+      xc.perturb_seed = seed;
+      const MixedResult r = run_mixed_exchange(xc);
+      std::ostringstream what;
+      what << "threshold=" << cs.threshold << " huge=" << cs.huge
+           << " seed=" << seed;
+      EXPECT_EQ(r.late_data, 0)
+          << what.str() << ": notification overtook rendezvous data";
+      EXPECT_TRUE(r.oracle_errors.empty()) << what.str() << "\n"
+                                           << r.oracle_errors;
+    }
+  }
+}
+
+TEST(CommProtocol, MixedSizeOnOffProduceIdenticalResults) {
+  MixedConfig off;
+  MixedConfig on = off;
+  on.eager_threshold = 256;
+  on.max_batch = 4;
+  const MixedResult a = run_mixed_exchange(off);
+  const MixedResult b = run_mixed_exchange(on);
+  ASSERT_EQ(a.recv, b.recv);
+  EXPECT_EQ(a.late_data, 0);
+  EXPECT_EQ(b.late_data, 0);
+}
+
 // -- On/off equivalence ------------------------------------------------
 
 TEST(CommProtocol, AggregationOnOffProduceIdenticalResults) {

@@ -292,6 +292,108 @@ RunResult run_eager(std::uint64_t seed, std::uint32_t classes) {
   return r;
 }
 
+// Mixed eager/rendezvous interleaving: each round sends a large
+// NON-notified put (alternating 4 kB — rendezvous path, MPI-eager wire —
+// and 12 kB — above the MPI eager limit, RTS-CTS) immediately followed by a
+// small notified put, the particles pattern that can break non-overtaking
+// across the protocol boundary. The receiver verifies the big payload *the
+// moment the small notification matches*: a notification that beat its
+// preceding data put shows up as a payload error even if every oracle were
+// blind to it.
+RunResult run_mixed(std::uint64_t seed, std::uint32_t classes) {
+  RunResult r;
+  const int nodes = 2, rpd = 2;
+  const int world = nodes * rpd;
+  constexpr int kElems = 32;     // 256 B: on the eager path at every threshold
+  constexpr int kRounds = 4;
+  constexpr int kBigMax = 1536;  // 12 kB > MpiConfig::eager_limit
+  sim::MachineConfig m = fuzz_machine(nodes, seed, classes);
+  m.rma.eager_threshold = 256 + 256 * (seed % 2);    // 256/512 B
+  m.rma.max_batch = 2 + static_cast<int>(seed % 4);  // 2..5 records
+  m.rma.aggregation_window = sim::micros(1.0 + 0.5 * (seed % 3));
+  Cluster c(m, rpd);
+  InvariantObserver obs;
+  c.sim().set_invariant_observer(&obs);
+
+  auto big_elems = [](int round) { return round % 2 == 0 ? 512 : kBigMax; };
+  auto small_val = [](int origin, int round, int e) {
+    return origin * 1000.0 + round * 100.0 + 0.5 * e;
+  };
+  auto big_val = [](int origin, int round, int e) {
+    return origin * 2000.0 + round * 200.0 + 0.25 * e;
+  };
+  // Window layout (doubles): kRounds small slots, then kRounds big slots.
+  const std::size_t big_base = static_cast<size_t>(kRounds) * kElems;
+  auto big_off = [&](int round) {
+    return big_base + static_cast<size_t>(round) * kBigMax;
+  };
+  const std::size_t win_elems = big_base + static_cast<size_t>(kRounds) * kBigMax;
+  std::vector<std::span<double>> recv(static_cast<size_t>(world));
+  std::vector<std::span<double>> send(static_cast<size_t>(world));
+  for (int g = 0; g < world; ++g) {
+    gpu::Device& d = c.device(g / rpd);
+    recv[static_cast<size_t>(g)] = d.alloc<double>(win_elems);
+    send[static_cast<size_t>(g)] = d.alloc<double>(win_elems);
+    for (double& x : recv[static_cast<size_t>(g)]) x = -1.0;
+  }
+  std::string late_data;
+  r.elapsed = c.run([&](Context& ctx) -> Proc<void> {
+    const int g = ctx.world_rank;
+    Window w = co_await win_create(ctx, kCommWorld, recv[static_cast<size_t>(g)]);
+    const int peer = (g + rpd) % world;    // same local rank, other node
+    const int origin = (g + rpd) % world;  // symmetric for two nodes
+    std::span<double> sbuf = send[static_cast<size_t>(g)];
+    const std::span<double> rbuf = recv[static_cast<size_t>(g)];
+    for (int round = 0; round < kRounds; ++round) {
+      const int bn = big_elems(round);
+      std::span<double> big = sbuf.subspan(big_off(round), static_cast<size_t>(bn));
+      for (int e = 0; e < bn; ++e) big[static_cast<size_t>(e)] = big_val(g, round, e);
+      std::span<double> small =
+          sbuf.subspan(static_cast<size_t>(round) * kElems, kElems);
+      for (int e = 0; e < kElems; ++e) small[static_cast<size_t>(e)] = small_val(g, round, e);
+      co_await put(ctx, w, peer, big_off(round), std::span<const double>(big));
+      co_await put_notify(ctx, w, peer, static_cast<size_t>(round) * kElems,
+                          std::span<const double>(small), /*tag=*/round);
+      // The notification implies the same-origin big put of this round (and
+      // all earlier rounds) landed (§III-B). Check the window right now.
+      co_await wait_notifications(ctx, w, origin, /*tag=*/round, 1);
+      for (int e = 0; e < bn; ++e) {
+        if (rbuf[big_off(round) + static_cast<size_t>(e)] !=
+            big_val(origin, round, e)) {
+          std::ostringstream os;
+          os << "  non-overtaking: rank " << g << " round " << round
+             << " notified (tag " << round << ") before big elem " << e
+             << " landed\n";
+          late_data += os.str();
+          break;
+        }
+      }
+    }
+    co_await flush(ctx);
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+  r.errors += late_data;
+  for (int g = 0; g < world; ++g) {
+    const int origin = (g + rpd) % world;
+    const std::span<double> buf = recv[static_cast<size_t>(g)];
+    for (int round = 0; round < kRounds && r.errors.empty(); ++round) {
+      for (int e = 0; e < kElems; ++e) {
+        if (buf[static_cast<size_t>(round) * kElems + static_cast<size_t>(e)] !=
+            small_val(origin, round, e)) {
+          std::ostringstream os;
+          os << "  payload: rank " << g << " small round " << round
+             << " elem " << e << " wrong\n";
+          r.errors += os.str();
+          break;
+        }
+      }
+    }
+  }
+  collect(c, obs, r);
+  return r;
+}
+
 // -- Driver ------------------------------------------------------------
 
 struct Workload {
@@ -305,6 +407,7 @@ constexpr Workload kWorkloads[] = {
     {"spmv", run_spmv},
     {"collectives", run_collectives},
     {"eager", run_eager},
+    {"mixed", run_mixed},
 };
 constexpr std::size_t kNumWorkloads = sizeof(kWorkloads) / sizeof(kWorkloads[0]);
 
@@ -372,6 +475,7 @@ TEST(ScheduleFuzz, ParticlesSweep) { sweep(kWorkloads[1], 0x52000, 150); }
 TEST(ScheduleFuzz, SpmvSweep) { sweep(kWorkloads[2], 0x53000, 120); }
 TEST(ScheduleFuzz, CollectivesSweep) { sweep(kWorkloads[3], 0x54000, 200); }
 TEST(ScheduleFuzz, EagerAggSweep) { sweep(kWorkloads[4], 0x56000, 150); }
+TEST(ScheduleFuzz, MixedSizeSweep) { sweep(kWorkloads[5], 0x57000, 120); }
 
 // 25-seed smoke across all workloads (the ctest `fuzz` label's quick gate).
 TEST(FuzzSmoke, TwentyFiveSeedsAcrossWorkloads) {
@@ -505,14 +609,55 @@ TEST(InvariantOracle, DetectsNotifiedPutOvertaking) {
   EXPECT_NE(obs.report().find("overtaking"), std::string::npos);
 }
 
-TEST(InvariantOracle, DifferentSizedPutsMayReorder) {
-  // Eager vs. rendezvous completion order is not guaranteed; the oracle
-  // must not flag it (keys include the byte count).
+TEST(InvariantOracle, DetectsCrossSizeOvertaking) {
+  // The §III-B guarantee holds regardless of size: an eager-path
+  // notification must not overtake an earlier rendezvous-path one on the
+  // same (origin, target, window). Bytes are diagnostic, not key.
   InvariantObserver obs;
-  obs.notify_put_ordered(0, 1, 7, 64, /*tag=*/1);
-  obs.notify_put_ordered(0, 1, 7, 1 << 20, /*tag=*/2);
-  obs.notify_put_delivered(0, 1, 7, 1 << 20, /*tag=*/2);
-  obs.notify_put_delivered(0, 1, 7, 64, /*tag=*/1);
+  obs.notify_put_ordered(0, 1, 7, 1 << 20, /*tag=*/1);
+  obs.notify_put_ordered(0, 1, 7, 64, /*tag=*/2);
+  obs.notify_put_delivered(0, 1, 7, 64, /*tag=*/2);
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("overtaking"), std::string::npos);
+}
+
+TEST(InvariantOracle, DetectsNotificationOvertakingData) {
+  // The count put_notify commits while an earlier large cell put is still
+  // in flight (the particles mixed-size failure mode).
+  InvariantObserver obs;
+  obs.data_put_issued(0, 1);            // large cell put, different window
+  obs.data_put_issued(0, 1);            // the count put itself
+  obs.notify_put_ordered(0, 1, 9, 4, /*tag=*/3);
+  obs.data_put_landed(0, 1);            // only one of the two landed
+  obs.notify_put_delivered(0, 1, 9, 4, /*tag=*/3);
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("notification overtook data"), std::string::npos);
+}
+
+TEST(InvariantOracle, DetectsLostDataPut) {
+  InvariantObserver obs;
+  obs.data_put_issued(0, 1);
+  obs.finalize();
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("data put conservation"), std::string::npos);
+  obs = {};
+  obs.data_put_issued(2, 3);
+  obs.data_put_landed(2, 3);
+  obs.data_put_landed(2, 3);  // landed twice for one issue
+  EXPECT_FALSE(obs.ok());
+  EXPECT_NE(obs.report().find("landed without issue"), std::string::npos);
+}
+
+TEST(InvariantOracle, CleanMixedSizeDataHistoryPasses) {
+  // Two data puts (one per protocol path) followed by a notified count put;
+  // everything lands before the notification commits.
+  InvariantObserver obs;
+  obs.data_put_issued(0, 1);                       // rendezvous cell put
+  obs.data_put_issued(0, 1);                       // eager count put
+  obs.notify_put_ordered(0, 1, 9, 4, /*tag=*/3);
+  obs.data_put_landed(0, 1);
+  obs.data_put_landed(0, 1);
+  obs.notify_put_delivered(0, 1, 9, 4, /*tag=*/3);
   obs.finalize();
   EXPECT_TRUE(obs.ok()) << obs.report();
 }
