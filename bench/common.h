@@ -36,6 +36,18 @@ inline sim::MachineConfig machine(int nodes) {
   if (const char* s = std::getenv("DCUDA_PERTURB_SEED")) {
     cfg.perturb_seed = std::strtoull(s, nullptr, 0);
   }
+  // DCUDA_FAULT_DROP / _DUP / _CORRUPT / _DELAY / _LINKDOWN=<probability>
+  // arm the lossy fabric with go-back-N recovery (net/fault.h). The faulty
+  // pass of check_determinism.sh combines DCUDA_FAULT_DROP with
+  // DCUDA_PERTURB_SEED to verify a lossy run replays bit-identically.
+  auto prob = [](const char* name, double* out) {
+    if (const char* s = std::getenv(name)) *out = std::atof(s);
+  };
+  prob("DCUDA_FAULT_DROP", &cfg.fault.drop_prob);
+  prob("DCUDA_FAULT_DUP", &cfg.fault.dup_prob);
+  prob("DCUDA_FAULT_CORRUPT", &cfg.fault.corrupt_prob);
+  prob("DCUDA_FAULT_DELAY", &cfg.fault.delay_prob);
+  prob("DCUDA_FAULT_LINKDOWN", &cfg.fault.link_down_prob);
   return cfg;
 }
 

@@ -1,23 +1,28 @@
 #!/usr/bin/env bash
 # Determinism gate: the engine must produce bit-identical output across runs.
 #
-# Two properties, both byte-compared on stdout (docs/TESTING.md):
+# Three properties, all byte-compared on stdout (docs/TESTING.md):
 #  1. Default-schedule stability: fig6 (put latency/bandwidth) and fig10
 #     (stencil scaling) run twice must match.
 #  2. Seed stability: the same benchmarks under a perturbed schedule
 #     (DCUDA_PERTURB_SEED) must replay bit-identically — a perturbation is a
 #     pure function of its seed, never of hidden state.
+#  3. Faulty-seed stability: the same seed with a lossy fabric armed
+#     (DCUDA_FAULT_DROP; net/fault.h go-back-N recovery) must also replay
+#     bit-identically — fault coins come from the same seeded streams.
 #
 # Wired into ctest as `determinism_fig_benches`.
 #
 # Usage: scripts/check_determinism.sh [build-dir]
 # Env:   DCUDA_BENCH_ITERS   main-loop iterations (default 5, keeps ctest fast)
 #        DCUDA_PERTURB_SEED  seed for the perturbed pass (default 3735928559)
+#        DCUDA_FAULT_DROP    drop rate for the faulty pass (default 0.01)
 set -euo pipefail
 
 BUILD="${1:-build}"
 export DCUDA_BENCH_ITERS="${DCUDA_BENCH_ITERS:-5}"
 PERTURB_SEED="${DCUDA_PERTURB_SEED:-3735928559}"
+FAULT_DROP="${DCUDA_FAULT_DROP:-0.01}"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -43,5 +48,11 @@ for name in fig6_put_bandwidth fig10_stencil_scaling; do
   DCUDA_PERTURB_SEED="$PERTURB_SEED" "$bin" > "$tmp/$name.seed2"
   compare "$name: perturbed seed $PERTURB_SEED replays bit-identically" \
           "$tmp/$name.seed1" "$tmp/$name.seed2"
+  DCUDA_PERTURB_SEED="$PERTURB_SEED" DCUDA_FAULT_DROP="$FAULT_DROP" \
+      "$bin" > "$tmp/$name.fault1"
+  DCUDA_PERTURB_SEED="$PERTURB_SEED" DCUDA_FAULT_DROP="$FAULT_DROP" \
+      "$bin" > "$tmp/$name.fault2"
+  compare "$name: faulty seed (drop=$FAULT_DROP) replays bit-identically" \
+          "$tmp/$name.fault1" "$tmp/$name.fault2"
 done
 exit $status

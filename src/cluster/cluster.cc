@@ -8,12 +8,24 @@ Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
     : cfg_(cfg), rpd_(ranks_per_device), host_ranks_(host_ranks) {
   // Install the perturbation before any component spawns daemons, so every
   // event of the run — including runtime startup — draws from the seeded
-  // streams.
-  if (cfg_.perturb_seed != 0) {
-    sim_.set_perturbation(cfg_.perturb_seed,
-                          cfg_.perturb_classes & sim::Perturbation::kAllClasses);
+  // streams. Fault injection needs the kFault stream even with perturb_seed
+  // 0 (a valid fault seed): armed faults install a perturbation carrying
+  // kFault while the schedule classes stay off unless perturb_seed asks for
+  // them — so the canonical schedule survives a pure fault run. kFault still
+  // honors the perturb_classes mask, which lets the fuzz shrinker take the
+  // loss dimension out of a failing case independently.
+  std::uint32_t classes =
+      cfg_.perturb_seed != 0
+          ? (cfg_.perturb_classes & sim::Perturbation::kAllClasses)
+          : 0u;
+  if (cfg_.fault.any()) {
+    classes |= cfg_.perturb_classes & sim::Perturbation::kFault;
   }
-  fabric_ = std::make_unique<net::Fabric>(sim_, cfg_.num_nodes, cfg_.net);
+  if (classes != 0u) {
+    sim_.set_perturbation(cfg_.perturb_seed, classes);
+  }
+  fabric_ = std::make_unique<net::Fabric>(sim_, cfg_.num_nodes, cfg_.net,
+                                          cfg_.fault);
   fabric_->set_tracer(&tracer_);
   std::vector<gpu::Device*> dev_ptrs;
   for (int n = 0; n < cfg_.num_nodes; ++n) {

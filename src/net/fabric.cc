@@ -2,16 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "sim/invariants.h"
+#include "sim/perturb.h"
 
 namespace dcuda::net {
 
-Fabric::Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg)
-    : sim_(s), cfg_(cfg) {
+Fabric::Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg,
+               const FaultConfig& fault)
+    : sim_(s), cfg_(cfg), fault_(fault), armed_(fault.any()) {
+  assert(fault_.window >= 1);
+  assert(fault_.drop_prob < 1.0);  // go-back-N needs *some* success probability
   nics_.reserve(static_cast<size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
     nics_.push_back(std::make_unique<Nic>(s, num_nodes));
+    if (armed_) {
+      nics_.back()->tx_conn.resize(static_cast<size_t>(num_nodes));
+      nics_.back()->rx_conn.resize(static_cast<size_t>(num_nodes));
+    }
   }
 }
 
@@ -19,6 +28,10 @@ void Fabric::send(Packet p, sim::Rate rate_cap) {
   assert(p.src >= 0 && p.src < num_nodes());
   assert(p.dst >= 0 && p.dst < num_nodes());
   assert(p.channel >= 0 && p.channel < kNumChannels);
+  if (armed_) {
+    send_reliable(std::move(p), rate_cap);
+    return;
+  }
   Nic& tx = *nics_[static_cast<size_t>(p.src)];
   const sim::Rate rate = std::min(cfg_.bandwidth, rate_cap);
   // Sender software overhead delays wire entry; transmissions serialize.
@@ -54,6 +67,222 @@ void Fabric::send(Packet p, sim::Rate rate_cap) {
     nics_[static_cast<size_t>(pkt.dst)]->rx[static_cast<size_t>(channel)].push(
         std::move(pkt));
   });
+}
+
+// ---------------------------------------------------------------------------
+// Lossy path: go-back-N reliable delivery (DESIGN.md §8).
+//
+// Every (src, dst) direction is a connection. send() assigns the next
+// connection sequence and queues the packet; pump() transmits while the send
+// window has space, retaining a copy of everything unacked. Each arrival at
+// the receiver returns a cumulative ack; a retransmit timer at the sender
+// resends the whole window on expiry with exponential backoff. The receiver
+// accepts only the next expected sequence — duplicates are suppressed,
+// past-gap arrivals discarded (classic go-back-N, no reorder buffer) — so
+// the mailbox stream upper layers see is exactly-once and in order, which
+// restores the per-pair FIFO non-overtaking guarantee the oracles and the
+// eager fence depend on.
+
+void Fabric::send_reliable(Packet p, sim::Rate rate_cap) {
+  TxConn& c = tx_conn(p.src, p.dst);
+  p.seq = ++c.next_seq;
+  const int src = p.src;
+  const int dst = p.dst;
+  c.backlog.push_back(Stored{std::move(p), rate_cap});
+  pump(src, dst);
+}
+
+void Fabric::pump(int src, int dst) {
+  TxConn& c = tx_conn(src, dst);
+  while (!c.backlog.empty() &&
+         c.unacked.size() < static_cast<size_t>(fault_.window)) {
+    c.unacked.push_back(std::move(c.backlog.front()));
+    c.backlog.pop_front();
+    transmit(src, dst, c.unacked.back(), /*is_retx=*/false);
+  }
+  if (fault_.retransmit && !c.unacked.empty() && !c.timer.pending()) {
+    arm_timer(src, dst);
+  }
+}
+
+void Fabric::transmit(int src, int dst, const Stored& s, bool is_retx) {
+  Nic& tx = *nics_[static_cast<size_t>(src)];
+  TxConn& c = tx_conn(src, dst);
+  const sim::Rate rate = std::min(cfg_.bandwidth, s.cap);
+  const double wire_bytes = s.pkt.bytes + fault_.header_bytes;
+  const sim::Time start = std::max(sim_.now() + cfg_.sw_overhead, tx.tx_free);
+  const sim::Time end = start + wire_bytes / rate;
+  tx.tx_free = end;
+  tx.bytes += wire_bytes;
+  ++tx.msgs;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->record(sim::TraceSpan{start, end, src, sim::kFabricLane,
+                                   is_retx ? "retx" : "tx",
+                                   sim::Category::kFabric, wire_bytes});
+    tracer_->counter_set(end, src, "wire_bytes", tx.bytes);
+    tracer_->bump(is_retx ? "fabric_retransmits" : "fabric_messages");
+    tracer_->bump("fabric_bytes", wire_bytes);
+  }
+  if (is_retx) {
+    ++stats_.retransmits;
+  } else {
+    ++stats_.originals;
+  }
+  if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+    obs->fabric_packet_sent(src, dst, s.pkt.seq, is_retx);
+  }
+
+  // Fault coins, drawn in a fixed order per transmission regardless of
+  // earlier outcomes, so the kFault stream position depends only on the
+  // transmission count — replaying a seed replays every decision.
+  sim::Perturbation* pert = sim_.perturbation();
+  const bool down = pert != nullptr && pert->fault(fault_.link_down_prob);
+  const bool corrupt = pert != nullptr && pert->fault(fault_.corrupt_prob);
+  const bool drop = pert != nullptr && pert->fault(fault_.drop_prob);
+  const bool dup = pert != nullptr && pert->fault(fault_.dup_prob);
+  const bool delay = pert != nullptr && pert->fault(fault_.delay_prob);
+
+  if (down) {
+    // Transient outage opens (or extends) as this packet enters the wire;
+    // the packet itself is its first casualty.
+    c.down_until = std::max(c.down_until, start + fault_.link_down_duration);
+    ++stats_.link_downs;
+  }
+  const bool in_outage = start < c.down_until;
+  if (in_outage || drop || corrupt) {
+    if (in_outage) {
+      ++stats_.outage_losses;
+    } else if (drop) {
+      ++stats_.drops;
+    } else {
+      // Corruption is detected by the receiver's CRC and the packet is
+      // discarded header and all — indistinguishable from a wire drop at
+      // protocol level (no ack), so it is not even scheduled.
+      ++stats_.corrupts;
+    }
+    if (sim::InvariantObserver* obs = sim_.invariant_observer();
+        obs != nullptr) {
+      obs->fabric_packet_dropped(src, dst, s.pkt.seq);
+    }
+    return;  // the retransmit timer recovers it
+  }
+
+  sim::Time deliver = end + cfg_.latency + cfg_.sw_overhead;
+  if (pert != nullptr) deliver += pert->jitter(cfg_.latency);
+  if (delay) {
+    deliver += fault_.delay_spike;
+    ++stats_.delays;
+  }
+  // No per-pair FIFO clamp here: faults reorder the wire freely and the
+  // receiver's sequence check restores order instead.
+  sim_.schedule(deliver - sim_.now(),
+                [this, pkt = s.pkt]() mutable { deliver_reliable(std::move(pkt)); });
+  if (dup) {
+    ++stats_.dups;
+    sim_.schedule(deliver + sim::Perturbation::kOrderEpsilon - sim_.now(),
+                  [this, pkt = s.pkt]() mutable {
+                    deliver_reliable(std::move(pkt));
+                  });
+  }
+}
+
+void Fabric::deliver_reliable(Packet pkt) {
+  const int src = pkt.src;
+  const int dst = pkt.dst;
+  RxConn& rc = nics_[static_cast<size_t>(dst)]->rx_conn[static_cast<size_t>(src)];
+  if (pkt.seq == rc.expected + 1) {
+    ++rc.expected;
+    if (sim::InvariantObserver* obs = sim_.invariant_observer();
+        obs != nullptr) {
+      obs->fabric_packet_accepted(src, dst, pkt.seq);
+      obs->fabric_delivered(src, dst, pkt.seq);
+    }
+    const int channel = pkt.channel;
+    nics_[static_cast<size_t>(dst)]->rx[static_cast<size_t>(channel)].push(
+        std::move(pkt));
+  } else if (pkt.seq <= rc.expected) {
+    if (fault_.dup_suppress) {
+      ++stats_.dup_suppressed;
+    } else {
+      // Mutation knob: deliver the duplicate anyway. The at-most-once
+      // oracle must catch this (docs/TESTING.md mutation checks).
+      if (sim::InvariantObserver* obs = sim_.invariant_observer();
+          obs != nullptr) {
+        obs->fabric_packet_accepted(src, dst, pkt.seq);
+      }
+      const int channel = pkt.channel;
+      nics_[static_cast<size_t>(dst)]->rx[static_cast<size_t>(channel)].push(
+          std::move(pkt));
+    }
+  } else {
+    // Gap: a predecessor was lost. Go-back-N keeps no reorder buffer — the
+    // sender retransmits the whole window, so discarding is safe.
+    ++stats_.ooo_discarded;
+  }
+  // Every intact arrival — accepted, duplicate, or past-gap — refreshes the
+  // sender with a cumulative ack of the receive frontier.
+  send_ack(dst, src, rc.expected);
+}
+
+void Fabric::send_ack(int from, int to, std::uint64_t acked_seq) {
+  ++stats_.acks_sent;
+  // Acks ride the NIC's control path: no transmit-lane serialization and no
+  // byte accounting (they coalesce with data in real hardware), but they do
+  // face the lossy wire — the reverse link's outage window and the same
+  // drop/delay coins as data.
+  TxConn& reverse = tx_conn(from, to);
+  sim::Perturbation* pert = sim_.perturbation();
+  const bool drop = pert != nullptr && pert->fault(fault_.drop_prob);
+  const bool delay = pert != nullptr && pert->fault(fault_.delay_prob);
+  if (drop || sim_.now() < reverse.down_until) {
+    ++stats_.acks_lost;
+    return;  // the retransmit timer covers lost acks too
+  }
+  sim::Time deliver = sim_.now() + cfg_.latency + cfg_.sw_overhead;
+  if (delay) deliver += fault_.delay_spike;
+  sim_.schedule(deliver - sim_.now(), [this, from, to, acked_seq]() {
+    handle_ack(to, from, acked_seq);
+  });
+}
+
+void Fabric::handle_ack(int src, int dst, std::uint64_t acked_seq) {
+  TxConn& c = tx_conn(src, dst);
+  if (acked_seq <= c.acked) return;  // stale cumulative ack
+  c.acked = acked_seq;
+  while (!c.unacked.empty() && c.unacked.front().pkt.seq <= acked_seq) {
+    c.unacked.pop_front();
+  }
+  c.timeout = 0.0;  // forward progress resets the backoff
+  c.timer.cancel();
+  pump(src, dst);  // opens window space; also re-arms the timer if needed
+}
+
+void Fabric::arm_timer(int src, int dst) {
+  TxConn& c = tx_conn(src, dst);
+  const sim::Dur t = c.timeout > 0.0 ? c.timeout : fault_.retransmit_timeout;
+  // No ack can arrive before the newest unacked packet has fully serialized
+  // onto the wire, so count the tx-lane backlog into the deadline — a large
+  // packet (64 kB at the GPUDirect cap serializes for ~20 us) must not trip
+  // a spurious retransmission of itself.
+  const sim::Time tx_free = nics_[static_cast<size_t>(src)]->tx_free;
+  const sim::Dur backlog = tx_free > sim_.now() ? tx_free - sim_.now() : 0.0;
+  c.timer.cancel();
+  c.timer = sim_.schedule_cancellable(backlog + t, [this, src, dst]() {
+    on_timeout(src, dst);
+  });
+}
+
+void Fabric::on_timeout(int src, int dst) {
+  TxConn& c = tx_conn(src, dst);
+  if (c.unacked.empty()) return;
+  ++stats_.timeouts;
+  // Go-back-N: resend the entire unacked window in sequence order.
+  for (const Stored& s : c.unacked) {
+    transmit(src, dst, s, /*is_retx=*/true);
+  }
+  const sim::Dur cur = c.timeout > 0.0 ? c.timeout : fault_.retransmit_timeout;
+  c.timeout = std::min(cur * fault_.backoff, fault_.max_timeout);
+  arm_timer(src, dst);
 }
 
 }  // namespace dcuda::net

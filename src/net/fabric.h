@@ -8,14 +8,29 @@
 // per-message software overhead at both ends. Delivery between a fixed
 // (src, dst) pair is FIFO — the non-overtaking property MPI matching relies
 // on.
+//
+// The wire is perfectly reliable by default. Arming a net::FaultConfig
+// (any nonzero fault probability) turns it lossy — packets may be dropped,
+// duplicated, corrupted, delayed past the FIFO clamp, or eaten by a
+// transient link outage — and simultaneously arms the NIC-level go-back-N
+// recovery protocol that restores the exactly-once in-order delivery
+// contract: per-(src, dst) connection sequence numbers, a bounded send
+// window with sender-side retention, cumulative acks, timeout +
+// exponential-backoff retransmission, and duplicate suppression at the
+// receiver. Upper layers (MPI matching, the runtime's eager channel) see
+// the same per-pair FIFO mailbox stream either way; only timing differs.
+// With faults disabled the historical code path runs untouched — wire
+// format and event schedule stay byte-identical (DESIGN.md §8).
 
 #include <any>
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <vector>
 
+#include "net/fault.h"
 #include "sim/config.h"
 #include "sim/mailbox.h"
 #include "sim/simulation.h"
@@ -41,17 +56,22 @@ struct Packet {
   // Declared after payload so the many MPI-side {src, dst, bytes, payload}
   // aggregate initializations keep defaulting to the MPI channel.
   int channel = kMpiChannel;
+  // Reliable-delivery sequence per (src, dst) connection, assigned by the
+  // sending NIC while fault injection is armed; 0 on the reliable path.
+  std::uint64_t seq = 0;
 };
 
 class Fabric {
  public:
-  Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg);
+  Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg,
+         const FaultConfig& fault = {});
 
   int num_nodes() const { return static_cast<int>(nics_.size()); }
 
   // Fire-and-forget: the packet appears in node `dst`'s mailbox. rate_cap
   // narrows usable bandwidth for this packet (GPUDirect reads on Kepler run
-  // well below link rate).
+  // well below link rate). Reliable regardless of the fault model: an armed
+  // FaultConfig only changes *when* the packet lands, never whether.
   void send(Packet p,
             sim::Rate rate_cap = std::numeric_limits<sim::Rate>::infinity());
 
@@ -66,8 +86,54 @@ class Fabric {
   double bytes_sent(int node) const { return nics_[static_cast<size_t>(node)]->bytes; }
   std::uint64_t messages_sent(int node) const { return nics_[static_cast<size_t>(node)]->msgs; }
   const sim::NetConfig& config() const { return cfg_; }
+  const FaultConfig& fault_config() const { return fault_; }
+
+  // True when any fault probability is nonzero and the go-back-N recovery
+  // protocol is running.
+  bool faults_armed() const { return armed_; }
+
+  // Aggregate fault-injection and recovery counters (docs/TESTING.md
+  // "Loss battery"; the fault self-tests and ablation_faults read these).
+  struct FaultStats {
+    std::uint64_t originals = 0;       // first transmissions of a sequence
+    std::uint64_t retransmits = 0;     // go-back-N re-transmissions
+    std::uint64_t timeouts = 0;        // retransmit timer expiries
+    std::uint64_t drops = 0;           // wire drops (drop_prob)
+    std::uint64_t corrupts = 0;        // CRC-detected corruption discards
+    std::uint64_t dups = 0;            // duplicate deliveries injected
+    std::uint64_t delays = 0;          // delay spikes applied
+    std::uint64_t link_downs = 0;      // outage windows opened
+    std::uint64_t outage_losses = 0;   // packets lost inside an outage
+    std::uint64_t acks_sent = 0;
+    std::uint64_t acks_lost = 0;       // acks dropped or eaten by an outage
+    std::uint64_t dup_suppressed = 0;  // receiver discarded already-seen seq
+    std::uint64_t ooo_discarded = 0;   // receiver discarded past-gap seq
+  };
+  const FaultStats& fault_stats() const { return stats_; }
 
  private:
+  // One retained outbound packet (go-back-N keeps everything unacked).
+  struct Stored {
+    Packet pkt;
+    sim::Rate cap = std::numeric_limits<sim::Rate>::infinity();
+  };
+
+  // Sender-side reliable-connection state toward one destination.
+  struct TxConn {
+    std::uint64_t next_seq = 0;   // last assigned sequence
+    std::uint64_t acked = 0;      // highest cumulative ack received
+    std::deque<Stored> unacked;   // transmitted, not yet acked (seq order)
+    std::deque<Stored> backlog;   // waiting for send-window space
+    sim::EventToken timer;        // pending retransmit timeout
+    sim::Dur timeout = 0.0;       // current backed-off timeout; 0 = base
+    sim::Time down_until = 0.0;   // transient outage on this directed link
+  };
+
+  // Receiver-side state for one origin: last in-order accepted sequence.
+  struct RxConn {
+    std::uint64_t expected = 0;
+  };
+
   struct Nic {
     Nic(sim::Simulation& s, int num_nodes)
         : rx{sim::Mailbox<Packet>(s), sim::Mailbox<Packet>(s)},
@@ -82,10 +148,29 @@ class Fabric {
     // sequence number reported to the invariant oracle at delivery.
     std::vector<sim::Time> pair_deliver;
     std::vector<std::uint64_t> pair_seq;
+    // Reliable-connection state, allocated only while faults are armed.
+    std::vector<TxConn> tx_conn;  // indexed by destination node
+    std::vector<RxConn> rx_conn;  // indexed by origin node
   };
+
+  // -- Lossy path (faults armed) ----------------------------------------
+  void send_reliable(Packet p, sim::Rate rate_cap);
+  void pump(int src, int dst);                 // drain backlog into window
+  void transmit(int src, int dst, const Stored& s, bool is_retx);
+  void deliver_reliable(Packet pkt);           // receiver: accept/suppress
+  void send_ack(int from, int to, std::uint64_t acked_seq);
+  void handle_ack(int src, int dst, std::uint64_t acked_seq);
+  void arm_timer(int src, int dst);
+  void on_timeout(int src, int dst);
+  TxConn& tx_conn(int src, int dst) {
+    return nics_[static_cast<size_t>(src)]->tx_conn[static_cast<size_t>(dst)];
+  }
 
   sim::Simulation& sim_;
   sim::NetConfig cfg_;
+  FaultConfig fault_;
+  bool armed_ = false;
+  FaultStats stats_;
   sim::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Nic>> nics_;
 };

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "net/fault.h"
 #include "sim/units.h"
 
 namespace dcuda::sim {
@@ -145,6 +146,14 @@ struct MachineConfig {
   MpiConfig mpi;
   RuntimeConfig runtime;
   RmaConfig rma;
+  // Lossy-fabric fault injection (net/fault.h): all probabilities zero by
+  // default, which keeps the fabric on its historical perfectly-reliable
+  // code path (wire format and event schedule byte-identical). Any nonzero
+  // probability arms the NIC-level go-back-N recovery protocol; decisions
+  // draw from the kFault perturbation stream, so faulty runs need a
+  // Perturbation (Cluster installs one automatically, seeded by
+  // perturb_seed — 0 is a valid fault seed).
+  net::FaultConfig fault;
   // Schedule perturbation (docs/TESTING.md): 0 runs the canonical
   // deterministic schedule; any other value seeds a sim::Perturbation that
   // explores an alternative — still fully reproducible — event interleaving.

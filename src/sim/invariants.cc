@@ -20,6 +20,74 @@ void InvariantObserver::fabric_delivered(int src, int dst, std::uint64_t wire_se
   if (wire_seq > last) last = wire_seq;
 }
 
+void InvariantObserver::fabric_packet_sent(int src, int dst, std::uint64_t seq,
+                                           bool retransmit) {
+  ++checks_;
+  LinkRecovery& lr = link_recovery_[{src, dst}];
+  if (!retransmit) {
+    if (seq != lr.originals + 1) {
+      std::ostringstream os;
+      os << "fabric sequence assignment violated: link " << src << "->" << dst
+         << " transmitted fresh seq " << seq << " after " << lr.originals
+         << " originals";
+      violation(os.str());
+    }
+    if (seq > lr.originals) lr.originals = seq;
+    return;
+  }
+  ++lr.retransmits;
+  if (seq == 0 || seq > lr.originals) {
+    std::ostringstream os;
+    os << "fabric retransmit of never-sent packet: link " << src << "->" << dst
+       << " retransmitted seq " << seq << " but only " << lr.originals
+       << " originals were sent";
+    violation(os.str());
+  }
+}
+
+void InvariantObserver::fabric_packet_dropped(int src, int dst,
+                                              std::uint64_t seq) {
+  ++checks_;
+  LinkRecovery& lr = link_recovery_[{src, dst}];
+  ++lr.dropped;
+  if (lr.dropped > lr.originals + lr.retransmits) {
+    std::ostringstream os;
+    os << "fabric loss accounting violated: link " << src << "->" << dst
+       << " recorded " << lr.dropped << " losses over "
+       << lr.originals + lr.retransmits << " transmissions (seq " << seq << ")";
+    violation(os.str());
+  }
+}
+
+void InvariantObserver::fabric_packet_accepted(int src, int dst,
+                                               std::uint64_t seq) {
+  ++checks_;
+  LinkRecovery& lr = link_recovery_[{src, dst}];
+  if (seq <= lr.last_accepted) {
+    std::ostringstream os;
+    os << "at-most-once delivery violated: link " << src << "->" << dst
+       << " accepted seq " << seq << " again (already accepted up to "
+       << lr.last_accepted << ")";
+    violation(os.str());
+    return;
+  }
+  if (seq != lr.last_accepted + 1) {
+    std::ostringstream os;
+    os << "lossy-fabric in-order delivery violated: link " << src << "->" << dst
+       << " accepted seq " << seq << " after " << lr.last_accepted;
+    violation(os.str());
+  }
+  if (seq > lr.originals) {
+    std::ostringstream os;
+    os << "fabric accepted packet that was never sent: link " << src << "->"
+       << dst << " seq " << seq << " with only " << lr.originals
+       << " originals transmitted";
+    violation(os.str());
+  }
+  lr.last_accepted = seq;
+  ++lr.accepted;
+}
+
 void InvariantObserver::queue_credit(std::uint64_t send_count,
                                      std::uint64_t recv_count, int capacity) {
   ++checks_;
@@ -224,6 +292,22 @@ void InvariantObserver::finalize() {
     os << "notification conservation violated: " << matched_
        << " notifications matched but only " << delivered_ << " delivered";
     violation(os.str());
+  }
+  for (const auto& [link, lr] : link_recovery_) {
+    if (lr.accepted != lr.originals) {
+      std::ostringstream os;
+      os << "lossy-fabric conservation violated: link " << link.first << "->"
+         << link.second << " sent " << lr.originals << " originals but "
+         << lr.accepted << " were accepted";
+      violation(os.str());
+    }
+    if (lr.dropped > 0 && lr.retransmits == 0 && lr.accepted == lr.originals) {
+      std::ostringstream os;
+      os << "retransmit accounting violated: link " << link.first << "->"
+         << link.second << " lost " << lr.dropped
+         << " transmissions yet recovered without a single retransmit";
+      violation(os.str());
+    }
   }
   for (const auto& [key, pending] : put_order_) {
     if (!pending.empty()) {

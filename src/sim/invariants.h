@@ -59,6 +59,20 @@ class InvariantObserver {
   // net/fabric.cc, at delivery into the destination mailbox.
   void fabric_delivered(int src, int dst, std::uint64_t wire_seq);
 
+  // Lossy-fabric recovery oracles (net/fabric.cc go-back-N; the hooks fire
+  // only while fault injection is armed, docs/TESTING.md "Loss battery"):
+  //  * at-most-once delivery — an accepted connection sequence is strictly
+  //    one past the previous accept (a repeat means duplicate suppression
+  //    failed; a skip means the in-order filter failed).
+  //  * retransmit accounting — originals carry strictly consecutive fresh
+  //    sequences, retransmissions only re-send already-assigned ones, and
+  //    finalize() checks loss conservation per link: every original was
+  //    eventually accepted, and any recorded loss implies at least one
+  //    retransmission happened to repair it.
+  void fabric_packet_sent(int src, int dst, std::uint64_t seq, bool retransmit);
+  void fabric_packet_dropped(int src, int dst, std::uint64_t seq);
+  void fabric_packet_accepted(int src, int dst, std::uint64_t seq);
+
   // queue/circular_queue.h, after every send/recv counter change.
   void queue_credit(std::uint64_t send_count, std::uint64_t recv_count,
                     int capacity);
@@ -142,6 +156,16 @@ class InvariantObserver {
 
   // fabric: last wire_seq per (src, dst).
   std::map<std::pair<int, int>, std::uint64_t> fabric_seq_;
+
+  // lossy fabric: per-(src, dst) go-back-N recovery accounting.
+  struct LinkRecovery {
+    std::uint64_t originals = 0;      // fresh sequences transmitted
+    std::uint64_t retransmits = 0;    // re-transmissions of assigned seqs
+    std::uint64_t dropped = 0;        // transmissions lost on the wire
+    std::uint64_t accepted = 0;       // in-order accepts at the receiver
+    std::uint64_t last_accepted = 0;  // highest accepted sequence
+  };
+  std::map<std::pair<int, int>, LinkRecovery> link_recovery_;
 
   // notified puts: FIFO per (origin, target, window) — across sizes, so an
   // eager-path notification overtaking a rendezvous-path one is caught.

@@ -9,7 +9,7 @@
 // per-class splitmix64 streams, so a run is replayed bit-identically by
 // re-seeding — there is no hidden global state.
 //
-// Three decision classes, each independently maskable (the fuzz harness
+// Four decision classes, each independently maskable (the fuzz harness
 // shrinks failures to a minimal class set):
 //  * kTieBreak — shuffles the firing order of same-timestamp events by
 //    replacing the engine's insertion-sequence tie-break with seeded random
@@ -21,6 +21,11 @@
 //    fabric FIFO, posted-write commit order per PCIe direction).
 //  * kSmPick — varies which SM receives the next resident block among
 //    equally loaded candidates (gpu/device block dispatch).
+//  * kFault — fault-injection coins for the lossy fabric (net::FaultConfig):
+//    per-packet drop/duplicate/corrupt/delay/link-down decisions drawn at
+//    transmit and delivery time (net/fabric.cc). Draws happen only when a
+//    fault probability is configured, so fault-free runs never touch the
+//    stream.
 //
 // Every decision is counted and the most recent ones are kept in a small
 // ring, so a failing seed can print where the schedule diverged.
@@ -38,9 +43,11 @@ class Perturbation {
     kTieBreak = 1u << 0,
     kLinkJitter = 1u << 1,
     kSmPick = 1u << 2,
+    kFault = 1u << 3,
   };
-  static constexpr std::uint32_t kAllClasses = kTieBreak | kLinkJitter | kSmPick;
-  static constexpr int kNumClasses = 3;
+  static constexpr std::uint32_t kAllClasses =
+      kTieBreak | kLinkJitter | kSmPick | kFault;
+  static constexpr int kNumClasses = 4;
 
   // Minimal separation call sites add when clamping jittered completion
   // times to preserve a hardware ordering rule (fabric per-pair FIFO, PCIe
@@ -82,13 +89,22 @@ class Perturbation {
     return static_cast<int>(r % static_cast<std::uint64_t>(n));
   }
 
+  // Fault-injection coin: true with probability p. Draws from the kFault
+  // stream only for p > 0, so a fault class with zero probability consumes
+  // nothing — a run is a pure function of (seed, classes, FaultConfig).
+  bool fault(double p) {
+    if (!has(kFault) || p <= 0.0) return false;
+    const std::uint64_t r = draw(3, kFault);
+    return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
   // -- Introspection for failure reports -------------------------------
 
   std::uint64_t decisions(Class c) const {
     return decisions_[class_index(c)];
   }
   std::uint64_t total_decisions() const {
-    return decisions_[0] + decisions_[1] + decisions_[2];
+    return decisions_[0] + decisions_[1] + decisions_[2] + decisions_[3];
   }
 
   struct Decision {
@@ -107,7 +123,7 @@ class Perturbation {
 
  private:
   static int class_index(Class c) {
-    return c == kTieBreak ? 0 : (c == kLinkJitter ? 1 : 2);
+    return c == kTieBreak ? 0 : (c == kLinkJitter ? 1 : (c == kSmPick ? 2 : 3));
   }
 
   // Draw from a class stream. Masked classes still draw nothing — the

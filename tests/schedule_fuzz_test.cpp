@@ -2,10 +2,22 @@
 //
 // Each fuzz case runs a mini-workload on a Cluster whose event schedule is
 // perturbed by a seeded sim::Perturbation (tie-break shuffling, link jitter,
-// SM pick variation) while a sim::InvariantObserver checks the runtime's
-// ordering and conservation guarantees. The workload result is additionally
-// validated against its serial reference, so a schedule-dependent wrong
-// answer is caught even when every protocol invariant holds.
+// SM pick variation, fault-injection coins) while a sim::InvariantObserver
+// checks the runtime's ordering and conservation guarantees. The workload
+// result is additionally validated against its serial reference, so a
+// schedule-dependent wrong answer is caught even when every protocol
+// invariant holds.
+//
+// The perturbation space has a loss dimension: the seed also picks a
+// net::FaultConfig (drop rate ladder 0/0.1%/1%/3%, plus duplicates,
+// corruption, delay spikes and link outages at the lossy rungs), so three
+// in four seeds run every workload over the lossy fabric with the NIC-level
+// go-back-N recovery protocol underneath. Masking Perturbation::kFault
+// silences every coin, which lets the shrinker take the loss dimension out
+// of a failing case like any other class.
+//
+// DCUDA_FUZZ_SEEDS=<n> overrides the per-sweep seed count (dial the fuzz
+// ctest tier down locally, up in CI).
 //
 // On failure the harness shrinks the perturbation to a minimal failing class
 // mask and prints the seed, the per-class decision counts, the tail of the
@@ -30,6 +42,7 @@
 #include "apps/spmv.h"
 #include "apps/stencil.h"
 #include "cluster/cluster.h"
+#include "net/fault.h"
 #include "sim/invariants.h"
 #include "sim/perturb.h"
 
@@ -40,13 +53,42 @@ using sim::InvariantObserver;
 using sim::Perturbation;
 using sim::Proc;
 
+// Loss dimension of the perturbation space (docs/TESTING.md "Loss
+// battery"): seed % 4 walks the drop-rate ladder — every fourth seed stays
+// lossless on the historical wire path — and the lossy rungs add duplicate,
+// corruption, delay-spike and (on odd seeds) link-outage coins so the
+// go-back-N recovery machinery runs underneath the workload.
+net::FaultConfig fuzz_faults(std::uint64_t seed) {
+  static constexpr double kDrop[] = {0.0, 0.001, 0.01, 0.03};
+  net::FaultConfig f;
+  f.drop_prob = kDrop[seed % 4];
+  if (f.drop_prob > 0.0) {
+    f.dup_prob = 0.005;
+    f.corrupt_prob = 0.002;
+    f.delay_prob = 0.005;
+    if (seed % 2 == 1) f.link_down_prob = 0.0005;
+  }
+  return f;
+}
+
 sim::MachineConfig fuzz_machine(int nodes, std::uint64_t seed,
                                 std::uint32_t classes) {
   sim::MachineConfig m;
   m.num_nodes = nodes;
   m.perturb_seed = seed;
   m.perturb_classes = classes;
+  m.fault = fuzz_faults(seed);
   return m;
+}
+
+// DCUDA_FUZZ_SEEDS overrides every sweep's seed count (bounded by the
+// 0x1000 spacing of the disjoint per-sweep seed ranges).
+int sweep_count(int default_count) {
+  const char* s = std::getenv("DCUDA_FUZZ_SEEDS");
+  if (s == nullptr) return default_count;
+  const long n = std::strtol(s, nullptr, 0);
+  if (n <= 0) return default_count;
+  return static_cast<int>(n < 0x1000 ? n : 0xfff);
 }
 
 // Outcome of one perturbed run: validation errors (empty == pass) plus the
@@ -69,13 +111,15 @@ void collect(Cluster& c, InvariantObserver& obs, RunResult& r) {
     r.decisions[0] = p->decisions(Perturbation::kTieBreak);
     r.decisions[1] = p->decisions(Perturbation::kLinkJitter);
     r.decisions[2] = p->decisions(Perturbation::kSmPick);
+    r.decisions[3] = p->decisions(Perturbation::kFault);
     Perturbation::Decision tail[Perturbation::kTraceCap];
     const std::size_t n = p->trace(tail);
     std::ostringstream os;
     for (std::size_t i = 0; i < n; ++i) {
-      os << (tail[i].cls == Perturbation::kTieBreak   ? " t:"
+      os << (tail[i].cls == Perturbation::kTieBreak     ? " t:"
              : tail[i].cls == Perturbation::kLinkJitter ? " j:"
-                                                        : " s:")
+             : tail[i].cls == Perturbation::kSmPick     ? " s:"
+                                                        : " f:")
          << std::hex << (tail[i].value >> 48);
     }
     r.trace_txt = os.str();
@@ -427,9 +471,17 @@ std::uint32_t shrink_classes(const Workload& w, std::uint64_t seed) {
       Perturbation::kTieBreak,
       Perturbation::kLinkJitter,
       Perturbation::kSmPick,
+      Perturbation::kFault,
       Perturbation::kTieBreak | Perturbation::kLinkJitter,
       Perturbation::kTieBreak | Perturbation::kSmPick,
+      Perturbation::kTieBreak | Perturbation::kFault,
       Perturbation::kLinkJitter | Perturbation::kSmPick,
+      Perturbation::kLinkJitter | Perturbation::kFault,
+      Perturbation::kSmPick | Perturbation::kFault,
+      Perturbation::kTieBreak | Perturbation::kLinkJitter | Perturbation::kSmPick,
+      Perturbation::kTieBreak | Perturbation::kLinkJitter | Perturbation::kFault,
+      Perturbation::kTieBreak | Perturbation::kSmPick | Perturbation::kFault,
+      Perturbation::kLinkJitter | Perturbation::kSmPick | Perturbation::kFault,
   };
   for (std::uint32_t m : kMasks) {
     if (!w.run(seed, m).errors.empty()) return m;
@@ -447,8 +499,8 @@ std::string failure_report(const Workload& w, std::uint64_t seed) {
   os << "schedule fuzz failure: workload=" << w.name << " seed=" << seed
      << " minimal classes=0x" << std::hex << minimal << std::dec << "\n"
      << r.errors << "  " << counts
-     << "  decisions tie-break/jitter/sm-pick: " << r.decisions[0] << "/"
-     << r.decisions[1] << "/" << r.decisions[2] << "\n"
+     << "  decisions tie-break/jitter/sm-pick/fault: " << r.decisions[0] << "/"
+     << r.decisions[1] << "/" << r.decisions[2] << "/" << r.decisions[3] << "\n"
      << "  decision tail:" << r.trace_txt << "\n"
      << "  replay: DCUDA_FUZZ_WORKLOAD=" << w.name << " DCUDA_FUZZ_SEED="
      << seed << " DCUDA_FUZZ_CLASSES=0x" << std::hex << minimal << std::dec
@@ -462,7 +514,8 @@ void sweep(const Workload& w, std::uint64_t seed_base, int count) {
     const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
     RunResult r = w.run(seed, Perturbation::kAllClasses);
     ASSERT_TRUE(r.errors.empty()) << failure_report(w, seed);
-    total_decisions += r.decisions[0] + r.decisions[1] + r.decisions[2];
+    total_decisions +=
+        r.decisions[0] + r.decisions[1] + r.decisions[2] + r.decisions[3];
   }
   // The perturbation must actually be exercised, or the sweep proves nothing.
   EXPECT_GT(total_decisions, 0u) << w.name << " sweep drew no decisions";
@@ -470,12 +523,12 @@ void sweep(const Workload& w, std::uint64_t seed_base, int count) {
 
 // -- Seed sweeps (disjoint ranges, >200 distinct seeds in total) --------
 
-TEST(ScheduleFuzz, StencilSweep) { sweep(kWorkloads[0], 0x51000, 200); }
-TEST(ScheduleFuzz, ParticlesSweep) { sweep(kWorkloads[1], 0x52000, 150); }
-TEST(ScheduleFuzz, SpmvSweep) { sweep(kWorkloads[2], 0x53000, 120); }
-TEST(ScheduleFuzz, CollectivesSweep) { sweep(kWorkloads[3], 0x54000, 200); }
-TEST(ScheduleFuzz, EagerAggSweep) { sweep(kWorkloads[4], 0x56000, 150); }
-TEST(ScheduleFuzz, MixedSizeSweep) { sweep(kWorkloads[5], 0x57000, 120); }
+TEST(ScheduleFuzz, StencilSweep) { sweep(kWorkloads[0], 0x51000, sweep_count(200)); }
+TEST(ScheduleFuzz, ParticlesSweep) { sweep(kWorkloads[1], 0x52000, sweep_count(150)); }
+TEST(ScheduleFuzz, SpmvSweep) { sweep(kWorkloads[2], 0x53000, sweep_count(120)); }
+TEST(ScheduleFuzz, CollectivesSweep) { sweep(kWorkloads[3], 0x54000, sweep_count(200)); }
+TEST(ScheduleFuzz, EagerAggSweep) { sweep(kWorkloads[4], 0x56000, sweep_count(150)); }
+TEST(ScheduleFuzz, MixedSizeSweep) { sweep(kWorkloads[5], 0x57000, sweep_count(120)); }
 
 // 25-seed smoke across all workloads (the ctest `fuzz` label's quick gate).
 TEST(FuzzSmoke, TwentyFiveSeedsAcrossWorkloads) {
