@@ -1,8 +1,16 @@
-// Ablation: the paper loops even device-local notifications through the
-// host (§III-A) to keep the ordering logic in one place. A device-side
-// delivery path (what hardware-supported notifications could provide,
-// §III-D) cuts the shared-memory ping-pong latency dramatically — the
-// improvement the paper's "Notification System" discussion anticipates.
+// Backend comparison: the paper's host event loop (§III-A) versus the
+// device-initiated backend (§III-D outlook; docs/BACKENDS.md). Under
+// RuntimeBackend::kHostLoop even device-local notifications loop through
+// the host to keep the ordering logic in one place; kDeviceInitiated
+// delivers them on the device's notification board and rings a device→NIC
+// doorbell for remote puts — the improvement the paper's "Notification
+// System" discussion anticipates from hardware support.
+//
+// Output: the figure table on stdout by default; with --json, a single
+// machine-readable record (scripts/bench_perf.sh writes it to
+// BENCH_backend.json and gates on "speedup" >= 3x).
+
+#include <cstring>
 
 #include "bench/common.h"
 #include "dcuda/dcuda.h"
@@ -10,14 +18,20 @@
 namespace dcuda {
 namespace {
 
-double pingpong_latency_us(bool via_host, int iters) {
-  sim::MachineConfig mc = bench::machine(1);
-  mc.runtime.local_notifications_via_host = via_host;
+// Half-roundtrip notified-put latency between two ranks: same-device when
+// `nodes` is 1 (the latency hardware notification support attacks), across
+// the fabric when 2 (doorbell'd puts, board delivery at the target).
+double pingpong_latency_us(sim::RuntimeBackend backend, int nodes, int iters) {
+  sim::MachineConfig mc = bench::machine(nodes);
+  mc.backend = backend;
+  const int rpd = nodes == 1 ? 2 : 1;
   auto run = [&](int n) {
-    Cluster c(mc, 2);
-    auto mem = c.device(0).alloc<std::byte>(256);
+    Cluster c(mc, rpd);
+    std::vector<std::span<std::byte>> mem;
+    for (int d = 0; d < nodes; ++d) mem.push_back(c.device(d).alloc<std::byte>(256));
     c.run([&, n](Context& ctx) -> sim::Proc<void> {
-      Window w = co_await win_create(ctx, kCommWorld, mem);
+      Window w = co_await win_create(
+          ctx, kCommWorld, mem[static_cast<size_t>(ctx.world_rank / rpd)]);
       for (int i = 0; i < n; ++i) {
         if (ctx.world_rank == 0) {
           co_await put_notify(ctx, w, 1, 0, 0, nullptr, 0);
@@ -38,15 +52,43 @@ double pingpong_latency_us(bool via_host, int iters) {
 }  // namespace
 }  // namespace dcuda
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcuda;
-  bench::header("Ablation", "device-local notifications: host loop-through vs device-side");
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
   const int iters = bench::iterations(50);
-  const double host = pingpong_latency_us(true, iters);
-  const double dev = pingpong_latency_us(false, iters);
-  bench::row({"path", "halfroundtrip_latency_us"});
-  bench::row({"via_host (paper SIII-A)", bench::fmt(host, "%.2f")});
-  bench::row({"device_side (paper SIII-D proposal)", bench::fmt(dev, "%.2f")});
-  std::printf("# speedup from hardware notification support: %.1fx\n", host / dev);
+  const double host_local =
+      pingpong_latency_us(sim::RuntimeBackend::kHostLoop, 1, iters);
+  const double dev_local =
+      pingpong_latency_us(sim::RuntimeBackend::kDeviceInitiated, 1, iters);
+  const double host_remote =
+      pingpong_latency_us(sim::RuntimeBackend::kHostLoop, 2, iters);
+  const double dev_remote =
+      pingpong_latency_us(sim::RuntimeBackend::kDeviceInitiated, 2, iters);
+  const double speedup = host_local / dev_local;
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"schema\": \"dcuda-bench-backend-v1\",\n");
+    std::printf("  \"iters\": %d,\n", iters);
+    std::printf("  \"local_latency_us\": {\"host_loop\": %.3f, "
+                "\"device_initiated\": %.3f},\n", host_local, dev_local);
+    std::printf("  \"remote_latency_us\": {\"host_loop\": %.3f, "
+                "\"device_initiated\": %.3f},\n", host_remote, dev_remote);
+    std::printf("  \"remote_speedup\": %.3f,\n", host_remote / dev_remote);
+    std::printf("  \"speedup\": %.3f\n}\n", speedup);
+    return 0;
+  }
+  bench::header("Ablation",
+                "runtime backends: host event loop vs device-initiated");
+  bench::row({"backend", "local_halfroundtrip_us", "remote_halfroundtrip_us"});
+  bench::row({"host_loop (paper SIII-A)", bench::fmt(host_local, "%.2f"),
+              bench::fmt(host_remote, "%.2f")});
+  bench::row({"device_initiated (paper SIII-D)", bench::fmt(dev_local, "%.2f"),
+              bench::fmt(dev_remote, "%.2f")});
+  std::printf("# notified-put speedup from hardware support: %.1fx local, "
+              "%.1fx remote\n", speedup, host_remote / dev_remote);
   return 0;
 }

@@ -48,6 +48,22 @@ inline sim::MachineConfig machine(int nodes) {
   prob("DCUDA_FAULT_CORRUPT", &cfg.fault.corrupt_prob);
   prob("DCUDA_FAULT_DELAY", &cfg.fault.delay_prob);
   prob("DCUDA_FAULT_LINKDOWN", &cfg.fault.link_down_prob);
+  // DCUDA_BACKEND=host|device selects the runtime backend (docs/BACKENDS.md)
+  // for every benchmark: host (default, also host_loop/0) is the paper's
+  // host event loop; device (also device_initiated/1) is the GPU/NIC-
+  // initiated backend. docs/FIGURES.md lists the dual-mode run lines.
+  if (const char* s = std::getenv("DCUDA_BACKEND")) {
+    const std::string v = s;
+    if (v == "device" || v == "device_initiated" || v == "1") {
+      cfg.backend = sim::RuntimeBackend::kDeviceInitiated;
+    } else if (v == "host" || v == "host_loop" || v == "0" || v.empty()) {
+      cfg.backend = sim::RuntimeBackend::kHostLoop;
+    } else {
+      std::fprintf(stderr, "error: unknown DCUDA_BACKEND '%s' "
+                   "(use host or device)\n", s);
+      std::exit(2);
+    }
+  }
   return cfg;
 }
 

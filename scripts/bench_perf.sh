@@ -11,6 +11,11 @@
 # to the engine one as BENCH_comm.json, failing if the small-message
 # speedup drops below the 1.5x acceptance bar (docs/PERF.md).
 #
+# And runs bench/ablation_local_notify --json (notified-put ping-pong
+# latency, host-loop vs device-initiated backend, docs/BACKENDS.md) and
+# writes BENCH_backend.json, failing if the device-initiated backend's
+# local notified-put latency improvement drops below 3x.
+#
 # Usage: scripts/bench_perf.sh [build-dir] [out.json] [baseline.json]
 #   build-dir     defaults to ./build
 #   out.json      defaults to ./BENCH_engine.json (comm record goes to
@@ -83,4 +88,22 @@ if [ -x "$BUILD/bench/micro_comm" ]; then
   echo "   small-message speedup ${speedup}x (bar: 1.5x)" >&2
 else
   echo "warning: $BUILD/bench/micro_comm not built, skipping BENCH_comm.json" >&2
+fi
+
+# -- Runtime-backend record (simulated time, deterministic) ----------------
+BACKEND_OUT="$(dirname "$OUT")/BENCH_backend.json"
+if [ -x "$BUILD/bench/ablation_local_notify" ]; then
+  echo "== ablation_local_notify (host-loop vs device-initiated backend) ==" >&2
+  backend_json="$("$BUILD/bench/ablation_local_notify" --json)"
+  printf '%s\n' "$backend_json" > "$BACKEND_OUT"
+  echo "wrote $BACKEND_OUT" >&2
+  bspeed="$(jq -r '.speedup' <<< "$backend_json")"
+  ok="$(awk -v s="$bspeed" 'BEGIN { print (s >= 3.0) ? 1 : 0 }')"
+  if [ "$ok" -ne 1 ]; then
+    echo "FAIL: device-initiated notified-put speedup $bspeed < 3x" >&2
+    exit 1
+  fi
+  echo "   notified-put speedup ${bspeed}x (bar: 3x)" >&2
+else
+  echo "warning: $BUILD/bench/ablation_local_notify not built, skipping BENCH_backend.json" >&2
 fi

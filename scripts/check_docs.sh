@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Docs/benchmark consistency check: every figure and ablation benchmark in
-# bench/ must have a "bench/<name>" entry in docs/FIGURES.md. Runs as a
-# tier-1 test (see tests/CMakeLists.txt); run manually from the repo root:
-#   scripts/check_docs.sh [repo-root]
+# Docs consistency checks (tier-1, see tests/CMakeLists.txt):
+#  1. every figure/ablation/micro benchmark in bench/ has a "bench/<name>"
+#     entry in docs/FIGURES.md;
+#  2. every sim::MachineConfig field (src/sim/config.h) is documented in
+#     docs/API.md;
+#  3. every DCUDA_* environment variable referenced by sources or scripts
+#     is documented somewhere under docs/ (or README/EXPERIMENTS/ROADMAP).
+# Run manually from the repo root: scripts/check_docs.sh [repo-root]
 set -euo pipefail
 
 ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 FIGURES="$ROOT/docs/FIGURES.md"
+API="$ROOT/docs/API.md"
+CONFIG="$ROOT/src/sim/config.h"
 
 if [ ! -f "$FIGURES" ]; then
   echo "FAIL: $FIGURES does not exist" >&2
@@ -24,10 +30,50 @@ for src in "$ROOT"/bench/fig*.cpp "$ROOT"/bench/ablation_*.cpp \
   fi
 done
 
+# -- MachineConfig field coverage (config/docs drift) ----------------------
+# Field names are the identifiers of member declarations inside
+# `struct MachineConfig { ... };` (comments and member functions excluded).
+if [ ! -f "$API" ] || [ ! -f "$CONFIG" ]; then
+  echo "FAIL: docs/API.md or src/sim/config.h missing" >&2
+  exit 1
+fi
+fields="$(awk '/^struct MachineConfig \{/,/^\};/' "$CONFIG" \
+  | sed 's://.*::' \
+  | grep -E '^[[:space:]]+[A-Za-z_][A-Za-z0-9_:<>]*[[:space:]]+[a-z_][a-z0-9_]*([[:space:]]*=.*)?;' \
+  | sed -E 's/.*[[:space:]]([a-z_][a-z0-9_]*)([[:space:]]*=.*)?;.*/\1/' \
+  | grep -vE '^return$' | sort -u)"
+if [ -z "$fields" ]; then
+  echo "FAIL: could not parse MachineConfig fields from $CONFIG" >&2
+  exit 1
+fi
+for f in $fields; do
+  if ! grep -qw "$f" "$API"; then
+    echo "FAIL: MachineConfig field '$f' is not documented in docs/API.md" >&2
+    missing=$((missing + 1))
+  fi
+done
+
+# -- DCUDA_* environment variable coverage ---------------------------------
+# Sources reference env vars as string literals ("DCUDA_FAULT_DROP"),
+# scripts by name; each must be documented in the markdown set below.
+env_vars="$( (grep -rhoE '"DCUDA_[A-Z0-9_]+"' \
+                "$ROOT/src" "$ROOT/tests" "$ROOT/bench" 2>/dev/null \
+                | tr -d '"';
+              grep -rhoE 'DCUDA_[A-Z0-9_]+' "$ROOT/scripts" 2>/dev/null) \
+             | sort -u)"
+doc_files=("$ROOT"/docs/*.md "$ROOT/README.md" "$ROOT/EXPERIMENTS.md" \
+           "$ROOT/ROADMAP.md")
+for v in $env_vars; do
+  if ! grep -qw "$v" "${doc_files[@]}" 2>/dev/null; then
+    echo "FAIL: env var '$v' is not documented (docs/, README, EXPERIMENTS)" >&2
+    missing=$((missing + 1))
+  fi
+done
+
 if [ "$missing" -ne 0 ]; then
-  echo "docs check failed: $missing undocumented benchmark(s)" >&2
-  echo "add the missing stories to docs/FIGURES.md" >&2
+  echo "docs check failed: $missing undocumented item(s)" >&2
+  echo "update docs/FIGURES.md, docs/API.md, or the env-var docs" >&2
   exit 1
 fi
 
-echo "docs check passed: every benchmark is documented in docs/FIGURES.md"
+echo "docs check passed: benchmarks, MachineConfig fields, and DCUDA_* env vars are documented"

@@ -6,6 +6,13 @@ namespace dcuda {
 
 Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
     : cfg_(cfg), rpd_(ranks_per_device), host_ranks_(host_ranks) {
+  // Backend normalization (docs/BACKENDS.md): device-initiated runs deliver
+  // device-local notifications on the device by definition — the legacy
+  // ablation knob must not re-route them through a host loop the backend no
+  // longer runs. Normalized here, before the runtimes copy the config.
+  if (cfg_.device_initiated()) {
+    cfg_.runtime.local_notifications_via_host = false;
+  }
   // Install the perturbation before any component spawns daemons, so every
   // event of the run — including runtime startup — draws from the seeded
   // streams. Fault injection needs the kFault stream even with perturb_seed

@@ -101,22 +101,35 @@ sim::Proc<void> issue_rma(Context& ctx, rt::CmdKind kind, Window win,
       co_return;
     }
     c.local_already_copied = true;
-    if (!node.config().runtime.local_notifications_via_host) {
-      // Ablation path: deliver the notification on the device, skipping the
-      // host loop-through the paper uses.
-      if (notify) {
-        rt::Notification n;
-        if (kind == rt::CmdKind::kPut) {
-          n.win_device_id = peer->win_device_id;
-          n.source = rs.global_rank;
-          n.tag = tag;
-          node.device_local_notify(target_local, n);
-        } else {
-          n.win_device_id = win.device_id;
-          n.source = target_rank;
-          n.tag = tag;
-          node.device_local_notify(ctx.device_rank, n);
+    if (node.config().device_initiated() ||
+        !node.config().runtime.local_notifications_via_host) {
+      // Device-side delivery (kDeviceInitiated backend and the
+      // local-notification ablation): the copy completed synchronously
+      // above, so the notification deposits straight onto the target's
+      // on-device board — no host loop-through and nothing left to flush.
+      rt::Notification n;
+      if (kind == rt::CmdKind::kPut) {
+        if (sim::InvariantObserver* obs = ctx.sim().invariant_observer();
+            obs != nullptr) {
+          // Issue, landing, and delivery coincide here; reporting all four
+          // keeps the data-before-notification and FIFO oracles closed over
+          // this backend's local path too.
+          obs->data_put_issued(rs.global_rank, target_rank);
+          obs->notify_put_ordered(rs.global_rank, target_rank, win.global_id,
+                                  bytes, tag);
+          obs->data_put_landed(rs.global_rank, target_rank);
+          obs->notify_put_delivered(rs.global_rank, target_rank, win.global_id,
+                                    bytes, tag);
         }
+        n.win_device_id = peer->win_device_id;
+        n.source = rs.global_rank;
+        n.tag = tag;
+        node.device_local_notify(target_local, n);
+      } else {
+        n.win_device_id = win.device_id;
+        n.source = target_rank;
+        n.tag = tag;
+        node.device_local_notify(ctx.device_rank, n);
       }
       end_span();
       co_return;
@@ -304,17 +317,20 @@ sim::Proc<void> wait_notifications(Context& ctx, std::int32_t win_filter, int so
   int matched = 0;
   const sim::Time begin = ctx.sim().now();
   while (matched < count) {
-    // Drain arrivals from the notification queue into the pending buffer.
-    while (auto n = rs.notif_q.try_dequeue()) rs.pending.push_back(*n);
+    // Drain arrivals from the notification queue onto the on-device board
+    // (direct deliveries — device-local or NIC board writes — are already
+    // there).
+    while (auto n = rs.notif_q.try_dequeue()) rs.board.deposit(*n);
     // Match in arrival order; mismatches stay (queue compression).
     int scanned = 0;
     const int matched_before = matched;
     sim::InvariantObserver* obs = ctx.sim().invariant_observer();
-    for (auto it = rs.pending.begin(); it != rs.pending.end() && matched < count;) {
+    auto& pending = rs.board.entries();
+    for (auto it = pending.begin(); it != pending.end() && matched < count;) {
       ++scanned;
       if (notification_matches(*it, win_filter, source, tag)) {
         if (obs != nullptr) obs->notification_matched();
-        it = rs.pending.erase(it);
+        it = pending.erase(it);
         ++matched;
       } else {
         ++it;
@@ -327,15 +343,15 @@ sim::Proc<void> wait_notifications(Context& ctx, std::int32_t win_filter, int so
                scanned - (matched - matched_before));
     }
     // The matcher is compute-heavy (§III-C/§IV-B): charge its cost to the SM.
-    const std::uint64_t epoch = rs.notify_epoch;
+    const std::uint64_t epoch = rs.board.epoch();
     if (rc.charge_matching_cost) {
       co_await ctx.charge_compute_time(rc.match_round_cost +
                                        static_cast<double>(scanned) * rc.match_entry_cost);
     }
     if (matched >= count) break;
     // Re-check for arrivals during the matching round: queue commits or
-    // direct device-local deliveries (would be a lost wake-up otherwise).
-    if (!rs.notif_q.empty() || rs.notify_epoch != epoch) continue;
+    // direct board deposits (would be a lost wake-up otherwise).
+    if (!rs.notif_q.empty() || rs.board.epoch() != epoch) continue;
     co_await rs.notif_q.nonempty_trigger().wait();
   }
   ctx.trace("wait", sim::Category::kWait, begin, ctx.sim().now());
@@ -345,15 +361,16 @@ sim::Proc<int> test_notifications(Context& ctx, std::int32_t win_filter, int sou
                                   int tag, int count) {
   rt::RankState& rs = *ctx.rs;
   const sim::RuntimeConfig& rc = ctx.node->config().runtime;
-  while (auto n = rs.notif_q.try_dequeue()) rs.pending.push_back(*n);
+  while (auto n = rs.notif_q.try_dequeue()) rs.board.deposit(*n);
   int matched = 0;
   int scanned = 0;
   sim::InvariantObserver* obs = ctx.sim().invariant_observer();
-  for (auto it = rs.pending.begin(); it != rs.pending.end() && matched < count;) {
+  auto& pending = rs.board.entries();
+  for (auto it = pending.begin(); it != pending.end() && matched < count;) {
     ++scanned;
     if (notification_matches(*it, win_filter, source, tag)) {
       if (obs != nullptr) obs->notification_matched();
-      it = rs.pending.erase(it);
+      it = pending.erase(it);
       ++matched;
     } else {
       ++it;

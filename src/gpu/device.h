@@ -78,6 +78,32 @@ class BlockCtx {
 
 using Kernel = std::function<sim::Proc<void>(BlockCtx&)>;
 
+// Device-resident mailbox (the per-rank on-device notification board of the
+// kDeviceInitiated backend, docs/BACKENDS.md). Entries are deposited by
+// whoever can write device memory — a peer block in the same address space,
+// or the NIC through a GPUDirect-style posted PCIe write — and scanned in
+// arrival order by the owning block's matcher. `epoch` counts total
+// deposits, so a matcher that suspended mid-round can detect arrivals that
+// bypassed the host→device queue (a lost wake-up otherwise). The board has
+// no credit protocol: deposits are posted writes into device memory, not
+// entries of a flow-controlled circular queue.
+template <typename Entry>
+class DeviceBoard {
+ public:
+  void deposit(Entry e) {
+    entries_.push_back(std::move(e));
+    ++epoch_;
+  }
+  std::deque<Entry>& entries() { return entries_; }
+  const std::deque<Entry>& entries() const { return entries_; }
+  std::uint64_t epoch() const { return epoch_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::deque<Entry> entries_;
+  std::uint64_t epoch_ = 0;
+};
+
 class Device {
  public:
   Device(sim::Simulation& s, int node_id, const sim::DeviceConfig& cfg,

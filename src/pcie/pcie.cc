@@ -41,6 +41,26 @@ sim::Proc<void> PcieLink::post_write(Dir d, double bytes,
   co_await sim_.delay(cfg_.post_cost);
 }
 
+sim::Proc<void> PcieLink::doorbell(Dir d, double bytes,
+                                   std::function<void()> on_ring) {
+  ++doorbells_;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // The doorbell span covers flight time: issue to ring at the NIC. The
+    // PCIe lane occupancy itself is traced by serialize() like any write.
+    sim::Tracer* tr = tracer_;
+    const std::int32_t node = trace_node_;
+    const sim::Time begin = sim_.now();
+    sim::Simulation* s = &sim_;
+    on_ring = [tr, node, begin, s, bytes, inner = std::move(on_ring)] {
+      tr->record(sim::TraceSpan{begin, s->now(), node, sim::kNicLane,
+                                "doorbell", sim::Category::kQueue, bytes});
+      tr->bump("doorbell_rings");
+      inner();
+    };
+  }
+  co_await post_write(d, bytes, std::move(on_ring));
+}
+
 sim::Proc<void> PcieLink::mapped_read(Dir d, double bytes) {
   const sim::Time done = serialize(d, bytes);
   // Request flight + data serialization + response flight. A non-posted

@@ -36,6 +36,15 @@ class PcieLink {
   // the far side after serialization + txn latency, in issue order.
   sim::Proc<void> post_write(Dir d, double bytes, std::function<void()> on_visible);
 
+  // Device→NIC doorbell (RuntimeBackend::kDeviceInitiated): a posted mapped
+  // write of a command descriptor that rings the NIC's command processor.
+  // Timing and ordering are exactly post_write — doorbells share the lane's
+  // in-order visibility clamp with every other posted write — but the
+  // transaction is counted and traced separately ("doorbell" spans on the
+  // NIC lane, docs/OBSERVABILITY.md) so --trace output distinguishes
+  // doorbell rings from generic queue writes.
+  sim::Proc<void> doorbell(Dir d, double bytes, std::function<void()> on_ring);
+
   // Blocking mapped read of `bytes` flowing in direction `d` (the direction
   // the *data* travels); round-trip latency.
   sim::Proc<void> mapped_read(Dir d, double bytes);
@@ -52,6 +61,7 @@ class PcieLink {
 
   // Statistics (ablation_queue counts transactions per enqueue).
   std::uint64_t transactions(Dir d) const { return lane(d).txns; }
+  std::uint64_t doorbells() const { return doorbells_; }
   double bytes_transferred(Dir d) const { return lane(d).bytes; }
   const sim::PcieConfig& config() const { return cfg_; }
 
@@ -80,6 +90,7 @@ class PcieLink {
   sim::Tracer* tracer_ = nullptr;
   std::int32_t trace_node_ = -1;
   Lane lanes_[2];
+  std::uint64_t doorbells_ = 0;
 };
 
 }  // namespace dcuda::pcie

@@ -33,12 +33,25 @@ queue::Transport NodeRuntime::pcie_transport(pcie::Dir write_dir) {
   return t;
 }
 
+queue::Transport NodeRuntime::doorbell_transport() {
+  queue::Transport t;
+  pcie::PcieLink* link = &pcie_;
+  t.write = [link](double bytes, std::function<void()> commit) -> sim::Proc<void> {
+    co_await link->doorbell(pcie::Dir::kDeviceToHost, bytes, std::move(commit));
+  };
+  t.read_tail = [link](double bytes) -> sim::Proc<void> {
+    co_await link->mapped_read(pcie::Dir::kHostToDevice, bytes);
+  };
+  return t;
+}
+
 NodeRuntime::NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep,
                          pcie::PcieLink& pcie, net::Fabric& fabric,
                          const sim::MachineConfig& cfg, int ranks_per_device,
                          int host_ranks)
     : sim_(s), dev_(dev), ep_(ep), pcie_(pcie), fabric_(fabric), cfg_(cfg),
-      rpd_(ranks_per_device), host_ranks_(host_ranks), host_cpu_(s, 1) {
+      rpd_(ranks_per_device), host_ranks_(host_ranks), host_cpu_(s, 1),
+      nic_proc_(s, 1) {
   host_compute_ = std::make_unique<sim::SharedResource>(
       s, cfg.host.flops, cfg.host.flops / cfg.host.threads_to_saturate);
   host_memory_ = std::make_unique<sim::SharedResource>(
@@ -48,11 +61,15 @@ NodeRuntime::NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep
   ranks_.reserve(static_cast<size_t>(rpn));
   for (int r = 0; r < rpn; ++r) {
     // Device-rank queues cross PCIe; host-rank queues live entirely in host
-    // memory (local transport).
+    // memory (local transport). Under kDeviceInitiated a device rank's
+    // command writes ring the NIC doorbell instead of landing in host
+    // memory — same posted-write timing, separately traced.
     const bool host = is_host_rank(r);
     ranks_.push_back(std::make_unique<RankState>(
         s, node() * rpn + r, r,
-        host ? queue::local_transport(s) : pcie_transport(pcie::Dir::kDeviceToHost),
+        host ? queue::local_transport(s)
+             : (device_initiated() ? doorbell_transport()
+                                   : pcie_transport(pcie::Dir::kDeviceToHost)),
         host ? queue::local_transport(s) : pcie_transport(pcie::Dir::kHostToDevice),
         host ? queue::local_transport(s) : pcie_transport(pcie::Dir::kHostToDevice),
         cfg.runtime));
@@ -91,11 +108,10 @@ const NodeRuntime::WinRankInfo* NodeRuntime::window_peer(std::int32_t global_id,
 
 void NodeRuntime::device_local_notify(int target_local_rank, Notification n) {
   if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
-    obs->notification_delivered();
+    obs->notification_delivered(/*via_board=*/true);
   }
   RankState& rs = rank(target_local_rank);
-  rs.pending.push_back(n);
-  ++rs.notify_epoch;
+  rs.board.deposit(n);
   rs.notif_q.nonempty_trigger().notify_all();
 }
 
@@ -105,15 +121,29 @@ sim::Proc<void> NodeRuntime::host_dispatch_cost() {
   host_cpu_.release();
 }
 
+sim::Proc<void> NodeRuntime::dispatch_cost(bool host_path) {
+  if (device_initiated() && !host_path) {
+    // NIC command processor: FIFO like the host worker (concurrent ships to
+    // one target must hit the wire in order), but cheaper per item and not
+    // shared with any host-side work.
+    co_await nic_proc_.acquire();
+    co_await sim_.delay(cfg_.runtime.nic_dispatch_cost);
+    nic_proc_.release();
+  } else {
+    co_await host_dispatch_cost();
+  }
+}
+
 sim::Proc<void> NodeRuntime::command_loop(int local_rank) {
   RankState& rs = rank(local_rank);
   // One name for every command processor of this rank — built once, not per
   // dispatched command (the loop runs once per device-side operation).
   const std::string proc_name =
       "cmd@" + std::to_string(node()) + "/" + std::to_string(local_rank);
+  const bool host_path = is_host_rank(local_rank);
   for (;;) {
     Command c = co_await rs.cmd_q.dequeue();
-    co_await host_dispatch_cost();
+    co_await dispatch_cost(host_path);
     sim_.spawn(process_command(local_rank, c), proc_name);
   }
 }
@@ -122,8 +152,11 @@ sim::Proc<void> NodeRuntime::process_command(int local_rank, Command c) {
   // Round-robin queue polling: the command sits until the worker's sweep
   // reaches this rank. Spawned per command, so discovery latency pipelines
   // across commands while per-rank processing order is preserved (spawn
-  // order == resume order).
-  co_await sim_.delay(cfg_.runtime.host_wakeup_latency);
+  // order == resume order). The NIC backend skips the sweep entirely —
+  // doorbells are interrupt-driven (host ranks keep the host worker).
+  if (!device_initiated() || is_host_rank(local_rank)) {
+    co_await sim_.delay(cfg_.runtime.host_wakeup_latency);
+  }
   switch (c.kind) {
     case CmdKind::kWinCreate:
       co_await handle_win_create(local_rank, c);
@@ -406,7 +439,7 @@ sim::Proc<void> NodeRuntime::meta_loop() {
     if (cfg_.rma.eager_enabled() && m.kind == CmdKind::kPut) {
       rdv_seq = ++rdv_meta_seen_[m.origin_rank];
     }
-    co_await host_dispatch_cost();
+    co_await dispatch_cost();
     sim_.spawn(handle_meta(m, rdv_seq), proc_name);
   }
 }
@@ -558,10 +591,10 @@ NodeRuntime::StagedEager NodeRuntime::stage_eager(int target_node) {
 
 sim::Proc<void> NodeRuntime::ship_eager(StagedEager s) {
   EagerBatch b = std::move(s.batch);
-  // One host-side send call per batch (the reference path pays two MPI
-  // calls per put). host_cpu_ is FIFO, so concurrent ships to the same
-  // target hit the wire in batch_seq order.
-  co_await host_dispatch_cost();
+  // One send call per batch (the reference path pays two MPI calls per
+  // put). The dispatch resource — host worker or NIC processor — is FIFO,
+  // so concurrent ships to the same target hit the wire in batch_seq order.
+  co_await dispatch_cost();
 
   if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
     obs->eager_batch_flushed(node(), s.target_node, b.batch_seq,
@@ -594,7 +627,7 @@ sim::Proc<void> NodeRuntime::eager_loop() {
   for (;;) {
     net::Packet p = co_await fabric_.rx(node(), net::kRuntimeChannel).pop();
     EagerBatch b = std::any_cast<EagerBatch>(std::move(p.payload));
-    co_await host_dispatch_cost();
+    co_await dispatch_cost();
     // Processed inline, not spawned: two in-flight batch handlers blocked
     // on a full notification queue could resume out of order and break the
     // FIFO delivery the oracle (and put_2d_notify) relies on.
@@ -678,6 +711,12 @@ void NodeRuntime::mark_rdv_landed(int origin_rank, std::uint64_t seq) {
 }
 
 sim::Proc<void> NodeRuntime::push_notification(int local_rank, Notification n) {
+  if (device_initiated() && !is_host_rank(local_rank)) {
+    std::vector<Notification> ns;
+    ns.push_back(n);
+    co_await board_deliver(local_rank, std::move(ns));
+    co_return;
+  }
   if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
     obs->notification_delivered();
   }
@@ -696,6 +735,10 @@ sim::Proc<void> NodeRuntime::push_notification(int local_rank, Notification n) {
 sim::Proc<void> NodeRuntime::push_notification_batch(
     int local_rank, std::vector<Notification> ns) {
   assert(!ns.empty());
+  if (device_initiated() && !is_host_rank(local_rank)) {
+    co_await board_deliver(local_rank, std::move(ns));
+    co_return;
+  }
   if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
     for (std::size_t i = 0; i < ns.size(); ++i) obs->notification_delivered();
   }
@@ -710,6 +753,40 @@ sim::Proc<void> NodeRuntime::push_notification_batch(
   tr->record(sim::TraceSpan{begin, sim_.now(), node(), sim::kRuntimeLane,
                             "notify", sim::Category::kNotify, 0.0});
   tr->bump("notifications_delivered", n);
+}
+
+sim::Proc<void> NodeRuntime::board_deliver(int local_rank,
+                                           std::vector<Notification> ns) {
+  assert(device_initiated() && !is_host_rank(local_rank));
+  assert(!ns.empty());
+  if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      obs->notification_delivered(/*via_board=*/true);
+    }
+  }
+  const double n = static_cast<double>(ns.size());
+  const double bytes = n * static_cast<double>(sizeof(Notification));
+  // The records deposit at posted-write visibility; H2D posted writes commit
+  // in issue order, sharing the ordering clamp with the flush-counter
+  // writes, so board arrivals keep the notif_q's FIFO delivery guarantee.
+  RankState* rs = &rank(local_rank);
+  auto payload = std::make_shared<std::vector<Notification>>(std::move(ns));
+  sim::Tracer* tr = dev_.tracer();
+  const bool traced = tr != nullptr && tr->enabled();
+  const sim::Time begin = sim_.now();
+  sim::Simulation* s = &sim_;
+  const std::int32_t trace_node = node();
+  auto commit = [rs, payload, tr, traced, begin, s, trace_node, n, bytes] {
+    for (const Notification& rec : *payload) rs->board.deposit(rec);
+    rs->notif_q.nonempty_trigger().notify_all();
+    if (traced) {
+      tr->record(sim::TraceSpan{begin, s->now(), trace_node, sim::kNicLane,
+                                "board_notify", sim::Category::kNotify, bytes});
+      tr->bump("board_notifications", n);
+      tr->bump("notifications_delivered", n);
+    }
+  };
+  co_await pcie_.post_write(pcie::Dir::kHostToDevice, bytes, std::move(commit));
 }
 
 sim::Proc<void> NodeRuntime::complete_flush(RankState& rs, std::uint64_t id,

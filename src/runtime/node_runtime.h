@@ -73,10 +73,12 @@ struct RankState {
   // Device-side library state (device memory, owned by the rank's block).
   std::uint64_t next_flush_id = 0;
   std::int32_t next_win_device_id = 0;
-  std::deque<Notification> pending;  // dequeued but unmatched notifications
-  // Bumped on direct (device-local) notification delivery so matchers can
-  // detect arrivals that bypass the queue.
-  std::uint64_t notify_epoch = 0;
+  // On-device notification board: dequeued-but-unmatched notifications in
+  // both backends, and additionally the direct delivery target of the
+  // kDeviceInitiated backend (NIC→device posted writes and device-local
+  // puts deposit here, bypassing notif_q). Its epoch lets matchers detect
+  // arrivals that bypassed the queue.
+  gpu::DeviceBoard<Notification> board;
 
   // Host-side block manager state.
   std::unordered_map<std::int32_t, std::int32_t> win_translate;  // device->global
@@ -116,6 +118,7 @@ class NodeRuntime {
 
   RankState& rank(int local_rank) { return *ranks_[static_cast<size_t>(local_rank)]; }
   bool is_host_rank(int local_rank) const { return local_rank >= rpd_; }
+  bool device_initiated() const { return cfg_.device_initiated(); }
 
   // Host-rank processor resources (shared by the node's host ranks).
   sim::SharedResource& host_compute() { return *host_compute_; }
@@ -135,8 +138,10 @@ class NodeRuntime {
   queue::CircularQueue<LogEntry>& log_queue() { return *log_q_; }
   const std::vector<std::string>& log_lines() const { return log_lines_; }
 
-  // Ablation hook: direct device-side notification delivery (bypasses the
-  // host loop the paper uses; see RuntimeConfig::local_notifications_via_host).
+  // Direct device-side notification delivery: deposits on the target rank's
+  // on-device board, bypassing the host loop the paper uses. Used by the
+  // kDeviceInitiated backend for every device-local notified access and by
+  // the RuntimeConfig::local_notifications_via_host ablation.
   void device_local_notify(int target_local_rank, Notification n);
 
  private:
@@ -188,6 +193,12 @@ class NodeRuntime {
   sim::Proc<void> log_loop();
   sim::Proc<void> eager_loop();
   sim::Proc<void> host_dispatch_cost();
+  // Backend-routed dispatch: the host worker (dispatch_cost, shared
+  // host_cpu_ slot) under kHostLoop, the NIC command processor
+  // (nic_dispatch_cost, nic_proc_) under kDeviceInitiated. Host-rank
+  // commands always take the host worker — host ranks run on the CPU and
+  // their runtime agent stays the host loop in both backends.
+  sim::Proc<void> dispatch_cost(bool host_path = false);
 
   sim::Proc<void> process_command(int local_rank, Command c);
   sim::Proc<void> handle_win_create(int local_rank, Command c);
@@ -210,12 +221,20 @@ class NodeRuntime {
   // device through a single enqueue_batch commit.
   sim::Proc<void> push_notification_batch(int local_rank,
                                           std::vector<Notification> ns);
+  // kDeviceInitiated delivery for device ranks: the NIC writes the
+  // notification records straight into the rank's on-device board with one
+  // posted PCIe write — no host queue bookkeeping, no credits.
+  sim::Proc<void> board_deliver(int local_rank, std::vector<Notification> ns);
   // Marks flush id `id` complete for the rank and propagates the contiguous
   // frontier to device memory.
   sim::Proc<void> complete_flush(RankState& rs, std::uint64_t id,
                                  std::int32_t win_device_id);
 
   queue::Transport pcie_transport(pcie::Dir write_dir);
+  // Command-queue transport of the kDeviceInitiated backend: entry writes
+  // ring the NIC doorbell (pcie::PcieLink::doorbell) instead of landing in
+  // host memory. Same posted-write timing and ordering as pcie_transport.
+  queue::Transport doorbell_transport();
 
   sim::Simulation& sim_;
   gpu::Device& dev_;
@@ -227,6 +246,7 @@ class NodeRuntime {
   int host_ranks_;
 
   sim::FifoResource host_cpu_;  // single runtime worker thread per device
+  sim::FifoResource nic_proc_;  // NIC command processor (kDeviceInitiated)
   std::unique_ptr<sim::SharedResource> host_compute_;
   std::unique_ptr<sim::SharedResource> host_memory_;
   std::vector<std::unique_ptr<RankState>> ranks_;

@@ -72,6 +72,22 @@ struct MpiConfig {
   Dur call_overhead = micros(0.25);
 };
 
+// Which processor runs the notified-access runtime (docs/BACKENDS.md).
+enum class RuntimeBackend : std::int32_t {
+  // Paper-faithful (§III): a host event handler drains the device→host
+  // command queues, drives all MPI activity, and loops notifications
+  // through host memory. The reference backend — all golden traces and
+  // calibration numbers assume it.
+  kHostLoop = 0,
+  // Hardware-supported outlook (§III-D, ROADMAP item 3): commands ring a
+  // device→NIC doorbell (pcie::PcieLink::doorbell), the NIC processes them
+  // without the host worker's round-robin wakeup, and notifications land on
+  // a device-resident notification board (gpu::DeviceBoard) via direct
+  // NIC→device posted writes. Same wire protocol, fabric channels, and
+  // go-back-N/FIFO guarantees as kHostLoop.
+  kDeviceInitiated = 1,
+};
+
 struct RuntimeConfig {
   // Host event-handler cost to dispatch one queue item / command.
   Dur dispatch_cost = micros(0.15);
@@ -95,6 +111,11 @@ struct RuntimeConfig {
   // Poll interval of the device library while waiting for notifications
   // (amortized cost of re-reading the queue head).
   Dur notify_poll_cost = micros(0.1);
+  // RuntimeBackend::kDeviceInitiated only: NIC command-processor cost per
+  // doorbell'd command / received meta. Replaces dispatch_cost, and the
+  // round-robin host_wakeup_latency disappears entirely — doorbells are
+  // interrupt-driven, not discovered by a polling sweep.
+  Dur nic_dispatch_cost = micros(0.05);
   // When true (paper's design, §III-A) notifications of device-local puts
   // are looped through the host; when false they are delivered directly on
   // the device (ablation_local_notify).
@@ -146,6 +167,15 @@ struct MachineConfig {
   MpiConfig mpi;
   RuntimeConfig runtime;
   RmaConfig rma;
+  // Runtime backend selection (docs/BACKENDS.md). The default host-loop
+  // backend keeps the event schedule byte-identical to the historical
+  // reference; kDeviceInitiated reroutes command dispatch and notification
+  // delivery through the NIC/device paths above.
+  RuntimeBackend backend = RuntimeBackend::kHostLoop;
+
+  bool device_initiated() const {
+    return backend == RuntimeBackend::kDeviceInitiated;
+  }
   // Lossy-fabric fault injection (net/fault.h): all probabilities zero by
   // default, which keeps the fabric on its historical perfectly-reliable
   // code path (wire format and event schedule byte-identical). Any nonzero
@@ -162,6 +192,11 @@ struct MachineConfig {
   std::uint64_t perturb_seed = 0;
   std::uint32_t perturb_classes = 0xffffffffu;
 };
+
+inline const char* backend_name(RuntimeBackend b) {
+  return b == RuntimeBackend::kDeviceInitiated ? "device_initiated"
+                                               : "host_loop";
+}
 
 inline MachineConfig machine_config(int num_nodes) {
   MachineConfig m;

@@ -198,7 +198,10 @@ void InvariantObserver::eager_batch_delivered(int origin_node, int target_node,
   }
 }
 
-void InvariantObserver::notification_delivered() { ++delivered_; }
+void InvariantObserver::notification_delivered(bool via_board) {
+  ++delivered_;
+  if (via_board) ++board_delivered_;
+}
 
 void InvariantObserver::notification_matched() {
   ++matched_;

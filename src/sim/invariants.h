@@ -116,8 +116,14 @@ class InvariantObserver {
   void eager_batch_delivered(int origin_node, int target_node,
                              std::uint64_t batch_seq, int records);
 
-  // Any notification delivered (puts, gets, device-local ablation path).
-  void notification_delivered();
+  // Any notification delivered. `via_board` distinguishes the device-resident
+  // notification board (RuntimeBackend::kDeviceInitiated NIC→device posted
+  // writes and the device-local delivery path) from the host→device
+  // notification queue. Conservation — every notify_sent delivered exactly
+  // once, every match consuming a delivery — holds over the sum; the
+  // per-channel counts let backend tests assert which path carried them
+  // (host-loop runs must report zero board deliveries for remote puts).
+  void notification_delivered(bool via_board = false);
 
   // dcuda.cc wait/test_notifications: one pending notification matched.
   void notification_matched();
@@ -146,6 +152,7 @@ class InvariantObserver {
 
   std::uint64_t notifications_sent() const { return sent_; }
   std::uint64_t notifications_delivered() const { return delivered_; }
+  std::uint64_t notifications_board_delivered() const { return board_delivered_; }
   std::uint64_t notifications_matched() const { return matched_; }
   std::uint64_t checks_performed() const { return checks_; }
 
@@ -195,6 +202,7 @@ class InvariantObserver {
 
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t board_delivered_ = 0;  // subset of delivered_
   std::uint64_t matched_ = 0;
   std::uint64_t checks_ = 0;
 

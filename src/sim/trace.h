@@ -77,6 +77,8 @@ inline constexpr std::int32_t kFabricLane = 2000;        // NIC transmit
 inline constexpr std::int32_t kPcieLaneH2D = 2100;       // PCIe host->device
 inline constexpr std::int32_t kPcieLaneD2H = 2101;       // PCIe device->host
 inline constexpr std::int32_t kRuntimeLane = 2200;       // host event handler
+inline constexpr std::int32_t kNicLane = 2300;  // NIC command processor
+                                                // (kDeviceInitiated backend)
 
 struct TraceSpan {
   Time begin = 0.0;

@@ -48,6 +48,7 @@ std::string lane_name(std::int32_t lane) {
   if (lane == kPcieLaneH2D) return "pcie h2d";
   if (lane == kPcieLaneD2H) return "pcie d2h";
   if (lane == kRuntimeLane) return "runtime";
+  if (lane == kNicLane) return "nic";
   if (lane >= kHostRankLaneBase && lane < kFabricLane) {
     return "host rank " + std::to_string(lane - kHostRankLaneBase);
   }

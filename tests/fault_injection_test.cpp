@@ -411,6 +411,11 @@ sim::MachineConfig faulty_machine(int nodes, std::uint64_t seed, double drop) {
   m.fault.corrupt_prob = drop / 4.0;
   m.fault.delay_prob = drop / 2.0;
   if (seed % 2 == 1) m.fault.link_down_prob = drop / 50.0;
+  // Backend lane (docs/BACKENDS.md): alternate seeds drive the lossy fabric
+  // from the device-initiated backend, proving go-back-N recovery does not
+  // depend on the host event loop. Bit 1 keeps the lane independent of the
+  // link-down selector above.
+  if ((seed >> 1) & 1) m.backend = sim::RuntimeBackend::kDeviceInitiated;
   return m;
 }
 

@@ -1,9 +1,16 @@
 // Tests for host-runtime internals: flush-id tracking, window registries,
-// queue plumbing, command ordering, and mixed collectives.
+// queue plumbing, command ordering, mixed collectives, and host-loop vs
+// device-initiated backend parity (docs/BACKENDS.md).
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "apps/particles.h"
+#include "apps/spmv.h"
+#include "apps/stencil.h"
 #include "cluster/cluster.h"
+#include "sim/invariants.h"
 #include "sim/units.h"
 
 namespace dcuda {
@@ -315,6 +322,164 @@ TEST(RuntimeGet, ConcurrentGetsFromManyRanks) {
       EXPECT_EQ(mine[0], 1000 + ctx.device_rank * 16);
       EXPECT_EQ(mine[15], 1000 + ctx.device_rank * 16 + 15);
     }
+    co_await barrier(ctx, kCommWorld);
+    co_await win_free(ctx, w);
+  });
+}
+
+// -- Runtime-backend parity (docs/BACKENDS.md) -------------------------
+//
+// The device-initiated backend moves command dispatch to the NIC and
+// notification delivery to the on-device board, but the wire protocol and
+// ordering guarantees are shared with the host loop — so every application
+// must reach the same final state under both backends, with all invariant
+// oracles clean.
+
+constexpr sim::RuntimeBackend kBothBackends[] = {
+    sim::RuntimeBackend::kHostLoop, sim::RuntimeBackend::kDeviceInitiated};
+
+sim::MachineConfig backend_machine(int nodes, sim::RuntimeBackend b) {
+  sim::MachineConfig m = machine(nodes);
+  m.backend = b;
+  return m;
+}
+
+TEST(RuntimeBackendParity, StencilChecksumMatchesReference) {
+  apps::stencil::Config cfg;
+  cfg.isize = 16;
+  cfg.jlocal = 2;
+  cfg.ksize = 3;
+  cfg.iterations = 4;
+  const double want = apps::stencil::reference_checksum(cfg, 2, 4);
+  for (sim::RuntimeBackend b : kBothBackends) {
+    Cluster c(backend_machine(2, b), 4);
+    sim::InvariantObserver obs;
+    c.sim().set_invariant_observer(&obs);
+    apps::stencil::Result res = apps::stencil::run_dcuda(c, cfg);
+    EXPECT_NEAR(res.checksum, want, 1e-9) << sim::backend_name(b);
+    obs.finalize();
+    EXPECT_TRUE(obs.violations().empty())
+        << sim::backend_name(b) << "\n" << obs.report();
+  }
+}
+
+TEST(RuntimeBackendParity, ParticlesConservedUnderBothBackends) {
+  apps::particles::Config cfg;
+  cfg.cells_per_node = 4;
+  cfg.particles_per_cell = 12;
+  cfg.iterations = 10;
+  cfg.dt = 0.02;
+  const apps::particles::Result ref = apps::particles::reference(cfg, 2);
+  for (sim::RuntimeBackend b : kBothBackends) {
+    Cluster c(backend_machine(2, b), 4);
+    sim::InvariantObserver obs;
+    c.sim().set_invariant_observer(&obs);
+    apps::particles::Result res = apps::particles::run_dcuda(c, cfg);
+    EXPECT_EQ(res.total_particles, ref.total_particles) << sim::backend_name(b);
+    EXPECT_NEAR(res.checksum, ref.checksum,
+                1e-9 * std::abs(ref.checksum) + 1e-9)
+        << sim::backend_name(b);
+    obs.finalize();
+    EXPECT_TRUE(obs.violations().empty())
+        << sim::backend_name(b) << "\n" << obs.report();
+  }
+}
+
+TEST(RuntimeBackendParity, SpmvChecksumMatchesReference) {
+  apps::spmv::Config cfg;
+  cfg.n_dev = 32;
+  cfg.density = 0.05;
+  cfg.iterations = 2;
+  const double want = apps::spmv::reference_checksum(cfg, 4);
+  for (sim::RuntimeBackend b : kBothBackends) {
+    Cluster c(backend_machine(4, b), 4);
+    sim::InvariantObserver obs;
+    c.sim().set_invariant_observer(&obs);
+    apps::spmv::Result res = apps::spmv::run_dcuda(c, cfg);
+    EXPECT_NEAR(res.checksum, want, 1e-9 * std::abs(want) + 1e-9)
+        << sim::backend_name(b);
+    obs.finalize();
+    EXPECT_TRUE(obs.violations().empty())
+        << sim::backend_name(b) << "\n" << obs.report();
+  }
+}
+
+TEST(RuntimeBackendParity, DeviceModeDeliversOnBoardOnly) {
+  // Under kDeviceInitiated every device-rank notification must arrive via
+  // the on-device board (no host round trip); under kHostLoop none may.
+  for (sim::RuntimeBackend b : kBothBackends) {
+    Cluster c(backend_machine(2, b), 2);
+    sim::InvariantObserver obs;
+    c.sim().set_invariant_observer(&obs);
+    auto mem = c.device(0).alloc<std::byte>(256);
+    auto mem2 = c.device(1).alloc<std::byte>(256);
+    c.run([&](Context& ctx) -> Proc<void> {
+      Window w = co_await win_create(ctx, kCommWorld,
+                                     ctx.node->node() == 0 ? mem : mem2);
+      const int peer = (ctx.world_rank + 2) % 4;  // cross-node pairs
+      co_await put_notify(ctx, w, peer, 0, 0, nullptr, /*tag=*/5);
+      co_await wait_notifications(ctx, w, peer, 5, 1);
+      co_await barrier(ctx, kCommWorld);
+      co_await win_free(ctx, w);
+    });
+    obs.finalize();
+    EXPECT_TRUE(obs.violations().empty()) << obs.report();
+    EXPECT_GE(obs.notifications_delivered(), 4u);
+    if (b == sim::RuntimeBackend::kDeviceInitiated) {
+      EXPECT_EQ(obs.notifications_board_delivered(),
+                obs.notifications_delivered());
+    } else {
+      EXPECT_EQ(obs.notifications_board_delivered(), 0u);
+    }
+  }
+}
+
+TEST(RuntimeBackendParity, DeviceModeCutsNotifiedPutLatency) {
+  // The backend's whole point: no host_wakeup_latency sweep, cheaper
+  // dispatch. A cross-node notified-put ping-pong must finish faster.
+  auto elapsed = [](sim::RuntimeBackend b) {
+    Cluster c(backend_machine(2, b), 1);
+    auto a = c.device(0).alloc<std::byte>(64);
+    auto z = c.device(1).alloc<std::byte>(64);
+    return c.run([&](Context& ctx) -> Proc<void> {
+      Window w = co_await win_create(ctx, kCommWorld,
+                                     ctx.world_rank == 0 ? a : z);
+      for (int i = 0; i < 8; ++i) {
+        if (ctx.world_rank == 0) {
+          co_await put_notify(ctx, w, 1, 0, 0, nullptr, 0);
+          co_await wait_notifications(ctx, w, 1, 0, 1);
+        } else {
+          co_await wait_notifications(ctx, w, 0, 0, 1);
+          co_await put_notify(ctx, w, 0, 0, 0, nullptr, 0);
+        }
+      }
+      co_await win_free(ctx, w);
+    });
+  };
+  EXPECT_LT(elapsed(sim::RuntimeBackend::kDeviceInitiated),
+            elapsed(sim::RuntimeBackend::kHostLoop));
+}
+
+TEST(RuntimeBackendParity, HostRanksStillWorkInDeviceMode) {
+  // Host ranks run on the CPU and keep the host-loop machinery even when
+  // the machine is device-initiated; mixed traffic must still match.
+  sim::MachineConfig m =
+      backend_machine(2, sim::RuntimeBackend::kDeviceInitiated);
+  Cluster c(m, /*ranks_per_device=*/1, /*host_ranks_per_node=*/1);
+  auto d0 = c.device(0).alloc<int>(16);
+  auto d1 = c.device(1).alloc<int>(16);
+  std::vector<std::vector<int>> host_mem(2, std::vector<int>(16, -1));
+  c.run([&](Context& ctx) -> Proc<void> {
+    std::span<int> mine = ctx.is_host_rank()
+        ? std::span<int>(host_mem[static_cast<size_t>(ctx.node->node())])
+        : (ctx.node->node() == 0 ? d0 : d1);
+    Window w = co_await win_create(ctx, kCommWorld, mine);
+    // Ring: every rank sends its id to the next rank, any kind to any kind.
+    const int next = (ctx.world_rank + 1) % 4;
+    int v = 100 + ctx.world_rank;
+    co_await put_notify(ctx, w, next, 0, std::span<const int>(&v, 1), 7);
+    co_await wait_notifications(ctx, w, kAnySource, 7, 1);
+    EXPECT_EQ(mine[0], 100 + (ctx.world_rank + 3) % 4);
     co_await barrier(ctx, kCommWorld);
     co_await win_free(ctx, w);
   });

@@ -78,6 +78,11 @@ sim::MachineConfig fuzz_machine(int nodes, std::uint64_t seed,
   m.perturb_seed = seed;
   m.perturb_classes = classes;
   m.fault = fuzz_faults(seed);
+  // Backend lane (docs/BACKENDS.md): half of every sweep's seeds run the
+  // device-initiated backend, so perturbation × fault × backend coverage
+  // comes for free from the existing seed ranges. Bit 2 is independent of
+  // the fault-rate selector (seed % 4) within each aligned 8-seed window.
+  if ((seed >> 2) & 1) m.backend = sim::RuntimeBackend::kDeviceInitiated;
   return m;
 }
 
