@@ -48,6 +48,17 @@ inline sim::MachineConfig machine(int nodes) {
   prob("DCUDA_FAULT_CORRUPT", &cfg.fault.corrupt_prob);
   prob("DCUDA_FAULT_DELAY", &cfg.fault.delay_prob);
   prob("DCUDA_FAULT_LINKDOWN", &cfg.fault.link_down_prob);
+  // DCUDA_SHARDS=<n> / DCUDA_THREADS=<n> configure the parallel event
+  // engine (docs/PERF.md, "Parallel engine"): executor-group count (0 =
+  // auto, one group per node shard) and worker-thread count. Results are
+  // byte-identical for every setting — only wall-clock time changes —
+  // which check_determinism.sh verifies.
+  if (const char* s = std::getenv("DCUDA_SHARDS")) {
+    cfg.shards = std::atoi(s);
+  }
+  if (const char* s = std::getenv("DCUDA_THREADS")) {
+    cfg.threads = std::atoi(s);
+  }
   // DCUDA_BACKEND=host|device selects the runtime backend (docs/BACKENDS.md)
   // for every benchmark: host (default, also host_loop/0) is the paper's
   // host event loop; device (also device_initiated/1) is the GPU/NIC-

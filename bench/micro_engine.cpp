@@ -44,6 +44,20 @@ int scale() {
   return 1;
 }
 
+// Worker threads for the sharded scenarios (docs/PERF.md, "Parallel
+// engine"); bench_perf.sh runs the binary once with DCUDA_THREADS=1 and
+// once with several threads to record the parallel speedup.
+int engine_threads() {
+  if (const char* s = std::getenv("DCUDA_THREADS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+// The paper's wire latency, the lookahead the fabric registers.
+constexpr double kWireLat = 1.4e-6;
+
 // Runs `body` (which builds a Simulation, populates it, runs it, and returns
 // the event count) `reps` times and wall-clocks the whole thing.
 template <typename Body>
@@ -177,6 +191,60 @@ std::uint64_t fifo_contention(int users) {
   return s.events_processed();
 }
 
+// Sharded engine, window-protocol overhead: N shards each draining an
+// independent pre-scheduled heap. No cross-shard traffic — measures the
+// cost of window rounds (min scan, merge, barrier) on embarrassingly
+// parallel work, the best case for multi-threaded speedup. The horizon is
+// chosen so a window covers ~20 events per shard (fabric-heavy workloads
+// sit in that range); a sparse horizon would measure empty window rounds
+// instead of event dispatch.
+std::uint64_t sharded_churn(int shards, int per_shard, int threads) {
+  sim::Simulation s;
+  s.configure_shards(shards);
+  s.register_lookahead(kWireLat);
+  s.set_executor(0, threads);
+  sim::Rng rng(23);
+  // windows advance ~one lookahead at a time when events are dense, so
+  // events-per-window-per-shard ~= per_shard * lookahead / horizon
+  const double horizon = kWireLat * per_shard / 20.0;
+  for (int d = 0; d < shards; ++d) {
+    for (int i = 0; i < per_shard; ++i) {
+      s.schedule_on(d, rng.uniform(0.0, horizon), [] {});
+    }
+  }
+  s.run();
+  return s.events_processed();
+}
+
+// Sharded engine, cross-shard staging/merge path: messengers hop around a
+// ring of shards, each hop delayed by exactly the lookahead — every event
+// crosses a shard boundary, the worst case for the window protocol.
+std::uint64_t cross_shard(int shards, int msgs, int rounds, int threads) {
+  sim::Simulation s;
+  s.configure_shards(shards);
+  s.register_lookahead(kWireLat);
+  s.set_executor(0, threads);
+  struct Hop {
+    sim::Simulation* s;
+    int shards;
+    int left;
+    void fire(int at) {
+      if (--left <= 0) return;
+      const int next = (at + 1) % shards;
+      s->schedule_on(next, kWireLat, [this, next] { fire(next); });
+    }
+  };
+  std::vector<Hop> hops(static_cast<size_t>(msgs), Hop{&s, shards, rounds});
+  for (int i = 0; i < msgs; ++i) {
+    const int at = i % shards;
+    s.schedule_on(at, 1e-9 * i, [h = &hops[static_cast<size_t>(i)], at] {
+      h->fire(at);
+    });
+  }
+  s.run();
+  return s.events_processed();
+}
+
 // Channel streaming: per-message delivery events carrying a payload.
 std::uint64_t channel_stream(int msgs) {
   sim::Simulation s;
@@ -205,6 +273,11 @@ int main() {
   results.push_back(scenario("resource_churn", 2 * k, [] { return resource_churn(4096); }));
   results.push_back(scenario("fifo_contention", 4 * k, [] { return fifo_contention(8192); }));
   results.push_back(scenario("channel_stream", 4 * k, [] { return channel_stream(32768); }));
+  const int nt = engine_threads();
+  results.push_back(scenario("sharded_churn", 2 * k,
+                             [nt] { return sharded_churn(8, 1 << 14, nt); }));
+  results.push_back(scenario("cross_shard", 2 * k,
+                             [nt] { return cross_shard(8, 64, 4096, nt); }));
 
   std::uint64_t total_events = 0;
   double total_seconds = 0.0;

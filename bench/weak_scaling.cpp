@@ -1,0 +1,109 @@
+// Weak scaling of the sharded parallel engine (docs/PERF.md, "Parallel
+// engine"): stencil and SpMV runs at 16 and 64 nodes with constant
+// per-node work. The interesting number is simulated milliseconds per
+// iteration — under weak scaling it must stay nearly flat as the cluster
+// grows, since every node computes the same patch and only talks to its
+// neighbours. A blow-up here means the engine (or the machine model)
+// serializes something that should scale.
+//
+// Output: a human table on stdout by default; with --json, a single JSON
+// object (scripts/bench_perf.sh embeds it into BENCH_engine.json under
+// "weak_scaling" and gates on the 64-vs-16-node flatness ratios).
+//
+// Env: DCUDA_WEAK_NODES=<n> appends one extra cluster size (the 256-node
+//      run documented in EXPERIMENTS.md); DCUDA_THREADS/DCUDA_SHARDS pick
+//      the executor layout as everywhere else (results are identical for
+//      every setting — only wall-clock time changes).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "apps/spmv.h"
+#include "apps/stencil.h"
+#include "bench/common.h"
+
+namespace {
+
+// Small per-node problem: weak scaling is about node count, not patch
+// size, and the 64-node run must stay tractable in a CI container.
+constexpr int kRanksPerDevice = 4;
+
+struct Point {
+  int nodes = 0;
+  double stencil_ms = 0.0;
+  double spmv_ms = 0.0;
+};
+
+Point measure(int nodes, int iters) {
+  using namespace dcuda;
+  Point p;
+  p.nodes = nodes;
+  {
+    apps::stencil::Config cfg;
+    cfg.isize = 16;
+    cfg.jlocal = 2;
+    cfg.ksize = 4;
+    cfg.iterations = iters;
+    Cluster c(bench::machine(nodes), kRanksPerDevice);
+    p.stencil_ms = sim::to_millis(apps::stencil::run_dcuda(c, cfg).elapsed);
+  }
+  {
+    apps::spmv::Config cfg;
+    cfg.n_dev = 64;  // divisible by ranks-per-device
+    cfg.density = 0.02;
+    cfg.iterations = iters;
+    Cluster c(bench::machine(nodes), kRanksPerDevice);
+    p.spmv_ms = sim::to_millis(apps::spmv::run_dcuda(c, cfg).elapsed);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcuda;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  const int iters = bench::iterations(4);
+  std::vector<int> sizes = {16, 64};
+  if (const char* s = std::getenv("DCUDA_WEAK_NODES")) {
+    const int n = std::atoi(s);
+    if (n > 0) sizes.push_back(n);
+  }
+  std::vector<Point> pts;
+  pts.reserve(sizes.size());
+  for (int n : sizes) pts.push_back(measure(n, iters));
+  const Point& base = pts.front();
+  const Point& big = pts[1];
+
+  if (json) {
+    std::printf("{\n  \"iterations\": %d,\n  \"ranks_per_device\": %d,\n",
+                iters, kRanksPerDevice);
+    std::printf("  \"points\": [\n");
+    for (size_t i = 0; i < pts.size(); ++i) {
+      std::printf("    {\"nodes\": %d, \"stencil_ms\": %.6f, \"spmv_ms\": %.6f}%s\n",
+                  pts[i].nodes, pts[i].stencil_ms, pts[i].spmv_ms,
+                  i + 1 < pts.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"stencil_flatness_64v16\": %.4f,\n",
+                big.stencil_ms / base.stencil_ms);
+    std::printf("  \"spmv_flatness_64v16\": %.4f\n}\n",
+                big.spmv_ms / base.spmv_ms);
+    return 0;
+  }
+
+  bench::header("Weak scaling", "sharded engine, constant per-node work");
+  bench::row({"nodes", "stencil_ms", "spmv_ms"});
+  for (const Point& p : pts) {
+    bench::row({bench::fmt(p.nodes, "%.0f"), bench::fmt(p.stencil_ms),
+                bench::fmt(p.spmv_ms)});
+  }
+  std::printf("# flatness 64 vs 16 nodes: stencil %.3fx, spmv %.3fx\n",
+              big.stencil_ms / base.stencil_ms, big.spmv_ms / base.spmv_ms);
+  return 0;
+}

@@ -16,14 +16,23 @@
 # writes BENCH_backend.json, failing if the device-initiated backend's
 # local notified-put latency improvement drops below 3x.
 #
+# The parallel-engine lane (docs/PERF.md, "Parallel engine") runs the
+# sharded micro_engine scenarios and the fig10 figure bench twice — with
+# one worker thread and with DCUDA_BENCH_THREADS workers — and records the
+# wall-clock speedup under "parallel". The >= 2x speedup acceptance bar is
+# enforced only when the machine has at least 4 cores; on smaller hosts the
+# record says so and the gate is skipped (a 1-core container cannot exhibit
+# parallel speedup, only protocol overhead).
+#
 # Usage: scripts/bench_perf.sh [build-dir] [out.json] [baseline.json]
 #   build-dir     defaults to ./build
 #   out.json      defaults to ./BENCH_engine.json (comm record goes to
 #                 the same directory as out.json, named BENCH_comm.json)
 #   baseline.json optional previous record to embed for comparison
 # Env:
-#   DCUDA_BENCH_ITERS   fig-bench main-loop iterations (default 10)
-#   DCUDA_MICRO_SCALE   micro_engine repetition multiplier (default 1)
+#   DCUDA_BENCH_ITERS    fig-bench main-loop iterations (default 10)
+#   DCUDA_MICRO_SCALE    micro_engine repetition multiplier (default 1)
+#   DCUDA_BENCH_THREADS  parallel-lane worker count (default min(nproc, 8))
 set -euo pipefail
 
 BUILD="${1:-build}"
@@ -37,8 +46,8 @@ command -v jq > /dev/null || { echo "error: jq required" >&2; exit 1; }
   exit 1
 }
 
-echo "== micro_engine (wall clock) ==" >&2
-micro_json="$("$BUILD/bench/micro_engine")"
+echo "== micro_engine (wall clock, 1 worker thread) ==" >&2
+micro_json="$(DCUDA_THREADS=1 "$BUILD/bench/micro_engine")"
 
 fig_json="{}"
 for b in "$BUILD"/bench/fig*; do
@@ -53,12 +62,81 @@ for b in "$BUILD"/bench/fig*; do
   fig_json="$(jq --arg n "$name" --argjson s "$sec" '. + {($n): $s}' <<< "$fig_json")"
 done
 
+# -- Parallel-engine lane (docs/PERF.md, "Parallel engine") ---------------
+CORES="$(nproc 2> /dev/null || echo 1)"
+PAR="${DCUDA_BENCH_THREADS:-$(( CORES < 8 ? CORES : 8 ))}"
+[ "$PAR" -ge 2 ] || PAR=2
+echo "== micro_engine (wall clock, $PAR worker threads; $CORES cores) ==" >&2
+micro_par_json="$(DCUDA_THREADS="$PAR" "$BUILD/bench/micro_engine")"
+
+wall() {  # wall <binary> [env...] — prints elapsed seconds
+  local t0 t1
+  t0="$(date +%s.%N)"
+  "$@" > /dev/null
+  t1="$(date +%s.%N)"
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }'
+}
+echo "== fig10_stencil_scaling wall clock, 1 vs $PAR threads ==" >&2
+fig10_serial="$(wall env DCUDA_THREADS=1 "$BUILD/bench/fig10_stencil_scaling")"
+fig10_par="$(wall env DCUDA_THREADS="$PAR" "$BUILD/bench/fig10_stencil_scaling")"
+echo "   serial ${fig10_serial}s  parallel ${fig10_par}s" >&2
+
+parallel_json="$(jq -n \
+  --argjson cores "$CORES" --argjson threads "$PAR" \
+  --argjson serial "$micro_json" --argjson par "$micro_par_json" \
+  --argjson f10s "$fig10_serial" --argjson f10p "$fig10_par" \
+  '{cores: $cores, worker_threads: $threads,
+    sharded_churn: {serial_events_per_sec: $serial.scenarios.sharded_churn.events_per_sec,
+                    parallel_events_per_sec: $par.scenarios.sharded_churn.events_per_sec,
+                    speedup: ($par.scenarios.sharded_churn.events_per_sec /
+                              $serial.scenarios.sharded_churn.events_per_sec)},
+    cross_shard: {serial_events_per_sec: $serial.scenarios.cross_shard.events_per_sec,
+                  parallel_events_per_sec: $par.scenarios.cross_shard.events_per_sec,
+                  speedup: ($par.scenarios.cross_shard.events_per_sec /
+                            $serial.scenarios.cross_shard.events_per_sec)},
+    fig10_stencil_scaling: {serial_seconds: $f10s, parallel_seconds: $f10p,
+                            speedup: ($f10s / $f10p)}}')"
+
+if [ "$CORES" -ge 4 ]; then
+  pspeed="$(jq -r '.sharded_churn.speedup' <<< "$parallel_json")"
+  ok="$(awk -v s="$pspeed" 'BEGIN { print (s >= 2.0) ? 1 : 0 }')"
+  if [ "$ok" -ne 1 ]; then
+    echo "FAIL: sharded_churn parallel speedup ${pspeed}x < 2x at $PAR threads" >&2
+    exit 1
+  fi
+  echo "   parallel speedup ${pspeed}x (bar: 2x at >= 4 cores)" >&2
+  parallel_json="$(jq '. + {gate: "enforced (>= 2x sharded_churn)"}' <<< "$parallel_json")"
+else
+  echo "   $CORES core(s): 2x speedup gate skipped (needs >= 4 cores)" >&2
+  parallel_json="$(jq '. + {gate: "skipped: fewer than 4 cores"}' <<< "$parallel_json")"
+fi
+
+# -- Weak scaling (simulated time, deterministic) -------------------------
+# 16 vs 64 nodes at constant per-node work: the simulated per-iteration
+# time must stay nearly flat. 2x is a loose bar — the deterministic model
+# sits far below it; crossing it means a serialization bug.
+weak_json="null"
+if [ -x "$BUILD/bench/weak_scaling" ]; then
+  echo "== weak_scaling (16 vs 64 nodes, simulated) ==" >&2
+  weak_json="$("$BUILD/bench/weak_scaling" --json)"
+  flat="$(jq -r '.stencil_flatness_64v16' <<< "$weak_json")"
+  ok="$(awk -v f="$flat" 'BEGIN { print (f <= 2.0) ? 1 : 0 }')"
+  if [ "$ok" -ne 1 ]; then
+    echo "FAIL: stencil 64-node weak-scaling blow-up ${flat}x > 2x" >&2
+    exit 1
+  fi
+  echo "   stencil flatness ${flat}x, spmv $(jq -r '.spmv_flatness_64v16' <<< "$weak_json")x (bar: <= 2x)" >&2
+fi
+
 record="$(jq -n \
   --argjson iters "$DCUDA_BENCH_ITERS" \
   --argjson micro "$micro_json" \
   --argjson figs "$fig_json" \
-  '{schema: "dcuda-bench-engine-v1", fig_bench_iters: $iters,
-    micro_engine: $micro, fig_bench_seconds: $figs}')"
+  --argjson par "$parallel_json" \
+  --argjson weak "$weak_json" \
+  '{schema: "dcuda-bench-engine-v2", fig_bench_iters: $iters,
+    micro_engine: $micro, fig_bench_seconds: $figs, parallel: $par,
+    weak_scaling: $weak}')"
 
 if [ -n "$BASELINE" ] && [ -f "$BASELINE" ]; then
   # Keep only the baseline's own measurements (strip nested baselines).

@@ -10,6 +10,12 @@
 #  3. Faulty-seed stability: the same seed with a lossy fabric armed
 #     (DCUDA_FAULT_DROP; net/fault.h go-back-N recovery) must also replay
 #     bit-identically — fault coins come from the same seeded streams.
+#  4. Executor invariance (docs/PERF.md, "Parallel engine"): the sharded
+#     engine run with DCUDA_SHARDS=4 executor groups and DCUDA_THREADS=2
+#     worker threads must be byte-identical to the serial run — for the
+#     clean, perturbed, and faulty schedules alike. The window protocol's
+#     ordering is a function of the logical schedule only, never of the
+#     executor layout.
 #
 # Wired into ctest as `determinism_fig_benches`.
 #
@@ -54,5 +60,16 @@ for name in fig6_put_bandwidth fig10_stencil_scaling; do
       "$bin" > "$tmp/$name.fault2"
   compare "$name: faulty seed (drop=$FAULT_DROP) replays bit-identically" \
           "$tmp/$name.fault1" "$tmp/$name.fault2"
+  DCUDA_SHARDS=4 DCUDA_THREADS=2 "$bin" > "$tmp/$name.par"
+  compare "$name: shards=4 threads=2 matches serial (clean)" \
+          "$tmp/$name.run1" "$tmp/$name.par"
+  DCUDA_SHARDS=4 DCUDA_THREADS=2 DCUDA_PERTURB_SEED="$PERTURB_SEED" \
+      "$bin" > "$tmp/$name.par_seed"
+  compare "$name: shards=4 threads=2 matches serial (perturbed)" \
+          "$tmp/$name.seed1" "$tmp/$name.par_seed"
+  DCUDA_SHARDS=4 DCUDA_THREADS=2 DCUDA_PERTURB_SEED="$PERTURB_SEED" \
+      DCUDA_FAULT_DROP="$FAULT_DROP" "$bin" > "$tmp/$name.par_fault"
+  compare "$name: shards=4 threads=2 matches serial (faulty)" \
+          "$tmp/$name.fault1" "$tmp/$name.par_fault"
 done
 exit $status

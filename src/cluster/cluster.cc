@@ -13,6 +13,13 @@ Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
   if (cfg_.device_initiated()) {
     cfg_.runtime.local_notifications_via_host = false;
   }
+  // Sharded engine (docs/PERF.md, "Parallel engine"): one logical shard per
+  // node, always — the shard/thread knobs below only group shards onto
+  // executors, so results are byte-identical for every setting. Must happen
+  // before any component schedules events or spawns daemons.
+  sim_.configure_shards(cfg_.num_nodes);
+  sim_.set_executor(cfg_.shards, cfg_.threads);
+  tracer_.set_shards(cfg_.num_nodes);
   // Install the perturbation before any component spawns daemons, so every
   // event of the run — including runtime startup — draws from the seeded
   // streams. Fault injection needs the kFault stream even with perturb_seed
@@ -36,6 +43,9 @@ Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
   fabric_->set_tracer(&tracer_);
   std::vector<gpu::Device*> dev_ptrs;
   for (int n = 0; n < cfg_.num_nodes; ++n) {
+    // Node hardware is built inside its shard so triggers/resources record
+    // the right owner for the parallel-window affinity checks.
+    sim::ShardGuard guard(sim_, sim_.shard_for(n));
     pcie_.push_back(std::make_unique<pcie::PcieLink>(sim_, cfg_.pcie));
     pcie_.back()->set_tracer(&tracer_, n);
     devices_.push_back(std::make_unique<gpu::Device>(sim_, n, cfg_.device,
@@ -44,6 +54,7 @@ Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
   }
   world_ = std::make_unique<mpi::World>(sim_, *fabric_, cfg_.mpi, dev_ptrs);
   for (int n = 0; n < cfg_.num_nodes; ++n) {
+    sim::ShardGuard guard(sim_, sim_.shard_for(n));
     runtimes_.push_back(std::make_unique<rt::NodeRuntime>(
         sim_, *devices_[static_cast<size_t>(n)], world_->at(n),
         *pcie_[static_cast<size_t>(n)], *fabric_, cfg_, rpd_, host_ranks_));
@@ -74,10 +85,11 @@ sim::Proc<void> Cluster::run_host_rank(int n, int host_index, const RankFn& fn) 
 sim::Dur Cluster::run(RankFn fn, RankFn host_fn) {
   const sim::Time t0 = sim_.now();
   for (int n = 0; n < cfg_.num_nodes; ++n) {
-    sim_.spawn(run_device(n, fn), "host@" + std::to_string(n));
+    sim_.spawn_on(sim_.shard_for(n), run_device(n, fn),
+                  "host@" + std::to_string(n));
     for (int h = 0; h < host_ranks_; ++h) {
-      sim_.spawn(run_host_rank(n, h, host_fn ? host_fn : fn),
-                 "hostrank@" + std::to_string(n) + "/" + std::to_string(h));
+      sim_.spawn_on(sim_.shard_for(n), run_host_rank(n, h, host_fn ? host_fn : fn),
+                    "hostrank@" + std::to_string(n) + "/" + std::to_string(h));
     }
   }
   sim_.run();
@@ -93,7 +105,8 @@ sim::Proc<void> host_body(const Cluster::HostFn& fn, int n) { co_await fn(n); }
 sim::Dur Cluster::run_hosts(HostFn fn) {
   const sim::Time t0 = sim_.now();
   for (int n = 0; n < cfg_.num_nodes; ++n) {
-    sim_.spawn(host_body(fn, n), "host@" + std::to_string(n));
+    sim_.spawn_on(sim_.shard_for(n), host_body(fn, n),
+                  "host@" + std::to_string(n));
   }
   sim_.run();
   return sim_.now() - t0;

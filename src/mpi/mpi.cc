@@ -364,6 +364,8 @@ World::World(sim::Simulation& s, net::Fabric& fabric, const sim::MpiConfig& cfg,
   for (int r = 0; r < n; ++r) {
     gpu::Device* dev =
         r < static_cast<int>(devices.size()) ? devices[static_cast<size_t>(r)] : nullptr;
+    // Each endpoint (and its rx daemon) lives in its node's shard.
+    sim::ShardGuard guard(s, s.shard_for(r));
     endpoints_.push_back(std::make_unique<Endpoint>(s, fabric, r, n, cfg, dev));
   }
 }

@@ -14,14 +14,43 @@ Fabric::Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg,
     : sim_(s), cfg_(cfg), fault_(fault), armed_(fault.any()) {
   assert(fault_.window >= 1);
   assert(fault_.drop_prob < 1.0);  // go-back-N needs *some* success probability
+  // Inter-shard events (deliveries, acks) are delayed by at least the wire
+  // latency, which makes it the engine's conservative lookahead
+  // (docs/PERF.md, "Parallel engine").
+  s.register_lookahead(cfg_.latency);
+  stats_shard_.resize(static_cast<size_t>(std::max(1, s.num_shards())));
   nics_.reserve(static_cast<size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
+    // Build each NIC in its node's shard so the mailbox triggers acquire
+    // the right owner shard for the parallel-window affinity checks.
+    sim::ShardGuard guard(s, s.shard_for(i));
     nics_.push_back(std::make_unique<Nic>(s, num_nodes));
     if (armed_) {
       nics_.back()->tx_conn.resize(static_cast<size_t>(num_nodes));
       nics_.back()->rx_conn.resize(static_cast<size_t>(num_nodes));
     }
   }
+}
+
+const Fabric::FaultStats& Fabric::fault_stats() const {
+  FaultStats m;
+  for (const FaultStats& s : stats_shard_) {
+    m.originals += s.originals;
+    m.retransmits += s.retransmits;
+    m.timeouts += s.timeouts;
+    m.drops += s.drops;
+    m.corrupts += s.corrupts;
+    m.dups += s.dups;
+    m.delays += s.delays;
+    m.link_downs += s.link_downs;
+    m.outage_losses += s.outage_losses;
+    m.acks_sent += s.acks_sent;
+    m.acks_lost += s.acks_lost;
+    m.dup_suppressed += s.dup_suppressed;
+    m.ooo_discarded += s.ooo_discarded;
+  }
+  merged_stats_ = m;
+  return merged_stats_;
 }
 
 void Fabric::send(Packet p, sim::Rate rate_cap) {
@@ -59,7 +88,10 @@ void Fabric::send(Packet p, sim::Rate rate_cap) {
   }
   tx.pair_deliver[static_cast<size_t>(p.dst)] = deliver;
   const std::uint64_t wire_seq = ++tx.pair_seq[static_cast<size_t>(p.dst)];
-  sim_.schedule(deliver - sim_.now(), [this, wire_seq, pkt = std::move(p)]() mutable {
+  // Delivery executes in the destination node's shard; the wire latency
+  // keeps it beyond the lookahead horizon.
+  sim_.schedule_on(sim_.shard_for(p.dst), deliver - sim_.now(),
+                   [this, wire_seq, pkt = std::move(p)]() mutable {
     if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
       obs->fabric_delivered(pkt.src, pkt.dst, wire_seq);
     }
@@ -124,9 +156,9 @@ void Fabric::transmit(int src, int dst, const Stored& s, bool is_retx) {
     tracer_->bump("fabric_bytes", wire_bytes);
   }
   if (is_retx) {
-    ++stats_.retransmits;
+    ++stats().retransmits;
   } else {
-    ++stats_.originals;
+    ++stats().originals;
   }
   if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
     obs->fabric_packet_sent(src, dst, s.pkt.seq, is_retx);
@@ -146,19 +178,19 @@ void Fabric::transmit(int src, int dst, const Stored& s, bool is_retx) {
     // Transient outage opens (or extends) as this packet enters the wire;
     // the packet itself is its first casualty.
     c.down_until = std::max(c.down_until, start + fault_.link_down_duration);
-    ++stats_.link_downs;
+    ++stats().link_downs;
   }
   const bool in_outage = start < c.down_until;
   if (in_outage || drop || corrupt) {
     if (in_outage) {
-      ++stats_.outage_losses;
+      ++stats().outage_losses;
     } else if (drop) {
-      ++stats_.drops;
+      ++stats().drops;
     } else {
       // Corruption is detected by the receiver's CRC and the packet is
       // discarded header and all — indistinguishable from a wire drop at
       // protocol level (no ack), so it is not even scheduled.
-      ++stats_.corrupts;
+      ++stats().corrupts;
     }
     if (sim::InvariantObserver* obs = sim_.invariant_observer();
         obs != nullptr) {
@@ -171,18 +203,22 @@ void Fabric::transmit(int src, int dst, const Stored& s, bool is_retx) {
   if (pert != nullptr) deliver += pert->jitter(cfg_.latency);
   if (delay) {
     deliver += fault_.delay_spike;
-    ++stats_.delays;
+    ++stats().delays;
   }
   // No per-pair FIFO clamp here: faults reorder the wire freely and the
-  // receiver's sequence check restores order instead.
-  sim_.schedule(deliver - sim_.now(),
-                [this, pkt = s.pkt]() mutable { deliver_reliable(std::move(pkt)); });
+  // receiver's sequence check restores order instead. Both deliveries run
+  // in the destination's shard (delay >= wire latency = lookahead).
+  sim_.schedule_on(sim_.shard_for(dst), deliver - sim_.now(),
+                   [this, pkt = s.pkt]() mutable {
+                     deliver_reliable(std::move(pkt));
+                   });
   if (dup) {
-    ++stats_.dups;
-    sim_.schedule(deliver + sim::Perturbation::kOrderEpsilon - sim_.now(),
-                  [this, pkt = s.pkt]() mutable {
-                    deliver_reliable(std::move(pkt));
-                  });
+    ++stats().dups;
+    sim_.schedule_on(sim_.shard_for(dst),
+                     deliver + sim::Perturbation::kOrderEpsilon - sim_.now(),
+                     [this, pkt = s.pkt]() mutable {
+                       deliver_reliable(std::move(pkt));
+                     });
   }
 }
 
@@ -202,7 +238,7 @@ void Fabric::deliver_reliable(Packet pkt) {
         std::move(pkt));
   } else if (pkt.seq <= rc.expected) {
     if (fault_.dup_suppress) {
-      ++stats_.dup_suppressed;
+      ++stats().dup_suppressed;
     } else {
       // Mutation knob: deliver the duplicate anyway. The at-most-once
       // oracle must catch this (docs/TESTING.md mutation checks).
@@ -217,7 +253,7 @@ void Fabric::deliver_reliable(Packet pkt) {
   } else {
     // Gap: a predecessor was lost. Go-back-N keeps no reorder buffer — the
     // sender retransmits the whole window, so discarding is safe.
-    ++stats_.ooo_discarded;
+    ++stats().ooo_discarded;
   }
   // Every intact arrival — accepted, duplicate, or past-gap — refreshes the
   // sender with a cumulative ack of the receive frontier.
@@ -225,7 +261,7 @@ void Fabric::deliver_reliable(Packet pkt) {
 }
 
 void Fabric::send_ack(int from, int to, std::uint64_t acked_seq) {
-  ++stats_.acks_sent;
+  ++stats().acks_sent;
   // Acks ride the NIC's control path: no transmit-lane serialization and no
   // byte accounting (they coalesce with data in real hardware), but they do
   // face the lossy wire — the reverse link's outage window and the same
@@ -235,14 +271,17 @@ void Fabric::send_ack(int from, int to, std::uint64_t acked_seq) {
   const bool drop = pert != nullptr && pert->fault(fault_.drop_prob);
   const bool delay = pert != nullptr && pert->fault(fault_.delay_prob);
   if (drop || sim_.now() < reverse.down_until) {
-    ++stats_.acks_lost;
+    ++stats().acks_lost;
     return;  // the retransmit timer covers lost acks too
   }
   sim::Time deliver = sim_.now() + cfg_.latency + cfg_.sw_overhead;
   if (delay) deliver += fault_.delay_spike;
-  sim_.schedule(deliver - sim_.now(), [this, from, to, acked_seq]() {
-    handle_ack(to, from, acked_seq);
-  });
+  // Ack processing mutates the original sender's connection state, so it
+  // runs in that node's shard.
+  sim_.schedule_on(sim_.shard_for(to), deliver - sim_.now(),
+                   [this, from, to, acked_seq]() {
+                     handle_ack(to, from, acked_seq);
+                   });
 }
 
 void Fabric::handle_ack(int src, int dst, std::uint64_t acked_seq) {
@@ -275,7 +314,7 @@ void Fabric::arm_timer(int src, int dst) {
 void Fabric::on_timeout(int src, int dst) {
   TxConn& c = tx_conn(src, dst);
   if (c.unacked.empty()) return;
-  ++stats_.timeouts;
+  ++stats().timeouts;
   // Go-back-N: resend the entire unacked window in sequence order.
   for (const Stored& s : c.unacked) {
     transmit(src, dst, s, /*is_retx=*/true);

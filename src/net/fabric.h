@@ -94,6 +94,9 @@ class Fabric {
 
   // Aggregate fault-injection and recovery counters (docs/TESTING.md
   // "Loss battery"; the fault self-tests and ablation_faults read these).
+  // Counters are kept per shard (sender-side events accrue on the source
+  // node's shard, receiver-side on the destination's) and merged field-wise
+  // on read, so they stay exact under multi-threaded windows.
   struct FaultStats {
     std::uint64_t originals = 0;       // first transmissions of a sequence
     std::uint64_t retransmits = 0;     // go-back-N re-transmissions
@@ -109,7 +112,7 @@ class Fabric {
     std::uint64_t dup_suppressed = 0;  // receiver discarded already-seen seq
     std::uint64_t ooo_discarded = 0;   // receiver discarded past-gap seq
   };
-  const FaultStats& fault_stats() const { return stats_; }
+  const FaultStats& fault_stats() const;
 
  private:
   // One retained outbound packet (go-back-N keeps everything unacked).
@@ -166,11 +169,19 @@ class Fabric {
     return nics_[static_cast<size_t>(src)]->tx_conn[static_cast<size_t>(dst)];
   }
 
+  // The executing shard's counter slice (shard 0 outside a run).
+  FaultStats& stats() {
+    const std::size_t k =
+        static_cast<std::size_t>(sim::current_shard_index());
+    return stats_shard_[k < stats_shard_.size() ? k : 0];
+  }
+
   sim::Simulation& sim_;
   sim::NetConfig cfg_;
   FaultConfig fault_;
   bool armed_ = false;
-  FaultStats stats_;
+  std::vector<FaultStats> stats_shard_;
+  mutable FaultStats merged_stats_;
   sim::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Nic>> nics_;
 };

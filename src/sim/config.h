@@ -176,6 +176,14 @@ struct MachineConfig {
   bool device_initiated() const {
     return backend == RuntimeBackend::kDeviceInitiated;
   }
+  // Parallel event engine (docs/PERF.md, "Parallel engine"). The simulation
+  // always keeps one logical shard per node; these knobs only choose how
+  // shards are grouped onto executors and how many worker threads run them,
+  // so every setting produces byte-identical results. `shards` is the
+  // executor-group count (0 = one group per node shard); `threads` is
+  // the worker-thread count (1 = serial execution, the default).
+  int shards = 0;
+  int threads = 1;
   // Lossy-fabric fault injection (net/fault.h): all probabilities zero by
   // default, which keeps the fabric on its historical perfectly-reliable
   // code path (wire format and event schedule byte-identical). Any nonzero

@@ -9,6 +9,7 @@ void InvariantObserver::violation(std::string what) {
 }
 
 void InvariantObserver::fabric_delivered(int src, int dst, std::uint64_t wire_seq) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   std::uint64_t& last = fabric_seq_[{src, dst}];
   if (wire_seq != last + 1) {
@@ -22,6 +23,7 @@ void InvariantObserver::fabric_delivered(int src, int dst, std::uint64_t wire_se
 
 void InvariantObserver::fabric_packet_sent(int src, int dst, std::uint64_t seq,
                                            bool retransmit) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   LinkRecovery& lr = link_recovery_[{src, dst}];
   if (!retransmit) {
@@ -47,6 +49,7 @@ void InvariantObserver::fabric_packet_sent(int src, int dst, std::uint64_t seq,
 
 void InvariantObserver::fabric_packet_dropped(int src, int dst,
                                               std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   LinkRecovery& lr = link_recovery_[{src, dst}];
   ++lr.dropped;
@@ -61,6 +64,7 @@ void InvariantObserver::fabric_packet_dropped(int src, int dst,
 
 void InvariantObserver::fabric_packet_accepted(int src, int dst,
                                                std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   LinkRecovery& lr = link_recovery_[{src, dst}];
   if (seq <= lr.last_accepted) {
@@ -90,6 +94,7 @@ void InvariantObserver::fabric_packet_accepted(int src, int dst,
 
 void InvariantObserver::queue_credit(std::uint64_t send_count,
                                      std::uint64_t recv_count, int capacity) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   if (recv_count > send_count ||
       send_count - recv_count > static_cast<std::uint64_t>(capacity)) {
@@ -100,13 +105,18 @@ void InvariantObserver::queue_credit(std::uint64_t send_count,
   }
 }
 
-void InvariantObserver::notify_sent() { ++sent_; }
+void InvariantObserver::notify_sent() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++sent_;
+}
 
 void InvariantObserver::data_put_issued(int origin_rank, int target_rank) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++conn_data_[{origin_rank, target_rank}].issued;
 }
 
 void InvariantObserver::data_put_landed(int origin_rank, int target_rank) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   ConnData& cd = conn_data_[{origin_rank, target_rank}];
   ++cd.landed;
@@ -122,6 +132,7 @@ void InvariantObserver::data_put_landed(int origin_rank, int target_rank) {
 void InvariantObserver::notify_put_ordered(int origin_rank, int target_rank,
                                            std::int32_t win_global_id,
                                            std::uint64_t bytes, int tag) {
+  std::lock_guard<std::mutex> lock(*mu_);
   const std::uint64_t mark = conn_data_[{origin_rank, target_rank}].issued;
   put_order_[PutKey{origin_rank, target_rank, win_global_id}].push_back(
       PendingNotify{tag, bytes, mark});
@@ -130,6 +141,7 @@ void InvariantObserver::notify_put_ordered(int origin_rank, int target_rank,
 void InvariantObserver::notify_put_delivered(int origin_rank, int target_rank,
                                              std::int32_t win_global_id,
                                              std::uint64_t bytes, int tag) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   auto it = put_order_.find(PutKey{origin_rank, target_rank, win_global_id});
   if (it == put_order_.end() || it->second.empty()) {
@@ -165,12 +177,14 @@ void InvariantObserver::notify_put_delivered(int origin_rank, int target_rank,
 
 void InvariantObserver::eager_batch_flushed(int origin_node, int target_node,
                                             std::uint64_t batch_seq, int records) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++eager_flushed_;
   eager_batches_[{origin_node, target_node}].push_back({batch_seq, records});
 }
 
 void InvariantObserver::eager_batch_delivered(int origin_node, int target_node,
                                               std::uint64_t batch_seq, int records) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   ++eager_delivered_;
   auto it = eager_batches_.find({origin_node, target_node});
@@ -199,11 +213,13 @@ void InvariantObserver::eager_batch_delivered(int origin_node, int target_node,
 }
 
 void InvariantObserver::notification_delivered(bool via_board) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++delivered_;
   if (via_board) ++board_delivered_;
 }
 
 void InvariantObserver::notification_matched() {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++matched_;
   ++checks_;
   if (matched_ > delivered_) {
@@ -215,11 +231,13 @@ void InvariantObserver::notification_matched() {
 }
 
 void InvariantObserver::window_created(std::int32_t win_global_id) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++window_live_[win_global_id];
   window_seen_[win_global_id] = true;
 }
 
 void InvariantObserver::window_accessed(std::int32_t win_global_id) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   auto it = window_live_.find(win_global_id);
   if (it == window_live_.end() || it->second <= 0) {
@@ -232,6 +250,7 @@ void InvariantObserver::window_accessed(std::int32_t win_global_id) {
 }
 
 void InvariantObserver::window_freed(std::int32_t win_global_id) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   auto it = window_live_.find(win_global_id);
   if (it == window_live_.end() || it->second <= 0) {
@@ -245,6 +264,7 @@ void InvariantObserver::window_freed(std::int32_t win_global_id) {
 }
 
 void InvariantObserver::barrier_enter(int comm_key, int rank, int participants) {
+  std::lock_guard<std::mutex> lock(*mu_);
   BarrierDomain& d = barriers_[comm_key];
   if (d.participants == 0) d.participants = participants;
   if (d.participants != participants) {
@@ -257,6 +277,7 @@ void InvariantObserver::barrier_enter(int comm_key, int rank, int participants) 
 }
 
 void InvariantObserver::barrier_exit(int comm_key, int rank) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
   BarrierDomain& d = barriers_[comm_key];
   const std::uint64_t round = ++d.exits[rank];
@@ -281,6 +302,7 @@ void InvariantObserver::barrier_exit(int comm_key, int rank) {
 }
 
 void InvariantObserver::finalize() {
+  std::lock_guard<std::mutex> lock(*mu_);
   if (finalized_) return;
   finalized_ = true;
   if (delivered_ != sent_) {
@@ -352,6 +374,7 @@ void InvariantObserver::finalize() {
 }
 
 std::string InvariantObserver::report() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   std::ostringstream os;
   os << "invariant checks: " << checks_ << ", notifications sent/delivered/matched: "
      << sent_ << "/" << delivered_ << "/" << matched_ << "\n";

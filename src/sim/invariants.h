@@ -46,6 +46,8 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -160,6 +162,14 @@ class InvariantObserver {
   void violation(std::string what);
 
   static constexpr std::size_t kMaxViolations = 16;
+
+  // Hooks may fire from any worker thread during parallel windows
+  // (docs/PERF.md); one lock keeps the cross-shard tracking exact. Held by
+  // shared_ptr so the observer stays copy- and move-assignable (the fuzz
+  // self-tests re-assign observers between cases). Per-key state is only
+  // ever touched from one shard, and the global counters are sums, so the
+  // verdict does not depend on thread interleaving.
+  std::shared_ptr<std::mutex> mu_ = std::make_shared<std::mutex>();
 
   // fabric: last wire_seq per (src, dst).
   std::map<std::pair<int, int>, std::uint64_t> fabric_seq_;

@@ -12,7 +12,10 @@ constexpr double kRelEps = 1e-9;
 }  // namespace
 
 SharedResource::SharedResource(Simulation& sim, double capacity, double per_job_cap)
-    : sim_(sim), capacity_(capacity), per_job_cap_(per_job_cap) {
+    : sim_(sim),
+      owner_shard_(sim.current_shard()),
+      capacity_(capacity),
+      per_job_cap_(per_job_cap) {
   assert(capacity > 0.0);
   assert(per_job_cap > 0.0);
 }
@@ -74,6 +77,7 @@ SharedResource::Job SharedResource::pop_min_job() {
 }
 
 void SharedResource::add_job(double work, std::coroutine_handle<> h) {
+  assert_affinity();
   advance();
   insert_job(vclock_ + std::max(work, 0.0), h);
   reschedule();

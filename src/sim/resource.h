@@ -20,6 +20,7 @@
 // explicit waiter deque — both orders therefore survive tie-break
 // shuffling, which the perturbed property sweeps assert.
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -64,7 +65,16 @@ class SharedResource {
   void on_complete();  // completion event fired
   double rate_per_job() const;
 
+  // Shard affinity (docs/PERF.md, "Parallel engine"): resources are
+  // node-local hardware (SM throughput, memory bandwidth, PCIe lanes), so
+  // every use must come from the owning shard while a multi-threaded
+  // window executes; serial runs are unrestricted.
+  void assert_affinity() const {
+    assert(!sim_.parallel_execution() || sim_.current_shard() == owner_shard_);
+  }
+
   Simulation& sim_;
+  int owner_shard_;
   double capacity_;
   double per_job_cap_;
 
@@ -103,13 +113,14 @@ class SharedResource {
 class FifoResource {
  public:
   explicit FifoResource(Simulation& sim, int capacity = 1)
-      : sim_(sim), free_(capacity) {}
+      : sim_(sim), owner_shard_(sim.current_shard()), free_(capacity) {}
 
   auto acquire() {
     struct Awaiter {
       FifoResource* res;
       bool await_ready() const noexcept { return false; }
       bool await_suspend(std::coroutine_handle<> h) {
+        res->assert_affinity();
         if (res->free_ > 0) {
           --res->free_;
           // Resume through the engine (never inline) so acquisition stays
@@ -128,6 +139,7 @@ class FifoResource {
   }
 
   void release() {
+    assert_affinity();
     if (!waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
@@ -141,7 +153,14 @@ class FifoResource {
   std::size_t queue_length() const { return waiters_.size(); }
 
  private:
+  // Same shard-affinity contract as SharedResource: FIFO links are
+  // node-local, so parallel windows may only touch them from their shard.
+  void assert_affinity() const {
+    assert(!sim_.parallel_execution() || sim_.current_shard() == owner_shard_);
+  }
+
   Simulation& sim_;
+  int owner_shard_;
   int free_;
   std::deque<std::coroutine_handle<>> waiters_;
 };

@@ -1,0 +1,27 @@
+#pragma once
+
+// Thread-local shard context (docs/PERF.md, "Parallel engine").
+//
+// The sharded engine executes each shard's events on whichever worker
+// thread its executor group landed on; while a shard runs, the executing
+// thread carries (engine, shard index) here. Components that keep
+// per-shard storage but hold no Simulation reference at their call sites
+// (the Tracer's span buffers, the Fabric's fault counters) route writes
+// through current_shard_index(). Outside any shard execution — machine
+// construction before the guards are set up, post-run accessors — the
+// index is 0, which is also the only shard of an unsharded engine.
+
+namespace dcuda::sim {
+
+namespace detail {
+struct ShardContext {
+  const void* engine = nullptr;  // the Simulation whose shard is executing
+  void* active = nullptr;        // that engine's Shard* (set with `engine`)
+  int shard = 0;
+};
+inline thread_local ShardContext tls_shard_ctx;
+}  // namespace detail
+
+inline int current_shard_index() { return detail::tls_shard_ctx.shard; }
+
+}  // namespace dcuda::sim

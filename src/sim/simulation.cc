@@ -1,7 +1,10 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 namespace dcuda::sim {
 
@@ -17,73 +20,208 @@ Proc<void> root_runner(Proc<void> inner, std::shared_ptr<JoinHandle::State> st) 
   }
 }
 
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
 }  // namespace
 
-Simulation::~Simulation() {
-  // Destroy frames of processes that never completed (daemons, or roots left
-  // behind after run_until / an exception). Frames are suspended, so destroy
-  // is legal. Handles in triggers/resources become dangling but are never
-  // resumed again because the simulation is gone.
-  auto reap = [](std::vector<std::shared_ptr<JoinHandle::State>>& v) {
-    for (auto& st : v) {
-      if (!st->done && st->frame) st->frame.destroy();
+// Worker-thread pool for multi-threaded windows. The main thread is worker
+// 0; pool threads pick up their executor groups when the epoch advances and
+// report back through an atomic countdown. Workers spin briefly before
+// sleeping on the condition variable, and the main thread's completion wait
+// spins with yields — windows are microseconds of work, so the barrier must
+// not round-trip the scheduler when cores are available.
+struct Simulation::Workers {
+  Workers(Simulation& s, int nthreads) : sim(s) {
+    pool.reserve(static_cast<size_t>(nthreads - 1));
+    for (int w = 1; w < nthreads; ++w) {
+      pool.emplace_back([this, w] { worker_loop(w); });
     }
-    v.clear();
-  };
-  reap(live_);
-  reap(daemons_);
-  // Free payloads of events still pending (or cancelled-but-unpopped): the
-  // key heap plus the resume ring list exactly the occupied slots, once
-  // each. (Ring slots are direct resumes and carry no payload, but walking
-  // them keeps the invariant obvious.)
-  for (std::size_t i = 0; i < heap_size_; ++i) {
-    destroy_payload(slot(static_cast<std::uint32_t>(heap_data_[i].key & kSlotMask)));
   }
-  for (std::size_t i = ring_head_; i < ring_.size(); ++i) {
-    destroy_payload(slot(static_cast<std::uint32_t>(ring_[i].key & kSlotMask)));
+
+  ~Workers() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop.store(true, std::memory_order_relaxed);
+    }
+    cv.notify_all();
+    for (auto& t : pool) t.join();
   }
-  heap_dealloc();
+
+  int threads() const { return static_cast<int>(pool.size()) + 1; }
+
+  // Executes one window across all groups; returns once every shard is done.
+  void run_window(Time b, Time l, int g) {
+    bound = b;
+    limit = l;
+    groups = g;
+    remaining.store(static_cast<int>(pool.size()), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      epoch.fetch_add(1, std::memory_order_release);
+    }
+    cv.notify_all();
+    exec_groups(0);
+    for (int spin = 0; remaining.load(std::memory_order_acquire) > 0; ++spin) {
+      if (spin < 128) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void worker_loop(int w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      bool woke = false;
+      for (int spin = 0; spin < 2048; ++spin) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        if (epoch.load(std::memory_order_acquire) != seen) {
+          woke = true;
+          break;
+        }
+        cpu_relax();
+      }
+      if (!woke) {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] {
+          return stop.load(std::memory_order_relaxed) ||
+                 epoch.load(std::memory_order_acquire) != seen;
+        });
+        if (stop.load(std::memory_order_relaxed)) return;
+      }
+      seen = epoch.load(std::memory_order_acquire);
+      exec_groups(w);
+      remaining.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  // Worker w executes groups w, w+T, ...; group g owns shards g, g+G, ....
+  void exec_groups(int w) {
+    const int t = threads();
+    const int n = static_cast<int>(sim.shards_.size());
+    for (int g = w; g < groups; g += t) {
+      for (int s = g; s < n; s += groups) {
+        sim.exec_shard(*sim.shards_[static_cast<size_t>(s)], bound, limit);
+      }
+    }
+  }
+
+  Simulation& sim;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<int> remaining{0};
+  std::atomic<bool> stop{false};
+  Time bound = 0.0;
+  Time limit = 0.0;
+  int groups = 1;
+  std::vector<std::thread> pool;
+};
+
+Simulation::Simulation() {
+  shards_.push_back(std::make_unique<Shard>(0));
+  shards_[0]->outbound.resize(1);
+}
+
+Simulation::~Simulation() {
+  workers_.reset();  // join worker threads before tearing down shard state
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    // Destroy frames of processes that never completed (daemons, or roots
+    // left behind after run_until / an exception). Frames are suspended, so
+    // destroy is legal. Handles in triggers/resources become dangling but
+    // are never resumed again because the simulation is gone.
+    auto reap = [](std::vector<std::shared_ptr<JoinHandle::State>>& v) {
+      for (auto& st : v) {
+        if (!st->done && st->frame) st->frame.destroy();
+      }
+      v.clear();
+    };
+    reap(sh.live);
+    reap(sh.daemons);
+    // Free payloads of events still pending (or cancelled-but-unpopped): the
+    // key heap plus the resume ring list exactly the occupied slots, once
+    // each. (Ring slots are direct resumes and carry no payload, but walking
+    // them keeps the invariant obvious.)
+    for (std::size_t i = 0; i < sh.heap_size; ++i) {
+      destroy_payload(
+          slot(sh, static_cast<std::uint32_t>(sh.heap_data[i].key & kSlotMask)));
+    }
+    for (std::size_t i = sh.ring_head; i < sh.ring.size(); ++i) {
+      destroy_payload(
+          slot(sh, static_cast<std::uint32_t>(sh.ring[i].key & kSlotMask)));
+    }
+    heap_dealloc(sh);
+    // Staged cross-shard events that never merged.
+    for (auto& out : sh.outbound) {
+      for (Staged& e : out) e.destroy(e.fn);
+      out.clear();
+    }
+  }
   // Detach from outstanding EventTokens; the last of them frees the block.
   blk_->sim = nullptr;
-  if (--blk_->refs == 0) delete blk_;
+  if (blk_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete blk_;
 }
 
-void Simulation::heap_grow() {
+void Simulation::configure_shards(int n) {
+  assert(n >= 1);
+  assert(shards_.size() == 1 && "configure_shards may only be called once");
+  assert(shards_[0]->pool_size == 0 && shards_[0]->next_seq == 0 &&
+         "configure_shards must precede any scheduling");
+  for (int k = 1; k < n; ++k) {
+    shards_.push_back(std::make_unique<Shard>(k));
+  }
+  for (auto& sh : shards_) {
+    sh->outbound.resize(shards_.size());
+    if (has_perturb_) install_perturbation(*sh);
+  }
+}
+
+void Simulation::heap_grow(Shard& sh) {
   // Element 0 sits 48 bytes into a 64-byte-aligned block so that elements
   // 4i+1 .. 4i+4 — the children of node i — share one cache line.
-  const std::size_t cap = heap_cap_ > 0 ? heap_cap_ * 2 : 1024;
+  const std::size_t cap = sh.heap_cap > 0 ? sh.heap_cap * 2 : 1024;
   void* raw = ::operator new(48 + cap * sizeof(HeapEntry), std::align_val_t{64});
   auto* data = reinterpret_cast<HeapEntry*>(static_cast<unsigned char*>(raw) + 48);
-  if (heap_size_ > 0) std::memcpy(data, heap_data_, heap_size_ * sizeof(HeapEntry));
-  heap_dealloc();
-  heap_data_ = data;
-  heap_cap_ = cap;
+  if (sh.heap_size > 0) {
+    std::memcpy(data, sh.heap_data, sh.heap_size * sizeof(HeapEntry));
+  }
+  heap_dealloc(sh);
+  sh.heap_data = data;
+  sh.heap_cap = cap;
 }
 
-void Simulation::heap_dealloc() {
-  if (heap_data_ != nullptr) {
-    ::operator delete(reinterpret_cast<unsigned char*>(heap_data_) - 48,
+void Simulation::heap_dealloc(Shard& sh) {
+  if (sh.heap_data != nullptr) {
+    ::operator delete(reinterpret_cast<unsigned char*>(sh.heap_data) - 48,
                       std::align_val_t{64});
-    heap_data_ = nullptr;
+    sh.heap_data = nullptr;
   }
 }
 
-void Simulation::heap_push(HeapEntry e) {
-  if (heap_size_ == heap_cap_) heap_grow();
-  std::size_t i = heap_size_++;
+void Simulation::heap_push(Shard& sh, HeapEntry e) {
+  if (sh.heap_size == sh.heap_cap) heap_grow(sh);
+  std::size_t i = sh.heap_size++;
   while (i > 0) {
     const std::size_t parent = (i - 1) >> 2;
-    if (!key_less(e, heap_data_[parent])) break;
-    heap_data_[i] = heap_data_[parent];
+    if (!key_less(e, sh.heap_data[parent])) break;
+    sh.heap_data[i] = sh.heap_data[parent];
     i = parent;
   }
-  heap_data_[i] = e;
+  sh.heap_data[i] = e;
 }
 
-Simulation::HeapEntry Simulation::heap_pop() {
-  const HeapEntry top = heap_data_[0];
-  const HeapEntry last = heap_data_[--heap_size_];
-  const std::size_t n = heap_size_;
+Simulation::HeapEntry Simulation::heap_pop(Shard& sh) {
+  const HeapEntry top = sh.heap_data[0];
+  const HeapEntry last = sh.heap_data[--sh.heap_size];
+  const std::size_t n = sh.heap_size;
   if (n > 0) {
     std::size_t i = 0;
     for (;;) {
@@ -94,26 +232,27 @@ Simulation::HeapEntry Simulation::heap_pop() {
       // next level's fetch with this level's compare, whichever child wins.
       const std::size_t gfirst = 4 * first + 1;
       if (gfirst < n) {
-        __builtin_prefetch(&heap_data_[gfirst]);
-        __builtin_prefetch(&heap_data_[gfirst + 4]);
-        __builtin_prefetch(&heap_data_[gfirst + 8]);
-        __builtin_prefetch(&heap_data_[gfirst + 12]);
+        __builtin_prefetch(&sh.heap_data[gfirst]);
+        __builtin_prefetch(&sh.heap_data[gfirst + 4]);
+        __builtin_prefetch(&sh.heap_data[gfirst + 8]);
+        __builtin_prefetch(&sh.heap_data[gfirst + 12]);
       }
       std::size_t min_child = first;
       const std::size_t end = std::min(first + 4, n);
       for (std::size_t c = first + 1; c < end; ++c) {
-        if (key_less(heap_data_[c], heap_data_[min_child])) min_child = c;
+        if (key_less(sh.heap_data[c], sh.heap_data[min_child])) min_child = c;
       }
-      if (!key_less(heap_data_[min_child], last)) break;
-      heap_data_[i] = heap_data_[min_child];
+      if (!key_less(sh.heap_data[min_child], last)) break;
+      sh.heap_data[i] = sh.heap_data[min_child];
       i = min_child;
     }
-    heap_data_[i] = last;
+    sh.heap_data[i] = last;
   }
   return top;
 }
 
 JoinHandle Simulation::spawn(Proc<void> p, std::string name, bool daemon) {
+  Shard& home = cur();
   auto st = std::make_shared<JoinHandle::State>();
   st->name = std::move(name);
   st->daemon = daemon;
@@ -123,20 +262,24 @@ JoinHandle Simulation::spawn(Proc<void> p, std::string name, bool daemon) {
   auto h = runner.release();
   h.promise().detached = true;
   st->frame = h;
-  // Two raw pointers: fits std::function's inline storage, so arming the
-  // completion hook allocates nothing. root_runner holds its own shared_ptr
-  // to the state, which outlives final_suspend.
+  // root_runner holds its own shared_ptr to the state, which outlives
+  // final_suspend. The completion hook updates the spawning shard's
+  // registry counters — processes that finish do so on their home shard
+  // (the affinity asserts enforce this for multi-threaded windows).
   JoinHandle::State* stp = st.get();
-  h.promise().on_final = [this, stp] {
+  Shard* homep = &home;
+  h.promise().on_final = [this, stp, homep] {
     stp->done = true;
     stp->frame = nullptr;
-    ++(stp->daemon ? done_daemons_ : done_live_);
-    if (stp->exception && stp->joiners.empty()) escaped_.push_back(stp->exception);
+    ++(stp->daemon ? homep->done_daemons : homep->done_live);
+    if (stp->exception && stp->joiners.empty()) {
+      homep->escaped.push_back(stp->exception);
+    }
     for (auto j : stp->joiners) schedule_resume(j);
     stp->joiners.clear();
   };
-  auto& registry = daemon ? daemons_ : live_;
-  std::size_t& done_count = daemon ? done_daemons_ : done_live_;
+  auto& registry = daemon ? home.daemons : home.live;
+  std::size_t& done_count = daemon ? home.done_daemons : home.done_live;
   registry.push_back(st);
   // Completed states would otherwise accumulate forever (one per spawned
   // process — millions in long runs). Compact only when at least half the
@@ -164,45 +307,56 @@ Proc<void> JoinHandle::join() {
   }
 }
 
-bool Simulation::step() {
+bool Simulation::step(Shard& sh, Time bound, Time limit) {
   for (;;) {
     HeapEntry e;
-    const bool ring_pending = ring_head_ < ring_.size();
-    if (ring_pending &&
-        (heap_size_ == 0 || key_less(ring_[ring_head_], heap_data_[0]))) {
-      // Zero-delay resume ring: entries are pre-sorted (all at now_, seq
-      // ascending), so this is the global minimum.
-      e = ring_[ring_head_++];
-      if (ring_head_ == ring_.size()) {
-        ring_.clear();
-        ring_head_ = 0;
+    bool from_ring;
+    const bool ring_pending = sh.ring_head < sh.ring.size();
+    if (ring_pending && (sh.heap_size == 0 ||
+                         key_less(sh.ring[sh.ring_head], sh.heap_data[0]))) {
+      // Zero-delay resume ring: entries are pre-sorted (all at `now`, seq
+      // ascending), so this is the shard's minimum.
+      e = sh.ring[sh.ring_head];
+      from_ring = true;
+    } else if (sh.heap_size > 0) {
+      e = sh.heap_data[0];
+      from_ring = false;
+    } else {
+      return false;
+    }
+    // Window horizon (strict) and run_until limit (inclusive): events at or
+    // past the bound stay queued for a later window.
+    if (e.t >= bound || e.t > limit) return false;
+    if (from_ring) {
+      ++sh.ring_head;
+      if (sh.ring_head == sh.ring.size()) {
+        sh.ring.clear();
+        sh.ring_head = 0;
       }
-    } else if (heap_size_ > 0) {
+    } else {
       // Start fetching the winning event's slot line before the sift-down
       // touches the heap: the two are independent, so the slot arrives from
       // cache by the time dispatch needs it.
       __builtin_prefetch(
-          &slot(static_cast<std::uint32_t>(heap_data_[0].key & kSlotMask)));
-      e = heap_pop();
-    } else {
-      return false;
+          &slot(sh, static_cast<std::uint32_t>(sh.heap_data[0].key & kSlotMask)));
+      e = heap_pop(sh);
     }
     const std::uint32_t si = static_cast<std::uint32_t>(e.key & kSlotMask);
-    EventSlot& s = slot(si);
+    EventSlot& s = slot(sh, si);
     if ((s.gen & kGenCancelled) != 0u) {
       destroy_payload(s);
-      release_slot(si);
+      release_slot(sh, si);
       continue;
     }
-    now_ = e.t;
-    ++events_processed_;
+    sh.now = e.t;
+    ++sh.events_processed;
     if (s.invoke == nullptr) {
       // Direct resume. Release before resuming: the slot is immediately
       // reusable (warm for whatever the coroutine schedules next) and holds
       // no payload.
       void* addr;
       std::memcpy(&addr, s.buf, sizeof(addr));
-      release_slot(si);
+      release_slot(sh, si);
       std::coroutine_handle<>::from_address(addr).resume();
     } else {
       // Invoke in place; the slot stays off the free list during the call,
@@ -210,47 +364,178 @@ bool Simulation::step() {
       // (and thereby grows the pool).
       s.invoke(s.buf);
       destroy_payload(s);
-      release_slot(si);
+      release_slot(sh, si);
     }
     return true;
   }
 }
 
-void Simulation::run() {
-  while (step()) {
+void Simulation::exec_shard(Shard& sh, Time bound, Time limit) {
+  ShardGuard g(*this, sh.index);
+  try {
+    while (step(sh, bound, limit)) {
+    }
+  } catch (...) {
+    sh.window_exception = std::current_exception();
   }
+}
+
+// Applies every staged cross-shard event. For each destination, arrivals
+// from all sources are ordered by (time, src shard, src sequence) — a fixed
+// rule independent of which thread executed which shard — and then keyed
+// with the destination's own insertion sequence, so the merged schedule is
+// a pure function of the logical run.
+void Simulation::merge_staged() {
+  const int n = static_cast<int>(shards_.size());
+  for (int d = 0; d < n; ++d) {
+    merge_scratch_.clear();
+    for (int s = 0; s < n; ++s) {
+      auto& out = shards_[static_cast<size_t>(s)]->outbound[static_cast<size_t>(d)];
+      for (const Staged& e : out) merge_scratch_.emplace_back(e, s);
+      out.clear();
+    }
+    if (merge_scratch_.empty()) continue;
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const std::pair<Staged, int>& a, const std::pair<Staged, int>& b) {
+                if (a.first.t != b.first.t) return a.first.t < b.first.t;
+                if (a.second != b.second) return a.second < b.second;
+                return a.first.seq < b.first.seq;
+              });
+    Shard& to = *shards_[static_cast<size_t>(d)];
+    for (auto& m : merge_scratch_) {
+      const Staged& e = m.first;
+      // Move the staged callable into a slot-sized runner that frees it
+      // after the call (or on teardown if the event never fires).
+      struct Runner {
+        void* fn;
+        void (*invoke)(void*);
+        void (*free_fn)(void*);
+        Runner(void* f, void (*i)(void*), void (*d2)(void*))
+            : fn(f), invoke(i), free_fn(d2) {}
+        Runner(Runner&& o) noexcept
+            : fn(o.fn), invoke(o.invoke), free_fn(o.free_fn) {
+          o.fn = nullptr;
+        }
+        Runner(const Runner&) = delete;
+        Runner& operator=(const Runner&) = delete;
+        Runner& operator=(Runner&&) = delete;
+        ~Runner() {
+          if (fn != nullptr) free_fn(fn);
+        }
+        void operator()() {
+          void* f = fn;
+          fn = nullptr;
+          invoke(f);
+          free_fn(f);
+        }
+      };
+      emplace_event(to, e.t, Runner(e.fn, e.invoke, e.destroy));
+    }
+  }
+}
+
+void Simulation::run_events(Time limit) {
+  if (shards_.size() == 1) {
+    // Classic sequential engine: one shard, no windows, no merges —
+    // byte-identical to the historical single-threaded schedule.
+    Shard& sh = *shards_[0];
+    ShardGuard g(*this, 0);
+    while (step(sh, kInfTime, limit)) {
+    }
+    return;
+  }
+  run_windows(limit);
+}
+
+void Simulation::run_windows(Time limit) {
+  if (lookahead_ <= 0.0) {
+    throw std::logic_error(
+        "Simulation: multi-shard run requires a positive lookahead "
+        "(register_lookahead)");
+  }
+  const int n = static_cast<int>(shards_.size());
+  const int groups = exec_groups_req_ > 0 ? std::min(exec_groups_req_, n) : n;
+  const int threads = std::min(exec_threads_req_, groups);
+  if (threads > 1 && (workers_ == nullptr || workers_->threads() != threads)) {
+    workers_ = std::make_unique<Workers>(*this, threads);
+  }
+  for (;;) {
+    merge_staged();
+    Time m = kInfTime;
+    for (const auto& sh : shards_) m = std::min(m, next_time(*sh));
+    if (m == kInfTime || m > limit) break;  // drained, or past run_until
+    const Time bound = m + lookahead_;
+    if (threads > 1) {
+      parallel_window_ = true;
+      workers_->run_window(bound, limit, groups);
+      parallel_window_ = false;
+    } else {
+      for (int g = 0; g < groups; ++g) {
+        for (int s = g; s < n; s += groups) {
+          exec_shard(*shards_[static_cast<size_t>(s)], bound, limit);
+        }
+      }
+    }
+    for (auto& sh : shards_) {
+      if (sh->window_exception) {
+        auto ex = sh->window_exception;
+        sh->window_exception = nullptr;
+        std::rethrow_exception(ex);
+      }
+    }
+  }
+}
+
+// Aligns every shard clock (and the global clock) on max(shard clocks,
+// at_least). Runs after the queues drained, so advancing a lagging shard is
+// safe, and keeps post-run scheduling from the main thread consistent: all
+// clocks agree between runs, exactly like the classic single-clock engine.
+void Simulation::sync_clocks(Time at_least) {
+  Time mx = at_least;
+  for (const auto& sh : shards_) mx = std::max(mx, sh->now);
+  for (auto& sh : shards_) sh->now = mx;
+  global_now_ = mx;
+}
+
+void Simulation::run() {
+  try {
+    run_events(kInfTime);
+  } catch (...) {
+    sync_clocks(0.0);
+    throw;
+  }
+  sync_clocks(0.0);
   rethrow_pending();
   check_deadlock();
 }
 
 void Simulation::run_until(Time t) {
-  for (;;) {
-    Time next;
-    if (ring_head_ < ring_.size()) {
-      next = ring_[ring_head_].t;  // ≤ any heap time by construction
-    } else if (heap_size_ > 0) {
-      next = heap_data_[0].t;
-    } else {
-      break;
-    }
-    if (next > t) break;
-    step();
+  try {
+    run_events(t);
+  } catch (...) {
+    sync_clocks(0.0);
+    throw;
   }
-  now_ = std::max(now_, t);
+  sync_clocks(t);
   rethrow_pending();
 }
 
 void Simulation::rethrow_pending() {
-  if (escaped_.empty()) return;
-  auto ex = escaped_.front();
-  escaped_.clear();
-  std::rethrow_exception(ex);
+  for (const auto& sh : shards_) {
+    if (!sh->escaped.empty()) {
+      auto ex = sh->escaped.front();
+      for (auto& s2 : shards_) s2->escaped.clear();
+      std::rethrow_exception(ex);
+    }
+  }
 }
 
 void Simulation::check_deadlock() const {
   std::vector<std::string> stuck;
-  for (const auto& st : live_) {
-    if (!st->done) stuck.push_back(st->name);
+  for (const auto& sh : shards_) {
+    for (const auto& st : sh->live) {
+      if (!st->done) stuck.push_back(st->name);
+    }
   }
   if (stuck.empty()) return;
   std::ostringstream os;

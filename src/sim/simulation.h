@@ -2,10 +2,30 @@
 
 // Discrete-event simulation core.
 //
-// The simulator is single-threaded and deterministic: events fire in
-// (time, insertion-sequence) order. Processes are C++20 coroutines (Proc<T>)
-// driven from the event queue. Simulated entities (resources, channels,
-// queues) schedule events to resume suspended processes.
+// The engine is sharded (docs/PERF.md, "Parallel engine"). Every shard owns
+// a complete event engine — payload slot pool, 4-ary key min-heap,
+// zero-delay resume ring, insertion sequence, perturbation streams — and
+// fires its events in (time, insertion-sequence) order. The default
+// single-shard simulation is the classic sequential engine, byte-identical
+// to the historical one. configure_shards(n) splits the simulation into n
+// shards (Cluster maps one node per shard) that advance under a
+// conservative time-window protocol: each window executes every event with
+// t < min(next-event time over all shards) + lookahead, where the lookahead
+// is the smallest cross-shard link latency registered by the fabric
+// (Fabric registers NetConfig::latency). No cross-shard event can land
+// inside the window it was sent from — the wire latency guarantees its
+// arrival time is at or past the horizon — so shards never observe an
+// arrival out of order. Cross-shard events (schedule_on) are staged into
+// per-(src, dst) outbound lists and merged at window open in (time,
+// src shard, src sequence) order, then keyed with the destination's own
+// insertion sequence.
+//
+// Determinism is executor-independent by construction: the window
+// boundaries, the merge order, and each shard's event order are functions
+// of the logical schedule alone — never of the executor-group count or the
+// worker-thread count (set_executor). A seeded run replays byte-identically
+// with 1 thread or N; check_determinism.sh and tests/engine_parallel_test
+// enforce this.
 //
 // Engine layout (docs/PERF.md): event payloads live in 64-byte slots —
 // exactly one cache line each — allocated in fixed-size chunks and recycled
@@ -22,11 +42,13 @@
 // (chunks warm, callbacks within the inline buffer) scheduling and
 // dispatching allocate nothing.
 
+#include <atomic>
 #include <cassert>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <new>
 #include <stdexcept>
@@ -37,6 +59,7 @@
 
 #include "sim/perturb.h"
 #include "sim/proc.h"
+#include "sim/shard_context.h"
 #include "sim/units.h"
 
 namespace dcuda::sim {
@@ -48,10 +71,11 @@ namespace detail {
 // Liveness anchor shared by a Simulation and its EventTokens. The engine
 // holds one reference for its whole lifetime and nulls `sim` on
 // destruction, so a token can always tell a dead engine from a live one.
-// Plain (non-atomic) counts: the simulator is single-threaded by contract.
+// The count is atomic because tokens of different shards may be copied and
+// dropped concurrently during a multi-threaded window.
 struct TokenBlock {
   Simulation* sim;
-  std::uint64_t refs;
+  std::atomic<std::uint64_t> refs;
 };
 }  // namespace detail
 
@@ -65,23 +89,28 @@ class DeadlockError : public std::runtime_error {
 };
 
 // Cancellation token for a scheduled event (used for timeouts and for
-// rescheduling completion events in shared resources). Holds a (slot,
-// generation) pair into the engine's event pool plus a shared liveness
-// anchor, so a token may safely outlive both its event (the slot's
+// rescheduling completion events in shared resources). Holds a (shard,
+// slot, generation) triple into the owning shard's event pool plus a shared
+// liveness anchor, so a token may safely outlive both its event (the slot's
 // generation has moved on) and the whole Simulation (the anchor's engine
-// pointer is nulled).
+// pointer is nulled). Tokens are shard-affine: cancel()/pending() touch the
+// owning shard's pool, so they must only be called from that shard during a
+// multi-threaded window (all engine users — resource completions, go-back-N
+// retransmit timers — keep their tokens shard-local).
 class EventToken {
  public:
   EventToken() = default;
-  EventToken(const EventToken& o) : blk_(o.blk_), slot_(o.slot_), gen_(o.gen_) {
-    if (blk_ != nullptr) ++blk_->refs;
+  EventToken(const EventToken& o)
+      : blk_(o.blk_), shard_(o.shard_), slot_(o.slot_), gen_(o.gen_) {
+    if (blk_ != nullptr) blk_->refs.fetch_add(1, std::memory_order_relaxed);
   }
   EventToken(EventToken&& o) noexcept
-      : blk_(o.blk_), slot_(o.slot_), gen_(o.gen_) {
+      : blk_(o.blk_), shard_(o.shard_), slot_(o.slot_), gen_(o.gen_) {
     o.blk_ = nullptr;
   }
   EventToken& operator=(EventToken o) noexcept {
     std::swap(blk_, o.blk_);
+    std::swap(shard_, o.shard_);
     std::swap(slot_, o.slot_);
     std::swap(gen_, o.gen_);
     return *this;
@@ -93,19 +122,24 @@ class EventToken {
 
  private:
   friend class Simulation;
-  EventToken(detail::TokenBlock* blk, std::uint32_t slot, std::uint32_t gen)
-      : blk_(blk), slot_(slot), gen_(gen) {
-    ++blk_->refs;
+  EventToken(detail::TokenBlock* blk, std::uint32_t shard, std::uint32_t slot,
+             std::uint32_t gen)
+      : blk_(blk), shard_(shard), slot_(slot), gen_(gen) {
+    blk_->refs.fetch_add(1, std::memory_order_relaxed);
   }
 
   void drop() {
     // The engine keeps its own reference while alive, so refs only reaches
     // zero once the Simulation is gone and the last token lets go.
-    if (blk_ != nullptr && --blk_->refs == 0) delete blk_;
+    if (blk_ != nullptr &&
+        blk_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete blk_;
+    }
     blk_ = nullptr;
   }
 
   detail::TokenBlock* blk_ = nullptr;
+  std::uint32_t shard_ = 0;
   std::uint32_t slot_ = 0;
   std::uint32_t gen_ = 0;
 };
@@ -128,29 +162,124 @@ class JoinHandle {
   std::shared_ptr<State> st_;
 };
 
+// RAII scope that marks the calling thread as executing inside a given
+// shard of `sim`. The engine sets it around every window; Cluster sets it
+// around per-node machine construction so daemons spawned by a node's
+// components land in that node's shard.
+class ShardGuard {
+ public:
+  // Defined after Simulation: it resolves the shard's address so the hot
+  // accessors (now, cur) reach the active shard in a single dereference.
+  ShardGuard(const Simulation& sim, int shard);
+  ~ShardGuard() { detail::tls_shard_ctx = prev_; }
+  ShardGuard(const ShardGuard&) = delete;
+  ShardGuard& operator=(const ShardGuard&) = delete;
+
+ private:
+  detail::ShardContext prev_;
+};
+
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation();
   ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  Time now() const { return now_; }
+  // Current simulated time: the executing shard's clock from inside the
+  // run, the global (maximum) clock from outside.
+  Time now() const {
+    const detail::ShardContext& ctx = detail::tls_shard_ctx;
+    if (ctx.engine == this) return static_cast<const Shard*>(ctx.active)->now;
+    return global_now_;
+  }
+
+  // -- Sharding (docs/PERF.md, "Parallel engine") ----------------------
+
+  // Splits the simulation into `n` shards. Must be called before anything
+  // is scheduled (Cluster calls it first thing, one shard per node). The
+  // shard layout is part of the logical schedule: a given workload always
+  // runs with the same shard count regardless of executor knobs.
+  void configure_shards(int n);
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // Shard owning node/index `id` (identity while one shard per node).
+  int shard_for(int id) const {
+    return shards_.size() > 1 ? id % static_cast<int>(shards_.size()) : 0;
+  }
+
+  // Registers a cross-shard causality bound: no schedule_on between
+  // distinct shards may use a delay below the smallest registered value.
+  // The fabric registers its wire latency — the paper's 1.4 us — which
+  // makes every window at least one wire flight long.
+  void register_lookahead(Dur d) {
+    if (lookahead_ <= 0.0 || d < lookahead_) lookahead_ = d;
+  }
+  Dur lookahead() const { return lookahead_; }
+
+  // Executor knobs (never affect results, only wall-clock): `groups`
+  // executor groups (0 = one per shard) each execute their shards in
+  // sequence; `threads` worker threads execute the groups of every window.
+  void set_executor(int groups, int threads) {
+    exec_groups_req_ = groups;
+    exec_threads_req_ = threads < 1 ? 1 : threads;
+  }
+
+  // True while a multi-threaded window is executing. Shard-affinity asserts
+  // (sim/trigger.h, sim/resource.h) fire only then: serial cross-shard
+  // hand-offs are causally ordered by the window protocol, parallel ones
+  // would race.
+  bool parallel_execution() const { return parallel_window_; }
+  // Shard the calling thread is executing for this engine (0 outside).
+  int current_shard() const {
+    const detail::ShardContext& ctx = detail::tls_shard_ctx;
+    return ctx.engine == this ? ctx.shard : 0;
+  }
 
   // -- Event scheduling ------------------------------------------------
 
-  // Schedules `fn` to run after `delay`. The callable is moved into the
-  // event slot's inline buffer when it fits (kInlineBytes); larger callables
-  // fall back to one heap allocation, counted in pool_stats().
+  // Schedules `fn` to run after `delay` on the current shard. The callable
+  // is moved into the event slot's inline buffer when it fits
+  // (kInlineBytes); larger callables fall back to one heap allocation,
+  // counted in pool_stats().
   template <typename F>
   void schedule(Dur delay, F&& fn) {
-    emplace_event(now_ + delay, std::forward<F>(fn));
+    Shard& sh = cur();
+    emplace_event(sh, sh.now + delay, std::forward<F>(fn));
+  }
+
+  // Schedules `fn` onto shard `dst` after `delay` of the caller's clock.
+  // Same-shard calls take the normal path. Cross-shard calls made during a
+  // windowed run are staged into the source shard's outbound list and
+  // merged into the destination at the next window boundary in (time,
+  // src shard, src sequence) order; the delay must respect the registered
+  // lookahead so the event lands at or past the window horizon.
+  template <typename F>
+  void schedule_on(int dst, Dur delay, F&& fn) {
+    assert(dst >= 0 && dst < num_shards());
+    Shard& src = cur();
+    if (dst == src.index || detail::tls_shard_ctx.engine != this) {
+      // Same shard, or scheduling from outside the run (construction,
+      // between runs): emplace directly — the main thread owns every shard
+      // there, and clocks agree (sync'd at the end of each run).
+      emplace_event(*shards_[static_cast<size_t>(dst)], src.now + delay,
+                    std::forward<F>(fn));
+      return;
+    }
+    assert(lookahead_ > 0.0 && delay >= lookahead_ &&
+           "cross-shard delay below the registered lookahead");
+    using D = std::decay_t<F>;
+    src.outbound[static_cast<size_t>(dst)].push_back(Staged{
+        src.now + delay, src.cross_seq++, new D(std::forward<F>(fn)),
+        [](void* p) { (*static_cast<D*>(p))(); },
+        [](void* p) { delete static_cast<D*>(p); }});
   }
 
   template <typename F>
   EventToken schedule_cancellable(Dur delay, F&& fn) {
-    const std::uint32_t si = emplace_event(now_ + delay, std::forward<F>(fn));
-    return EventToken(blk_, si, slot(si).gen);
+    Shard& sh = cur();
+    const std::uint32_t si = emplace_event(sh, sh.now + delay, std::forward<F>(fn));
+    return EventToken(blk_, static_cast<std::uint32_t>(sh.index), si,
+                      slot(sh, si).gen);
   }
 
   // Direct coroutine resumption: no callable at all, just the handle.
@@ -158,26 +287,36 @@ class Simulation {
   // handoffs, and spawns — bypass the heap through a FIFO ring: they all
   // carry the current time, so their (time, seq) keys arrive pre-sorted.
   void schedule_resume(std::coroutine_handle<> h, Dur delay = 0.0) {
-    const std::uint32_t si = acquire_slot();
-    EventSlot& s = slot(si);
+    Shard& sh = cur();
+    const std::uint32_t si = acquire_slot(sh);
+    EventSlot& s = slot(sh, si);
     s.invoke = nullptr;  // marks the slot as a direct resume
     void* addr = h.address();
     std::memcpy(s.buf, &addr, sizeof(addr));
-    if (delay == 0.0 && !tiebreak_active()) {
-      ring_.push_back(HeapEntry{now_, make_key(si)});
+    if (delay == 0.0 && !tiebreak_active(sh)) {
+      sh.ring.push_back(HeapEntry{sh.now, make_key(sh, si)});
     } else {
       // Under tie-break perturbation the ring's precondition (keys arrive
       // pre-sorted) no longer holds, so zero-delay resumes take the heap.
-      heap_push(HeapEntry{now_ + delay, make_key(si)});
+      heap_push(sh, HeapEntry{sh.now + delay, make_key(sh, si)});
     }
   }
 
   // -- Processes -------------------------------------------------------
 
-  // Starts a root process at the current time. Daemon processes are allowed
-  // to outlive the simulation (they are excluded from deadlock detection and
-  // their frames are reclaimed by ~Simulation).
+  // Starts a root process at the current time on the current shard. Daemon
+  // processes are allowed to outlive the simulation (they are excluded from
+  // deadlock detection and their frames are reclaimed by ~Simulation).
   JoinHandle spawn(Proc<void> p, std::string name = "proc", bool daemon = false);
+
+  // Starts a root process on a specific shard (Cluster spawns each node's
+  // ranks into that node's shard).
+  JoinHandle spawn_on(int shard, Proc<void> p, std::string name = "proc",
+                      bool daemon = false) {
+    assert(shard >= 0 && shard < num_shards());
+    ShardGuard g(*this, shard);
+    return spawn(std::move(p), std::move(name), daemon);
+  }
 
   // Awaitable: suspend the calling process for `delay` simulated time.
   auto delay(Dur d) {
@@ -202,24 +341,40 @@ class Simulation {
   // Remaining processes are not treated as deadlocked.
   void run_until(Time t);
 
-  std::size_t events_processed() const { return events_processed_; }
-  std::size_t live_processes() const { return live_.size(); }
+  std::size_t events_processed() const {
+    std::size_t n = 0;
+    for (const auto& sh : shards_) n += sh->events_processed;
+    return n;
+  }
+  std::size_t live_processes() const {
+    std::size_t n = 0;
+    for (const auto& sh : shards_) n += sh->live.size();
+    return n;
+  }
 
   // -- Schedule perturbation (docs/TESTING.md) -------------------------
 
   // Installs a seeded perturbation policy. Must be called before the first
   // event is scheduled (the fuzz harness installs it right after
   // construction); the run remains fully deterministic — a function of
-  // (workload, seed, classes) only.
+  // (workload, seed, classes, shard layout) only. Every shard gets its own
+  // stream set, derived from the seed and the shard index; shard 0 keeps
+  // the raw seed, so single-shard runs draw the historical sequences.
   void set_perturbation(std::uint64_t seed,
                         std::uint32_t classes = Perturbation::kAllClasses) {
-    perturb_ = std::make_unique<Perturbation>(seed, classes);
+    perturb_seed_ = seed;
+    perturb_classes_ = classes;
+    has_perturb_ = true;
+    for (auto& sh : shards_) install_perturbation(*sh);
   }
-  Perturbation* perturbation() { return perturb_.get(); }
-  const Perturbation* perturbation() const { return perturb_.get(); }
+  // The executing shard's perturbation (shard 0's outside the run).
+  Perturbation* perturbation() { return cur().perturb.get(); }
+  const Perturbation* perturbation() const { return cur().perturb.get(); }
 
   // Invariant-oracle hook sink (src/sim/invariants.h). Null in normal runs;
   // components report protocol transitions through it when set. Not owned.
+  // The observer's hooks serialize internally, so oracle checking works
+  // under multi-threaded windows too.
   void set_invariant_observer(InvariantObserver* obs) { observer_ = obs; }
   InvariantObserver* invariant_observer() const { return observer_; }
 
@@ -228,21 +383,30 @@ class Simulation {
   // Allocation accounting for the steady-state zero-allocation guarantee:
   // once the pool and heap are warm, `pool_growths` and `heap_fallbacks`
   // stop increasing — every schedule/dispatch reuses pooled storage.
+  // Aggregated over shards.
   struct PoolStats {
     std::size_t pool_slots = 0;        // slots ever created
     std::size_t free_slots = 0;        // currently on the free list
-    std::size_t pending_events = 0;    // keys in the heap
+    std::size_t pending_events = 0;    // keys in heaps/rings + staged
     std::uint64_t pool_growths = 0;    // pool chunk allocations
     std::uint64_t heap_fallbacks = 0;  // callables too big for inline buffer
   };
   PoolStats pool_stats() const {
-    return PoolStats{pool_size_, free_count_,
-                     heap_size_ + (ring_.size() - ring_head_), pool_growths_,
-                     heap_fallbacks_};
+    PoolStats p;
+    for (const auto& sh : shards_) {
+      p.pool_slots += sh->pool_size;
+      p.free_slots += sh->free_count;
+      p.pending_events += sh->heap_size + (sh->ring.size() - sh->ring_head);
+      for (const auto& out : sh->outbound) p.pending_events += out.size();
+      p.pool_growths += sh->pool_growths;
+      p.heap_fallbacks += sh->heap_fallbacks;
+    }
+    return p;
   }
 
  private:
   friend class EventToken;
+  friend class ShardGuard;
 
   // Payload slot: exactly one cache line. The two generation flag bits
   // (kGenCancelled, kGenHeap) travel with the generation value, so a token
@@ -283,50 +447,127 @@ class Simulation {
   static constexpr unsigned kChunkBits = 10;
   static constexpr std::size_t kChunkSlots = std::size_t{1} << kChunkBits;
 
+  static constexpr Time kInfTime = std::numeric_limits<Time>::infinity();
+
+  // A cross-shard event parked in its source shard's outbound list until
+  // the next window boundary. The callable lives behind one heap
+  // allocation (cross-shard traffic is fabric-delivery scale, not
+  // hot-path scale) so the list can reallocate freely.
+  struct Staged {
+    Time t;
+    std::uint64_t seq;       // per-source monotone merge tie-break
+    void* fn;
+    void (*invoke)(void*);   // call the callable (does not free it)
+    void (*destroy)(void*);  // free without calling
+  };
+
+  // One node-stack's event engine. Everything a window touches is local to
+  // the shard; worker threads never share shard state inside a window.
+  struct Shard {
+    explicit Shard(int idx) : index(idx) {}
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+
+    const int index;
+    Time now = 0.0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t cross_seq = 0;
+    std::size_t events_processed = 0;
+
+    // 4-ary min-heap of keys. The element array starts 48 bytes into a
+    // 64-byte-aligned allocation, so each child group {4i+1 .. 4i+4}
+    // occupies exactly one cache line.
+    HeapEntry* heap_data = nullptr;
+    std::size_t heap_size = 0;
+    std::size_t heap_cap = 0;
+
+    // FIFO ring of zero-delay resumes. Every entry's time equals `now` — no
+    // event can fire in between without violating (time, seq) order — and
+    // the backing vector is reused once drained, so pushes are
+    // allocation-free in steady state. Rings always drain within a window:
+    // pushes carry the current time, which is below the horizon.
+    std::vector<HeapEntry> ring;
+    std::size_t ring_head = 0;
+
+    std::vector<std::unique_ptr<EventSlot[]>> chunks;
+    std::size_t pool_size = 0;
+    std::uint32_t free_head = kNilSlot;
+    std::size_t free_count = 0;
+    std::uint64_t pool_growths = 0;
+    std::uint64_t heap_fallbacks = 0;
+
+    std::unique_ptr<Perturbation> perturb;  // null: canonical schedule
+
+    // Root-process registries. Spawns and completions run inside shard
+    // execution, so they must not share storage across shards.
+    std::vector<std::shared_ptr<JoinHandle::State>> live;
+    std::vector<std::shared_ptr<JoinHandle::State>> daemons;
+    std::size_t done_live = 0;   // completed-but-uncompacted, per registry
+    std::size_t done_daemons = 0;
+    std::vector<std::exception_ptr> escaped;  // from unjoined roots
+
+    // Cross-shard staging, one list per destination shard.
+    std::vector<std::vector<Staged>> outbound;
+    std::exception_ptr window_exception;
+  };
+
+  struct Workers;  // worker-thread pool (defined in simulation.cc)
+
+  Shard& cur() {
+    const detail::ShardContext& ctx = detail::tls_shard_ctx;
+    if (ctx.engine == this) return *static_cast<Shard*>(ctx.active);
+    return *shards_[0];
+  }
+  const Shard& cur() const {
+    const detail::ShardContext& ctx = detail::tls_shard_ctx;
+    if (ctx.engine == this) return *static_cast<const Shard*>(ctx.active);
+    return *shards_[0];
+  }
+
   static bool key_less(const HeapEntry& a, const HeapEntry& b) {
     if (a.t != b.t) return a.t < b.t;
     return a.key < b.key;  // earlier sequence first
   }
 
-  EventSlot& slot(std::uint32_t i) {
-    return chunks_[i >> kChunkBits][i & (kChunkSlots - 1)];
+  static EventSlot& slot(Shard& sh, std::uint32_t i) {
+    return sh.chunks[i >> kChunkBits][i & (kChunkSlots - 1)];
   }
-  const EventSlot& slot(std::uint32_t i) const {
-    return chunks_[i >> kChunkBits][i & (kChunkSlots - 1)];
+  static const EventSlot& slot(const Shard& sh, std::uint32_t i) {
+    return sh.chunks[i >> kChunkBits][i & (kChunkSlots - 1)];
   }
 
-  std::uint32_t acquire_slot() {
-    if (free_head_ != kNilSlot) {
-      const std::uint32_t s = free_head_;
-      free_head_ = slot(s).next_free;
-      --free_count_;
+  static std::uint32_t acquire_slot(Shard& sh) {
+    if (sh.free_head != kNilSlot) {
+      const std::uint32_t s = sh.free_head;
+      sh.free_head = slot(sh, s).next_free;
+      --sh.free_count;
       return s;
     }
-    assert(pool_size_ < kSlotMask && "event pool exhausted (2^24 pending)");
-    if (pool_size_ == chunks_.size() * kChunkSlots) {
-      chunks_.emplace_back(new EventSlot[kChunkSlots]);
-      ++pool_growths_;
+    assert(sh.pool_size < kSlotMask && "event pool exhausted (2^24 pending)");
+    if (sh.pool_size == sh.chunks.size() * kChunkSlots) {
+      sh.chunks.emplace_back(new EventSlot[kChunkSlots]);
+      ++sh.pool_growths;
     }
-    return static_cast<std::uint32_t>(pool_size_++);
+    return static_cast<std::uint32_t>(sh.pool_size++);
   }
 
-  void release_slot(std::uint32_t si) {
-    EventSlot& s = slot(si);
+  static void release_slot(Shard& sh, std::uint32_t si) {
+    EventSlot& s = slot(sh, si);
     s.gen = (s.gen | (kGenStep - 1u)) + 1u;  // next generation, flags cleared
-    s.next_free = free_head_;
-    free_head_ = si;
-    ++free_count_;
+    s.next_free = sh.free_head;
+    sh.free_head = si;
+    ++sh.free_count;
   }
 
-  void destroy_payload(EventSlot& s) {
+  static void destroy_payload(EventSlot& s) {
     if (s.invoke != nullptr && s.destroy != nullptr) s.destroy(s.buf);
   }
 
   template <typename F>
-  std::uint32_t emplace_event(Time t, F&& fn) {
+  std::uint32_t emplace_event(Shard& sh, Time t, F&& fn) {
     using D = std::decay_t<F>;
-    const std::uint32_t si = acquire_slot();
-    EventSlot& s = slot(si);
+    const std::uint32_t si = acquire_slot(sh);
+    EventSlot& s = slot(sh, si);
     if constexpr (sizeof(D) <= EventSlot::kInlineBytes &&
                   alignof(D) <= alignof(std::max_align_t)) {
       ::new (static_cast<void*>(s.buf)) D(std::forward<F>(fn));
@@ -341,14 +582,14 @@ class Simulation {
       s.gen |= kGenHeap;
       s.invoke = [](void* p) { (**static_cast<D**>(p))(); };
       s.destroy = [](void* p) { delete *static_cast<D**>(p); };
-      ++heap_fallbacks_;
+      ++sh.heap_fallbacks;
     }
-    push_key(t, si);
+    push_key(sh, t, si);
     return si;
   }
 
-  bool tiebreak_active() const {
-    return perturb_ != nullptr && perturb_->has(Perturbation::kTieBreak);
+  static bool tiebreak_active(const Shard& sh) {
+    return sh.perturb != nullptr && sh.perturb->has(Perturbation::kTieBreak);
   }
 
   // Key for a newly scheduled event. Default: strictly increasing insertion
@@ -357,84 +598,96 @@ class Simulation {
   // fire in a seed-determined shuffle; the slot index in the low bits keeps
   // the comparison total, so replays of a seed are exact. Events at distinct
   // times are unaffected either way.
-  std::uint64_t make_key(std::uint32_t si) {
-    if (tiebreak_active()) {
+  static std::uint64_t make_key(Shard& sh, std::uint32_t si) {
+    if (tiebreak_active(sh)) {
       constexpr std::uint64_t kPrioMask =
           (std::uint64_t{1} << (64 - kSlotBits)) - 1u;
-      return ((perturb_->tiebreak_bits() & kPrioMask) << kSlotBits) | si;
+      return ((sh.perturb->tiebreak_bits() & kPrioMask) << kSlotBits) | si;
     }
-    assert(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)) &&
+    assert(sh.next_seq < (std::uint64_t{1} << (64 - kSlotBits)) &&
            "event sequence numbers exhausted");
-    return (next_seq_++ << kSlotBits) | si;
+    return (sh.next_seq++ << kSlotBits) | si;
   }
 
-  void push_key(Time t, std::uint32_t si) { heap_push(HeapEntry{t, make_key(si)}); }
+  static void push_key(Shard& sh, Time t, std::uint32_t si) {
+    heap_push(sh, HeapEntry{t, make_key(sh, si)});
+  }
 
-  void heap_push(HeapEntry e);
-  HeapEntry heap_pop();
-  void heap_grow();
-  void heap_dealloc();
+  static void heap_push(Shard& sh, HeapEntry e);
+  static HeapEntry heap_pop(Shard& sh);
+  static void heap_grow(Shard& sh);
+  static void heap_dealloc(Shard& sh);
 
-  void cancel_event(std::uint32_t si, std::uint32_t gen) {
-    EventSlot& s = slot(si);
+  void install_perturbation(Shard& sh) {
+    // Per-shard stream derivation: shard 0 keeps the raw seed (historical
+    // single-shard sequences), higher shards mix in their index.
+    const std::uint64_t salted =
+        perturb_seed_ ^
+        (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(sh.index));
+    sh.perturb = std::make_unique<Perturbation>(salted, perturb_classes_);
+  }
+
+  void cancel_event(std::uint32_t shard, std::uint32_t si, std::uint32_t gen) {
+    EventSlot& s = slot(*shards_[shard], si);
     if (s.gen == gen) s.gen = gen | kGenCancelled;
   }
-  bool event_pending(std::uint32_t si, std::uint32_t gen) const {
-    return slot(si).gen == gen;
+  bool event_pending(std::uint32_t shard, std::uint32_t si,
+                     std::uint32_t gen) const {
+    return slot(*shards_[shard], si).gen == gen;
   }
 
-  bool step();  // processes one event; false if queue empty
+  static Time next_time(const Shard& sh) {
+    if (sh.ring_head < sh.ring.size()) return sh.ring[sh.ring_head].t;
+    if (sh.heap_size > 0) return sh.heap_data[0].t;
+    return kInfTime;
+  }
+
+  // Processes one event of `sh` with t < bound and t <= limit; false when
+  // none qualifies. The classic (single-shard) loop passes bound = inf.
+  bool step(Shard& sh, Time bound, Time limit);
+  void exec_shard(Shard& sh, Time bound, Time limit);
+  void run_events(Time limit);
+  void run_windows(Time limit);
+  void merge_staged();
+  void sync_clocks(Time at_least);
   void check_deadlock() const;
   void rethrow_pending();
 
-  Time now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  std::size_t events_processed_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Time global_now_ = 0.0;
 
-  // 4-ary min-heap of keys. The element array starts 48 bytes into a
-  // 64-byte-aligned allocation, so each child group {4i+1 .. 4i+4} occupies
-  // exactly one cache line.
-  HeapEntry* heap_data_ = nullptr;
-  std::size_t heap_size_ = 0;
-  std::size_t heap_cap_ = 0;
-
-  // FIFO ring of zero-delay resumes. Every entry's time equals now_ — no
-  // event can fire in between without violating (time, seq) order — and the
-  // backing vector is reused once drained, so pushes are allocation-free in
-  // steady state.
-  std::vector<HeapEntry> ring_;
-  std::size_t ring_head_ = 0;
-
-  std::vector<std::unique_ptr<EventSlot[]>> chunks_;
-  std::size_t pool_size_ = 0;
-  std::uint32_t free_head_ = kNilSlot;
-  std::size_t free_count_ = 0;
-  std::uint64_t pool_growths_ = 0;
-  std::uint64_t heap_fallbacks_ = 0;
+  Dur lookahead_ = 0.0;      // 0 until a link registers one
+  int exec_groups_req_ = 0;  // 0 = one group per shard
+  int exec_threads_req_ = 1;
+  bool parallel_window_ = false;
+  std::unique_ptr<Workers> workers_;
+  std::vector<std::pair<Staged, int>> merge_scratch_;  // (event, src shard)
 
   // Liveness anchor for EventTokens (one allocation per Simulation).
-  detail::TokenBlock* blk_ = new detail::TokenBlock{this, 1};
+  detail::TokenBlock* blk_ = new detail::TokenBlock{this, {1}};
 
-  std::unique_ptr<Perturbation> perturb_;   // null: canonical schedule
-  InvariantObserver* observer_ = nullptr;   // null: no oracle checking
-
-  std::vector<std::shared_ptr<JoinHandle::State>> live_;  // non-daemon roots
-  std::vector<std::shared_ptr<JoinHandle::State>> daemons_;
-  std::size_t done_live_ = 0;     // completed-but-uncompacted, per registry
-  std::size_t done_daemons_ = 0;
-  std::vector<std::exception_ptr> escaped_;  // from unjoined roots
+  std::uint64_t perturb_seed_ = 0;
+  std::uint32_t perturb_classes_ = 0;
+  bool has_perturb_ = false;
+  InvariantObserver* observer_ = nullptr;  // null: no oracle checking
 };
+
+inline ShardGuard::ShardGuard(const Simulation& sim, int shard)
+    : prev_(detail::tls_shard_ctx) {
+  detail::tls_shard_ctx = detail::ShardContext{
+      &sim, sim.shards_[static_cast<size_t>(shard)].get(), shard};
+}
 
 inline void EventToken::cancel() {
   if (blk_ != nullptr && blk_->sim != nullptr) {
-    blk_->sim->cancel_event(slot_, gen_);
+    blk_->sim->cancel_event(shard_, slot_, gen_);
   }
   drop();
 }
 
 inline bool EventToken::pending() const {
   return blk_ != nullptr && blk_->sim != nullptr &&
-         blk_->sim->event_pending(slot_, gen_);
+         blk_->sim->event_pending(shard_, slot_, gen_);
 }
 
 struct JoinHandle::State {

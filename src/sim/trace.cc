@@ -6,13 +6,83 @@
 
 namespace dcuda::sim {
 
+namespace {
+
+// Sort key for merging per-shard buffers: primary timestamp, then the
+// (shard, insertion index) pair, which is unique and independent of the
+// executor configuration — so the merged order is a pure function of the
+// logical schedule.
+struct MergeKey {
+  Time t;
+  std::size_t shard;
+  std::size_t idx;
+  bool operator<(const MergeKey& o) const {
+    if (t != o.t) return t < o.t;
+    if (shard != o.shard) return shard < o.shard;
+    return idx < o.idx;
+  }
+};
+
+}  // namespace
+
+void Tracer::merge() const {
+  std::uint64_t ops = 0;
+  for (const auto& b : bufs_) ops += b->ops;
+  if (ops == merged_ops_) return;
+  merged_ops_ = ops;
+
+  spans_merged_.clear();
+  samples_merged_.clear();
+  values_merged_.clear();
+  metrics_merged_.clear();
+
+  if (bufs_.size() == 1) {
+    // Single shard: the merged view is exactly the insertion order (the
+    // historical, pre-sharding output).
+    spans_merged_ = bufs_[0]->spans;
+    samples_merged_ = bufs_[0]->samples;
+    values_merged_ = bufs_[0]->counter_values;
+    metrics_merged_ = bufs_[0]->metrics;
+    return;
+  }
+
+  std::vector<std::pair<MergeKey, const TraceSpan*>> span_order;
+  std::vector<std::pair<MergeKey, const CounterSample*>> sample_order;
+  for (std::size_t sh = 0; sh < bufs_.size(); ++sh) {
+    const ShardBuf& b = *bufs_[sh];
+    for (std::size_t i = 0; i < b.spans.size(); ++i) {
+      span_order.push_back({{b.spans[i].begin, sh, i}, &b.spans[i]});
+    }
+    for (std::size_t i = 0; i < b.samples.size(); ++i) {
+      sample_order.push_back({{b.samples[i].t, sh, i}, &b.samples[i]});
+    }
+    for (const auto& [name, v] : b.metrics) metrics_merged_[name] += v;
+  }
+  std::sort(span_order.begin(), span_order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(sample_order.begin(), sample_order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  spans_merged_.reserve(span_order.size());
+  for (const auto& [key, s] : span_order) spans_merged_.push_back(*s);
+  samples_merged_.reserve(sample_order.size());
+  for (const auto& [key, s] : sample_order) {
+    samples_merged_.push_back(*s);
+    // Final counter values: last write in merged order wins (a counter's
+    // device lives on one shard, so this matches that shard's running
+    // value).
+    values_merged_[{s->device, s->name}] = s->value;
+  }
+}
+
 void Tracer::render_ascii(std::ostream& os, int columns) const {
-  if (spans_.empty()) {
+  const std::vector<TraceSpan>& all = spans();
+  if (all.empty()) {
     os << "(no trace spans)\n";
     return;
   }
-  Time t0 = spans_.front().begin, t1 = spans_.front().end;
-  for (const auto& s : spans_) {
+  Time t0 = all.front().begin, t1 = all.front().end;
+  for (const auto& s : all) {
     t0 = std::min(t0, s.begin);
     t1 = std::max(t1, s.end);
   }
@@ -21,7 +91,7 @@ void Tracer::render_ascii(std::ostream& os, int columns) const {
 
   // lane key -> per-column dominant activity time
   std::map<std::pair<int, int>, std::vector<std::map<std::string, double>>> rows;
-  for (const auto& s : spans_) {
+  for (const auto& s : all) {
     auto& row = rows[{s.device, s.lane}];
     if (row.empty()) row.resize(static_cast<std::size_t>(columns));
     const int c0 = std::clamp(static_cast<int>((s.begin - t0) / dt), 0, columns - 1);

@@ -18,16 +18,28 @@
 // *before* constructing spans or formatting names, so the hot paths stay
 // zero-cost when tracing is off.
 //
+// Sharded engines (docs/PERF.md, "Parallel engine"): the tracer keeps one
+// buffer set per shard — Cluster calls set_shards — and instrumentation
+// appends to the executing shard's buffers (sim/shard_context.h), so
+// recording needs no synchronization even under multi-threaded windows.
+// The accessors merge on demand with a fixed rule — spans by (begin, shard,
+// insertion index), counter samples by (time, shard, insertion index),
+// metrics summed in shard order — so exported traces are byte-identical for
+// any executor configuration, and a single-shard tracer merges to exactly
+// its insertion order (the historical output).
+//
 // Exporters (Chrome trace_event JSON, text summary) live in
 // sim/trace_export.h.
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/shard_context.h"
 #include "sim/units.h"
 
 namespace dcuda::sim {
@@ -99,12 +111,38 @@ struct CounterSample {
 
 class Tracer {
  public:
+  Tracer() { bufs_.push_back(std::make_unique<ShardBuf>()); }
+  Tracer(const Tracer& o) : enabled_(o.enabled_) {
+    bufs_.reserve(o.bufs_.size());
+    for (const auto& b : o.bufs_) bufs_.push_back(std::make_unique<ShardBuf>(*b));
+  }
+  Tracer& operator=(const Tracer& o) {
+    if (this != &o) {
+      Tracer tmp(o);
+      std::swap(enabled_, tmp.enabled_);
+      std::swap(bufs_, tmp.bufs_);
+      merged_ops_ = kDirty;
+    }
+    return *this;
+  }
+
   void enable() { enabled_ = true; }
   void disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
+  // One buffer set per shard (Cluster calls this right after
+  // Simulation::configure_shards). Data already recorded stays in buffer 0.
+  void set_shards(int n) {
+    while (static_cast<int>(bufs_.size()) < n) {
+      bufs_.push_back(std::make_unique<ShardBuf>());
+    }
+  }
+
   void record(TraceSpan span) {
-    if (enabled_) spans_.push_back(std::move(span));
+    if (!enabled_) return;
+    ShardBuf& b = buf();
+    b.spans.push_back(std::move(span));
+    ++b.ops;
   }
 
   // -- Counters (time series, Chrome "C" tracks) -----------------------
@@ -113,47 +151,72 @@ class Tracer {
   void counter_set(Time t, std::int32_t device, const std::string& name,
                    double value) {
     if (!enabled_) return;
-    counter_values_[{device, name}] = value;
-    samples_.push_back(CounterSample{t, device, name, value});
+    ShardBuf& b = buf();
+    b.counter_values[{device, name}] = value;
+    b.samples.push_back(CounterSample{t, device, name, value});
+    ++b.ops;
   }
 
   // Adjusts the running value of counter `name` on `device` by `delta` and
   // samples the result (e.g. +1 on enqueue, -1 on dequeue -> queue depth).
+  // A counter's device lives on one shard, so the running value is tracked
+  // per shard without coordination.
   void counter_add(Time t, std::int32_t device, const std::string& name,
                    double delta) {
     if (!enabled_) return;
-    double& v = counter_values_[{device, name}];
+    ShardBuf& b = buf();
+    double& v = b.counter_values[{device, name}];
     v += delta;
-    samples_.push_back(CounterSample{t, device, name, v});
+    b.samples.push_back(CounterSample{t, device, name, v});
+    ++b.ops;
   }
 
   double counter_value(std::int32_t device, const std::string& name) const {
-    auto it = counter_values_.find({device, name});
-    return it == counter_values_.end() ? 0.0 : it->second;
+    merge();
+    auto it = values_merged_.find({device, name});
+    return it == values_merged_.end() ? 0.0 : it->second;
   }
 
   // -- Metrics (scalar run totals, text summary) -----------------------
 
   void bump(const std::string& name, double delta = 1.0) {
-    if (enabled_) metrics_[name] += delta;
+    if (!enabled_) return;
+    ShardBuf& b = buf();
+    b.metrics[name] += delta;
+    ++b.ops;
   }
 
   double metric(const std::string& name) const {
-    auto it = metrics_.find(name);
-    return it == metrics_.end() ? 0.0 : it->second;
+    merge();
+    auto it = metrics_merged_.find(name);
+    return it == metrics_merged_.end() ? 0.0 : it->second;
   }
 
   // -- Access ----------------------------------------------------------
+  //
+  // Merged views (see header comment for the merge rule). Not callable
+  // while a multi-threaded window executes; every exporter runs post-run.
 
-  const std::vector<TraceSpan>& spans() const { return spans_; }
-  const std::vector<CounterSample>& counter_samples() const { return samples_; }
-  const std::map<std::string, double>& metrics() const { return metrics_; }
+  const std::vector<TraceSpan>& spans() const {
+    merge();
+    return spans_merged_;
+  }
+  const std::vector<CounterSample>& counter_samples() const {
+    merge();
+    return samples_merged_;
+  }
+  const std::map<std::string, double>& metrics() const {
+    merge();
+    return metrics_merged_;
+  }
 
   void clear() {
-    spans_.clear();
-    samples_.clear();
-    counter_values_.clear();
-    metrics_.clear();
+    for (auto& b : bufs_) *b = ShardBuf{};
+    merged_ops_ = kDirty;
+    spans_merged_.clear();
+    samples_merged_.clear();
+    values_merged_.clear();
+    metrics_merged_.clear();
   }
 
   // Renders an ASCII Gantt chart: one row per (device, lane), time bucketed
@@ -161,11 +224,31 @@ class Tracer {
   void render_ascii(std::ostream& os, int columns = 100) const;
 
  private:
+  struct ShardBuf {
+    std::vector<TraceSpan> spans;
+    std::vector<CounterSample> samples;
+    std::map<std::pair<std::int32_t, std::string>, double> counter_values;
+    std::map<std::string, double> metrics;
+    std::uint64_t ops = 0;  // mutation count, for merge invalidation
+  };
+
+  static constexpr std::uint64_t kDirty = ~std::uint64_t{0};
+
+  ShardBuf& buf() {
+    const std::size_t k = static_cast<std::size_t>(current_shard_index());
+    return *bufs_[k < bufs_.size() ? k : 0];
+  }
+
+  void merge() const;
+
   bool enabled_ = false;
-  std::vector<TraceSpan> spans_;
-  std::vector<CounterSample> samples_;
-  std::map<std::pair<std::int32_t, std::string>, double> counter_values_;
-  std::map<std::string, double> metrics_;
+  std::vector<std::unique_ptr<ShardBuf>> bufs_;
+
+  mutable std::uint64_t merged_ops_ = kDirty;
+  mutable std::vector<TraceSpan> spans_merged_;
+  mutable std::vector<CounterSample> samples_merged_;
+  mutable std::map<std::pair<std::int32_t, std::string>, double> values_merged_;
+  mutable std::map<std::string, double> metrics_merged_;
 };
 
 }  // namespace dcuda::sim

@@ -15,7 +15,8 @@ namespace dcuda::sim {
 // common predicate loop.
 class Trigger {
  public:
-  explicit Trigger(Simulation& sim) : sim_(&sim) {}
+  explicit Trigger(Simulation& sim)
+      : sim_(&sim), owner_shard_(sim.current_shard()) {}
   Trigger(const Trigger&) = delete;
   Trigger& operator=(const Trigger&) = delete;
 
@@ -23,7 +24,10 @@ class Trigger {
     struct Awaiter {
       Trigger* t;
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) { t->waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        t->assert_affinity();
+        t->waiters_.push_back(h);
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{this};
@@ -34,6 +38,7 @@ class Trigger {
   // enqueues — no user code runs during the loop, so waiters_ cannot change
   // under us and its capacity is reused across notifications.
   void notify_all() {
+    assert_affinity();
     for (auto h : waiters_) sim_->schedule_resume(h);
     waiters_.clear();
   }
@@ -41,7 +46,18 @@ class Trigger {
   std::size_t waiter_count() const { return waiters_.size(); }
 
  private:
+  // Shard affinity (docs/PERF.md, "Parallel engine"): during a
+  // multi-threaded window a trigger may only be waited on or notified from
+  // the shard it was built in — a cross-shard touch would race on the
+  // waiter list and the engine's per-shard queues. Serial runs migrate
+  // freely; the window protocol keeps them causally ordered.
+  void assert_affinity() const {
+    assert(!sim_->parallel_execution() ||
+           sim_->current_shard() == owner_shard_);
+  }
+
   Simulation* sim_;
+  int owner_shard_;
   std::vector<std::coroutine_handle<>> waiters_;
 };
 

@@ -83,6 +83,14 @@ sim::MachineConfig fuzz_machine(int nodes, std::uint64_t seed,
   // comes for free from the existing seed ranges. Bit 2 is independent of
   // the fault-rate selector (seed % 4) within each aligned 8-seed window.
   if ((seed >> 2) & 1) m.backend = sim::RuntimeBackend::kDeviceInitiated;
+  // Executor lane (docs/PERF.md, "Parallel engine"): the seed also picks an
+  // executor-group count (1/2/4/8) and, on half of those seeds, a second
+  // worker thread. Executor knobs never change results — the window
+  // protocol is executor-invariant by construction — so every fuzz sweep
+  // doubles as an engine-invariance battery across perturbation × fault ×
+  // backend × executor combinations.
+  m.shards = 1 << ((seed >> 3) & 3);
+  if ((seed >> 5) & 1) m.threads = 2;
   return m;
 }
 
