@@ -59,6 +59,47 @@ inline sim::MachineConfig machine(int nodes) {
   if (const char* s = std::getenv("DCUDA_THREADS")) {
     cfg.threads = std::atoi(s);
   }
+  // DCUDA_TOPOLOGY=flat|fattree|torus selects the interconnect topology and
+  // DCUDA_RAILS=<n> the NIC rail count (net/topology.h, docs/TOPOLOGY.md).
+  // Unset keeps the flat single-rail default — the historical per-pair pipe
+  // with its byte-identical event schedule. DCUDA_ROUTE=ecmp|adaptive picks
+  // the route-selection mode on multi-path topologies (default ecmp). The
+  // topology pass of check_determinism.sh combines DCUDA_TOPOLOGY=fattree
+  // DCUDA_RAILS=2 with the engine knobs to verify executor invariance on
+  // multi-hop routes.
+  if (const char* s = std::getenv("DCUDA_TOPOLOGY")) {
+    const std::string v = s;
+    if (v == "fattree" || v == "fat_tree" || v == "fat-tree") {
+      cfg.net.topo.kind = net::TopologyKind::kFatTree;
+    } else if (v == "torus" || v == "torus3d") {
+      cfg.net.topo.kind = net::TopologyKind::kTorus3D;
+    } else if (v == "flat" || v.empty()) {
+      cfg.net.topo.kind = net::TopologyKind::kFlat;
+    } else {
+      std::fprintf(stderr, "error: unknown DCUDA_TOPOLOGY '%s' "
+                   "(use flat, fattree, or torus)\n", s);
+      std::exit(2);
+    }
+  }
+  if (const char* s = std::getenv("DCUDA_RAILS")) {
+    cfg.net.topo.rails = std::atoi(s);
+    if (cfg.net.topo.rails < 1) {
+      std::fprintf(stderr, "error: DCUDA_RAILS must be >= 1\n");
+      std::exit(2);
+    }
+  }
+  if (const char* s = std::getenv("DCUDA_ROUTE")) {
+    const std::string v = s;
+    if (v == "adaptive") {
+      cfg.net.topo.route = net::RouteMode::kAdaptive;
+    } else if (v == "ecmp" || v.empty()) {
+      cfg.net.topo.route = net::RouteMode::kEcmp;
+    } else {
+      std::fprintf(stderr, "error: unknown DCUDA_ROUTE '%s' "
+                   "(use ecmp or adaptive)\n", s);
+      std::exit(2);
+    }
+  }
   // DCUDA_BACKEND=host|device selects the runtime backend (docs/BACKENDS.md)
   // for every benchmark: host (default, also host_loop/0) is the paper's
   // host event loop; device (also device_initiated/1) is the GPU/NIC-

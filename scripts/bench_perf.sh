@@ -11,6 +11,10 @@
 # to the engine one as BENCH_comm.json, failing if the small-message
 # speedup drops below the 1.5x acceptance bar (docs/PERF.md).
 #
+# Runs bench/ablation_striping (rail striping vs a single NIC rail on a
+# congested fat tree, docs/TOPOLOGY.md) and writes BENCH_net.json, failing
+# if the pairwise striping speedup drops below 1.3x.
+#
 # And runs bench/ablation_local_notify --json (notified-put ping-pong
 # latency, host-loop vs device-initiated backend, docs/BACKENDS.md) and
 # writes BENCH_backend.json, failing if the device-initiated backend's
@@ -166,6 +170,24 @@ if [ -x "$BUILD/bench/micro_comm" ]; then
   echo "   small-message speedup ${speedup}x (bar: 1.5x)" >&2
 else
   echo "warning: $BUILD/bench/micro_comm not built, skipping BENCH_comm.json" >&2
+fi
+
+# -- Topology/rail record (simulated time, deterministic) ------------------
+NET_OUT="$(dirname "$OUT")/BENCH_net.json"
+if [ -x "$BUILD/bench/ablation_striping" ]; then
+  echo "== ablation_striping (rail striping vs single rail, fat tree) ==" >&2
+  net_json="$("$BUILD/bench/ablation_striping")"
+  printf '%s\n' "$net_json" > "$NET_OUT"
+  echo "wrote $NET_OUT" >&2
+  nspeed="$(jq -r '.striping_speedup' <<< "$net_json")"
+  ok="$(awk -v s="$nspeed" 'BEGIN { print (s >= 1.3) ? 1 : 0 }')"
+  if [ "$ok" -ne 1 ]; then
+    echo "FAIL: rail-striping congestion speedup $nspeed < 1.3x" >&2
+    exit 1
+  fi
+  echo "   striping speedup ${nspeed}x (bar: 1.3x)" >&2
+else
+  echo "warning: $BUILD/bench/ablation_striping not built, skipping BENCH_net.json" >&2
 fi
 
 # -- Runtime-backend record (simulated time, deterministic) ----------------

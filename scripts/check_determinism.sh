@@ -16,6 +16,12 @@
 #     clean, perturbed, and faulty schedules alike. The window protocol's
 #     ordering is a function of the logical schedule only, never of the
 #     executor layout.
+#  5. Topology pass (docs/TOPOLOGY.md): the same benchmarks on a fat tree
+#     with 2 NIC rails (DCUDA_TOPOLOGY=fattree DCUDA_RAILS=2) must be
+#     stable across runs AND byte-identical between the serial and the
+#     4-group/2-thread executors — multi-hop routes shrink the engine's
+#     lookahead to the per-hop latency and the rail mux resequences at the
+#     receiver, neither of which may depend on the executor layout.
 #
 # Wired into ctest as `determinism_fig_benches`.
 #
@@ -71,5 +77,13 @@ for name in fig6_put_bandwidth fig10_stencil_scaling; do
       DCUDA_FAULT_DROP="$FAULT_DROP" "$bin" > "$tmp/$name.par_fault"
   compare "$name: shards=4 threads=2 matches serial (faulty)" \
           "$tmp/$name.fault1" "$tmp/$name.par_fault"
+  DCUDA_TOPOLOGY=fattree DCUDA_RAILS=2 "$bin" > "$tmp/$name.topo1"
+  DCUDA_TOPOLOGY=fattree DCUDA_RAILS=2 "$bin" > "$tmp/$name.topo2"
+  compare "$name: fattree+2rails two runs bit-identical" \
+          "$tmp/$name.topo1" "$tmp/$name.topo2"
+  DCUDA_TOPOLOGY=fattree DCUDA_RAILS=2 DCUDA_SHARDS=4 DCUDA_THREADS=2 \
+      "$bin" > "$tmp/$name.topo_par"
+  compare "$name: fattree+2rails shards=4 threads=2 matches serial" \
+          "$tmp/$name.topo1" "$tmp/$name.topo_par"
 done
 exit $status

@@ -13,6 +13,10 @@ Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
   if (cfg_.device_initiated()) {
     cfg_.runtime.local_notifications_via_host = false;
   }
+  // Topology normalization (docs/TOPOLOGY.md): a rail count below one is a
+  // config bug, not a request for zero NICs. Clamped here so the Fabric and
+  // every component that mirrors the config agree on the effective layout.
+  cfg_.net.topo.rails = std::max(1, cfg_.net.topo.rails);
   // Sharded engine (docs/PERF.md, "Parallel engine"): one logical shard per
   // node, always — the shard/thread knobs below only group shards onto
   // executors, so results are byte-identical for every setting. Must happen

@@ -14,10 +14,25 @@ Fabric::Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg,
     : sim_(s), cfg_(cfg), fault_(fault), armed_(fault.any()) {
   assert(fault_.window >= 1);
   assert(fault_.drop_prob < 1.0);  // go-back-N needs *some* success probability
-  // Inter-shard events (deliveries, acks) are delayed by at least the wire
-  // latency, which makes it the engine's conservative lookahead
-  // (docs/PERF.md, "Parallel engine").
-  s.register_lookahead(cfg_.latency);
+  if (cfg_.topo.active()) {
+    rails_ = std::max(1, cfg_.topo.rails);
+    cfg_.topo.rails = rails_;
+    topo_ = std::make_unique<Topology>(num_nodes, cfg_.topo);
+    router_ = std::make_unique<Router>(*topo_);
+    hop_ = cfg_.topo.hop_latency;
+    link_bw_ = cfg_.topo.link_bandwidth > 0.0 ? cfg_.topo.link_bandwidth
+                                              : cfg_.bandwidth;
+    links_.resize(static_cast<size_t>(topo_->num_links()));
+  }
+  // Inter-shard events are delayed by at least the wire latency — or, on a
+  // multi-hop topology, the per-hop latency — which makes it the engine's
+  // conservative lookahead (docs/PERF.md, "Parallel engine"). A flat
+  // multi-rail fabric has no interior hops, so it keeps the wire bound.
+  if (topo_ != nullptr && topo_->num_links() > 0) {
+    s.register_lookahead(std::min(cfg_.latency, hop_));
+  } else {
+    s.register_lookahead(cfg_.latency);
+  }
   stats_shard_.resize(static_cast<size_t>(std::max(1, s.num_shards())));
   nics_.reserve(static_cast<size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
@@ -26,8 +41,15 @@ Fabric::Fabric(sim::Simulation& s, int num_nodes, const sim::NetConfig& cfg,
     sim::ShardGuard guard(s, s.shard_for(i));
     nics_.push_back(std::make_unique<Nic>(s, num_nodes));
     if (armed_) {
-      nics_.back()->tx_conn.resize(static_cast<size_t>(num_nodes));
-      nics_.back()->rx_conn.resize(static_cast<size_t>(num_nodes));
+      nics_.back()->tx_conn.resize(static_cast<size_t>(num_nodes) *
+                                   static_cast<size_t>(rails_));
+      nics_.back()->rx_conn.resize(static_cast<size_t>(num_nodes) *
+                                   static_cast<size_t>(rails_));
+    }
+    if (topo_ != nullptr) {
+      nics_.back()->rail_sched = std::make_unique<RailScheduler>(rails_);
+      nics_.back()->mux_next.resize(static_cast<size_t>(num_nodes), 0);
+      nics_.back()->reseq.resize(static_cast<size_t>(num_nodes));
     }
   }
 }
@@ -59,6 +81,10 @@ void Fabric::send(Packet p, sim::Rate rate_cap) {
   assert(p.channel >= 0 && p.channel < kNumChannels);
   if (armed_) {
     send_reliable(std::move(p), rate_cap);
+    return;
+  }
+  if (topo_ != nullptr) {
+    send_topo(std::move(p), rate_cap);
     return;
   }
   Nic& tx = *nics_[static_cast<size_t>(p.src)];
@@ -102,49 +128,191 @@ void Fabric::send(Packet p, sim::Rate rate_cap) {
 }
 
 // ---------------------------------------------------------------------------
+// Topology path (docs/TOPOLOGY.md).
+//
+// A transmission serializes on its rail's injection lane, then walks its
+// route hop by hop: every interior link is traversed by an event in the
+// shard owning the link's upstream switch, serializing against the link's
+// shared-bandwidth clock, and each hop adds the per-hop latency (which is
+// why the engine's lookahead shrinks to it). The final leg lands in the
+// destination's shard at the rail mux, which restores per-(src, dst) mux
+// order before the mailbox push — so upper layers keep the exact FIFO
+// contract of the flat pipe while rails and equal-cost paths reorder
+// freely underneath.
+
+void Fabric::send_topo(Packet p, sim::Rate rate_cap) {
+  Nic& tx = *nics_[static_cast<size_t>(p.src)];
+  p.mux_seq = ++tx.mux_next[static_cast<size_t>(p.dst)];
+  const int rail = tx.rail_sched->pick(p.mux_seq);
+  p.rail = rail;
+  const double bytes = p.bytes;
+  const sim::Rate rate = std::min(cfg_.bandwidth, rate_cap);
+  sim::Time& lane = tx.rail_sched->lane(rail);
+  const sim::Time start = std::max(sim_.now() + cfg_.sw_overhead, lane);
+  const sim::Time end = start + bytes / rate;
+  lane = end;
+  tx.bytes += bytes;
+  ++tx.msgs;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->record(sim::TraceSpan{start, end, p.src, sim::kFabricLane, "tx",
+                                   sim::Category::kFabric, bytes});
+    tracer_->counter_set(end, p.src, "wire_bytes", tx.bytes);
+    tracer_->bump("fabric_messages");
+    tracer_->bump("fabric_bytes", bytes);
+  }
+  sim::Dur extra = 0.0;
+  if (sim::Perturbation* pert = sim_.perturbation(); pert != nullptr) {
+    // No per-pair clamp here: the rail mux resequences, so jitter (and any
+    // cross-rail/cross-path skew) may reorder the wire freely.
+    extra = pert->jitter(cfg_.latency);
+  }
+  route_and_launch(std::move(p), bytes, end, extra, /*reliable=*/false);
+}
+
+void Fabric::route_and_launch(Packet pkt, double wire_bytes, sim::Time tx_end,
+                              sim::Dur extra, bool reliable) {
+  const int path = router_->select(pkt.src, pkt.dst, pkt.mux_seq,
+                                   sim_.perturbation());
+  const Route* route =
+      &topo_->paths(pkt.src, pkt.dst)[static_cast<size_t>(path)];
+  if (route->links.empty()) {
+    // No interior hops (flat multi-rail or loopback): direct wire delivery.
+    const sim::Time deliver = tx_end + cfg_.latency + cfg_.sw_overhead + extra;
+    sim_.schedule_on(sim_.shard_for(pkt.dst), deliver - sim_.now(),
+                     [this, reliable, pkt = std::move(pkt)]() mutable {
+                       if (reliable) {
+                         deliver_reliable(std::move(pkt));
+                       } else {
+                         mux_deliver(std::move(pkt));
+                       }
+                     });
+    return;
+  }
+  if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+    obs->route_selected(pkt.src, pkt.dst, route->switches);
+  }
+  const int owner = topo_->link_owner(route->links[0]);
+  sim_.schedule_on(sim_.shard_for(owner), tx_end + hop_ + extra - sim_.now(),
+                   [this, route, wire_bytes, reliable,
+                    pkt = std::move(pkt)]() mutable {
+                     hop(std::move(pkt), route, 0, wire_bytes, reliable);
+                   });
+}
+
+void Fabric::hop(Packet pkt, const Route* route, std::size_t idx,
+                 double wire_bytes, bool reliable) {
+  LinkState& link = links_[static_cast<size_t>(route->links[idx])];
+  // Shared link: transmissions serialize at the interior link bandwidth.
+  // The mutation knob lets every packet pretend the link is idle — the
+  // link-capacity oracle must catch the resulting overlap.
+  const sim::Time start = cfg_.topo.account_capacity
+                              ? std::max(sim_.now(), link.free)
+                              : sim_.now();
+  const sim::Time end = start + wire_bytes / link_bw_;
+  if (cfg_.topo.account_capacity) link.free = end;
+  link.bytes += wire_bytes;
+  if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
+    obs->link_transmission(route->links[idx], start, end);
+  }
+  const std::size_t next = idx + 1;
+  if (next < route->links.size()) {
+    const int owner = topo_->link_owner(route->links[next]);
+    sim_.schedule_on(sim_.shard_for(owner), end + hop_ - sim_.now(),
+                     [this, route, next, wire_bytes, reliable,
+                      pkt = std::move(pkt)]() mutable {
+                       hop(std::move(pkt), route, next, wire_bytes, reliable);
+                     });
+    return;
+  }
+  sim_.schedule_on(sim_.shard_for(pkt.dst),
+                   end + hop_ + cfg_.sw_overhead - sim_.now(),
+                   [this, reliable, pkt = std::move(pkt)]() mutable {
+                     if (reliable) {
+                       deliver_reliable(std::move(pkt));
+                     } else {
+                       mux_deliver(std::move(pkt));
+                     }
+                   });
+}
+
+void Fabric::mux_deliver(Packet pkt) {
+  Nic& rx = *nics_[static_cast<size_t>(pkt.dst)];
+  auto push = [&](Packet q) {
+    if (sim::InvariantObserver* obs = sim_.invariant_observer();
+        obs != nullptr) {
+      obs->fabric_delivered(q.src, q.dst, q.mux_seq);
+    }
+    const int channel = q.channel;
+    rx.rx[static_cast<size_t>(channel)].push(std::move(q));
+  };
+  if (!cfg_.topo.resequence) {
+    // Mutation knob: bypass the mux. Cross-rail skew now reaches the
+    // mailbox out of order, which the FIFO/non-overtaking oracle must
+    // catch (docs/TESTING.md mutation checks).
+    push(std::move(pkt));
+    return;
+  }
+  Resequencer<Packet>& rs = rx.reseq[static_cast<size_t>(pkt.src)];
+  std::vector<Packet> ready;
+  rs.offer(pkt.mux_seq, std::move(pkt), ready);
+  for (Packet& q : ready) push(std::move(q));
+}
+
+// ---------------------------------------------------------------------------
 // Lossy path: go-back-N reliable delivery (DESIGN.md §8).
 //
-// Every (src, dst) direction is a connection. send() assigns the next
-// connection sequence and queues the packet; pump() transmits while the send
-// window has space, retaining a copy of everything unacked. Each arrival at
-// the receiver returns a cumulative ack; a retransmit timer at the sender
-// resends the whole window on expiry with exponential backoff. The receiver
-// accepts only the next expected sequence — duplicates are suppressed,
-// past-gap arrivals discarded (classic go-back-N, no reorder buffer) — so
-// the mailbox stream upper layers see is exactly-once and in order, which
-// restores the per-pair FIFO non-overtaking guarantee the oracles and the
-// eager fence depend on.
+// Every (src, dst) direction is a connection — one per rail on a multi-rail
+// fabric. send() assigns the next connection sequence and queues the packet;
+// pump() transmits while the send window has space, retaining a copy of
+// everything unacked. Each arrival at the receiver returns a cumulative ack;
+// a retransmit timer at the sender resends the whole window on expiry with
+// exponential backoff. The receiver accepts only the next expected sequence
+// — duplicates are suppressed, past-gap arrivals discarded (classic
+// go-back-N, no reorder buffer) — so each rail's accepted stream is
+// exactly-once and in order. Off the topology path that stream *is* the
+// mailbox stream; on it, accepted packets pass through the rail mux, which
+// restores the cross-rail mux order on top of the per-rail guarantee.
 
 void Fabric::send_reliable(Packet p, sim::Rate rate_cap) {
-  TxConn& c = tx_conn(p.src, p.dst);
+  int rail = 0;
+  if (topo_ != nullptr) {
+    Nic& tx = *nics_[static_cast<size_t>(p.src)];
+    p.mux_seq = ++tx.mux_next[static_cast<size_t>(p.dst)];
+    rail = tx.rail_sched->pick(p.mux_seq);
+    p.rail = rail;
+  }
+  TxConn& c = tx_conn(p.src, p.dst, rail);
   p.seq = ++c.next_seq;
   const int src = p.src;
   const int dst = p.dst;
   c.backlog.push_back(Stored{std::move(p), rate_cap});
-  pump(src, dst);
+  pump(src, dst, rail);
 }
 
-void Fabric::pump(int src, int dst) {
-  TxConn& c = tx_conn(src, dst);
+void Fabric::pump(int src, int dst, int rail) {
+  TxConn& c = tx_conn(src, dst, rail);
   while (!c.backlog.empty() &&
          c.unacked.size() < static_cast<size_t>(fault_.window)) {
     c.unacked.push_back(std::move(c.backlog.front()));
     c.backlog.pop_front();
-    transmit(src, dst, c.unacked.back(), /*is_retx=*/false);
+    transmit(src, dst, rail, c.unacked.back(), /*is_retx=*/false);
   }
   if (fault_.retransmit && !c.unacked.empty() && !c.timer.pending()) {
-    arm_timer(src, dst);
+    arm_timer(src, dst, rail);
   }
 }
 
-void Fabric::transmit(int src, int dst, const Stored& s, bool is_retx) {
+void Fabric::transmit(int src, int dst, int rail, const Stored& s,
+                      bool is_retx) {
   Nic& tx = *nics_[static_cast<size_t>(src)];
-  TxConn& c = tx_conn(src, dst);
+  TxConn& c = tx_conn(src, dst, rail);
   const sim::Rate rate = std::min(cfg_.bandwidth, s.cap);
   const double wire_bytes = s.pkt.bytes + fault_.header_bytes;
-  const sim::Time start = std::max(sim_.now() + cfg_.sw_overhead, tx.tx_free);
+  sim::Time& lane =
+      topo_ != nullptr ? tx.rail_sched->lane(rail) : tx.tx_free;
+  const sim::Time start = std::max(sim_.now() + cfg_.sw_overhead, lane);
   const sim::Time end = start + wire_bytes / rate;
-  tx.tx_free = end;
+  lane = end;
   tx.bytes += wire_bytes;
   ++tx.msgs;
   if (tracer_ != nullptr && tracer_->enabled()) {
@@ -161,7 +329,7 @@ void Fabric::transmit(int src, int dst, const Stored& s, bool is_retx) {
     ++stats().originals;
   }
   if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
-    obs->fabric_packet_sent(src, dst, s.pkt.seq, is_retx);
+    obs->fabric_packet_sent(src, dst, s.pkt.seq, is_retx, rail);
   }
 
   // Fault coins, drawn in a fixed order per transmission regardless of
@@ -194,7 +362,7 @@ void Fabric::transmit(int src, int dst, const Stored& s, bool is_retx) {
     }
     if (sim::InvariantObserver* obs = sim_.invariant_observer();
         obs != nullptr) {
-      obs->fabric_packet_dropped(src, dst, s.pkt.seq);
+      obs->fabric_packet_dropped(src, dst, s.pkt.seq, rail);
     }
     return;  // the retransmit timer recovers it
   }
@@ -204,6 +372,20 @@ void Fabric::transmit(int src, int dst, const Stored& s, bool is_retx) {
   if (delay) {
     deliver += fault_.delay_spike;
     ++stats().delays;
+  }
+  if (topo_ != nullptr) {
+    // Multi-hop traversal; jitter and delay spikes stretch the first leg.
+    // Retransmissions re-select their route, so an adaptive fabric may
+    // route a retry around the path that lost the original.
+    const sim::Dur extra = deliver - (end + cfg_.latency + cfg_.sw_overhead);
+    route_and_launch(s.pkt, wire_bytes, end, extra, /*reliable=*/true);
+    if (dup) {
+      ++stats().dups;
+      route_and_launch(s.pkt, wire_bytes, end,
+                       extra + sim::Perturbation::kOrderEpsilon,
+                       /*reliable=*/true);
+    }
+    return;
   }
   // No per-pair FIFO clamp here: faults reorder the wire freely and the
   // receiver's sequence check restores order instead. Both deliveries run
@@ -225,26 +407,33 @@ void Fabric::transmit(int src, int dst, const Stored& s, bool is_retx) {
 void Fabric::deliver_reliable(Packet pkt) {
   const int src = pkt.src;
   const int dst = pkt.dst;
-  RxConn& rc = nics_[static_cast<size_t>(dst)]->rx_conn[static_cast<size_t>(src)];
+  const int rail = pkt.rail;
+  RxConn& rc = rx_conn(dst, src, rail);
   if (pkt.seq == rc.expected + 1) {
     ++rc.expected;
     if (sim::InvariantObserver* obs = sim_.invariant_observer();
         obs != nullptr) {
-      obs->fabric_packet_accepted(src, dst, pkt.seq);
-      obs->fabric_delivered(src, dst, pkt.seq);
+      obs->fabric_packet_accepted(src, dst, pkt.seq, rail);
+      if (topo_ == nullptr) obs->fabric_delivered(src, dst, pkt.seq);
     }
-    const int channel = pkt.channel;
-    nics_[static_cast<size_t>(dst)]->rx[static_cast<size_t>(channel)].push(
-        std::move(pkt));
+    if (topo_ != nullptr) {
+      // Per-rail order restored; the rail mux restores cross-rail order.
+      mux_deliver(std::move(pkt));
+    } else {
+      const int channel = pkt.channel;
+      nics_[static_cast<size_t>(dst)]->rx[static_cast<size_t>(channel)].push(
+          std::move(pkt));
+    }
   } else if (pkt.seq <= rc.expected) {
     if (fault_.dup_suppress) {
       ++stats().dup_suppressed;
     } else {
       // Mutation knob: deliver the duplicate anyway. The at-most-once
-      // oracle must catch this (docs/TESTING.md mutation checks).
+      // oracle must catch this (docs/TESTING.md mutation checks). Bypasses
+      // the mux — a repeated mux sequence would wedge the resequencer.
       if (sim::InvariantObserver* obs = sim_.invariant_observer();
           obs != nullptr) {
-        obs->fabric_packet_accepted(src, dst, pkt.seq);
+        obs->fabric_packet_accepted(src, dst, pkt.seq, rail);
       }
       const int channel = pkt.channel;
       nics_[static_cast<size_t>(dst)]->rx[static_cast<size_t>(channel)].push(
@@ -257,16 +446,16 @@ void Fabric::deliver_reliable(Packet pkt) {
   }
   // Every intact arrival — accepted, duplicate, or past-gap — refreshes the
   // sender with a cumulative ack of the receive frontier.
-  send_ack(dst, src, rc.expected);
+  send_ack(dst, src, rail, rc.expected);
 }
 
-void Fabric::send_ack(int from, int to, std::uint64_t acked_seq) {
+void Fabric::send_ack(int from, int to, int rail, std::uint64_t acked_seq) {
   ++stats().acks_sent;
   // Acks ride the NIC's control path: no transmit-lane serialization and no
   // byte accounting (they coalesce with data in real hardware), but they do
   // face the lossy wire — the reverse link's outage window and the same
   // drop/delay coins as data.
-  TxConn& reverse = tx_conn(from, to);
+  TxConn& reverse = tx_conn(from, to, rail);
   sim::Perturbation* pert = sim_.perturbation();
   const bool drop = pert != nullptr && pert->fault(fault_.drop_prob);
   const bool delay = pert != nullptr && pert->fault(fault_.delay_prob);
@@ -279,13 +468,13 @@ void Fabric::send_ack(int from, int to, std::uint64_t acked_seq) {
   // Ack processing mutates the original sender's connection state, so it
   // runs in that node's shard.
   sim_.schedule_on(sim_.shard_for(to), deliver - sim_.now(),
-                   [this, from, to, acked_seq]() {
-                     handle_ack(to, from, acked_seq);
+                   [this, from, to, rail, acked_seq]() {
+                     handle_ack(to, from, rail, acked_seq);
                    });
 }
 
-void Fabric::handle_ack(int src, int dst, std::uint64_t acked_seq) {
-  TxConn& c = tx_conn(src, dst);
+void Fabric::handle_ack(int src, int dst, int rail, std::uint64_t acked_seq) {
+  TxConn& c = tx_conn(src, dst, rail);
   if (acked_seq <= c.acked) return;  // stale cumulative ack
   c.acked = acked_seq;
   while (!c.unacked.empty() && c.unacked.front().pkt.seq <= acked_seq) {
@@ -293,35 +482,37 @@ void Fabric::handle_ack(int src, int dst, std::uint64_t acked_seq) {
   }
   c.timeout = 0.0;  // forward progress resets the backoff
   c.timer.cancel();
-  pump(src, dst);  // opens window space; also re-arms the timer if needed
+  pump(src, dst, rail);  // opens window space; also re-arms the timer if needed
 }
 
-void Fabric::arm_timer(int src, int dst) {
-  TxConn& c = tx_conn(src, dst);
+void Fabric::arm_timer(int src, int dst, int rail) {
+  TxConn& c = tx_conn(src, dst, rail);
   const sim::Dur t = c.timeout > 0.0 ? c.timeout : fault_.retransmit_timeout;
   // No ack can arrive before the newest unacked packet has fully serialized
   // onto the wire, so count the tx-lane backlog into the deadline — a large
   // packet (64 kB at the GPUDirect cap serializes for ~20 us) must not trip
   // a spurious retransmission of itself.
-  const sim::Time tx_free = nics_[static_cast<size_t>(src)]->tx_free;
+  Nic& tx = *nics_[static_cast<size_t>(src)];
+  const sim::Time tx_free =
+      topo_ != nullptr ? tx.rail_sched->lane(rail) : tx.tx_free;
   const sim::Dur backlog = tx_free > sim_.now() ? tx_free - sim_.now() : 0.0;
   c.timer.cancel();
-  c.timer = sim_.schedule_cancellable(backlog + t, [this, src, dst]() {
-    on_timeout(src, dst);
+  c.timer = sim_.schedule_cancellable(backlog + t, [this, src, dst, rail]() {
+    on_timeout(src, dst, rail);
   });
 }
 
-void Fabric::on_timeout(int src, int dst) {
-  TxConn& c = tx_conn(src, dst);
+void Fabric::on_timeout(int src, int dst, int rail) {
+  TxConn& c = tx_conn(src, dst, rail);
   if (c.unacked.empty()) return;
   ++stats().timeouts;
   // Go-back-N: resend the entire unacked window in sequence order.
   for (const Stored& s : c.unacked) {
-    transmit(src, dst, s, /*is_retx=*/true);
+    transmit(src, dst, rail, s, /*is_retx=*/true);
   }
   const sim::Dur cur = c.timeout > 0.0 ? c.timeout : fault_.retransmit_timeout;
   c.timeout = std::min(cur * fault_.backoff, fault_.max_timeout);
-  arm_timer(src, dst);
+  arm_timer(src, dst, rail);
 }
 
 }  // namespace dcuda::net

@@ -21,6 +21,18 @@
 // the same per-pair FIFO mailbox stream either way; only timing differs.
 // With faults disabled the historical code path runs untouched — wire
 // format and event schedule stay byte-identical (DESIGN.md §8).
+//
+// A non-flat sim::NetConfig::topo (docs/TOPOLOGY.md) replaces the per-pair
+// pipe with a topology: each transmission expands into per-hop switch
+// traversals over shared-bandwidth links (net/topology.h), routes are
+// chosen deterministically per message over the equal-cost candidates
+// (net/router.h), and rails > 1 stripes a pair's messages across
+// independent NIC injection lanes. A per-connection resequencer at the
+// receiving rail mux (net/rail.h) restores the cross-rail/cross-path order
+// before packets reach the FIFO mailbox stream; with faults armed the
+// go-back-N machinery runs one connection per (src, dst, rail) lane
+// underneath it. The flat single-rail default never touches any of this —
+// the historical paths above run byte-identically.
 
 #include <any>
 #include <array>
@@ -31,6 +43,9 @@
 #include <vector>
 
 #include "net/fault.h"
+#include "net/rail.h"
+#include "net/router.h"
+#include "net/topology.h"
 #include "sim/config.h"
 #include "sim/mailbox.h"
 #include "sim/simulation.h"
@@ -56,9 +71,13 @@ struct Packet {
   // Declared after payload so the many MPI-side {src, dst, bytes, payload}
   // aggregate initializations keep defaulting to the MPI channel.
   int channel = kMpiChannel;
-  // Reliable-delivery sequence per (src, dst) connection, assigned by the
-  // sending NIC while fault injection is armed; 0 on the reliable path.
+  // Reliable-delivery sequence per (src, dst, rail) connection, assigned by
+  // the sending NIC while fault injection is armed; 0 on the reliable path.
   std::uint64_t seq = 0;
+  // Topology path only: per-(src, dst) mux sequence (the resequencing key
+  // at the receiving rail mux) and the rail the packet was striped onto.
+  std::uint64_t mux_seq = 0;
+  int rail = 0;
 };
 
 class Fabric {
@@ -92,6 +111,16 @@ class Fabric {
   // protocol is running.
   bool faults_armed() const { return armed_; }
 
+  // Topology layer (docs/TOPOLOGY.md). topology() is null on the flat
+  // single-rail default — the historical per-pair pipe.
+  bool topology_active() const { return topo_ != nullptr; }
+  const Topology* topology() const { return topo_.get(); }
+  int rails() const { return rails_; }
+  // Cumulative bytes carried by one interior link (congestion diagnostics).
+  double link_bytes(int link) const {
+    return links_[static_cast<size_t>(link)].bytes;
+  }
+
   // Aggregate fault-injection and recovery counters (docs/TESTING.md
   // "Loss battery"; the fault self-tests and ablation_faults read these).
   // Counters are kept per shard (sender-side events accrue on the source
@@ -121,7 +150,8 @@ class Fabric {
     sim::Rate cap = std::numeric_limits<sim::Rate>::infinity();
   };
 
-  // Sender-side reliable-connection state toward one destination.
+  // Sender-side reliable-connection state toward one destination (one per
+  // (destination, rail) lane on a multi-rail fabric).
   struct TxConn {
     std::uint64_t next_seq = 0;   // last assigned sequence
     std::uint64_t acked = 0;      // highest cumulative ack received
@@ -132,9 +162,16 @@ class Fabric {
     sim::Time down_until = 0.0;   // transient outage on this directed link
   };
 
-  // Receiver-side state for one origin: last in-order accepted sequence.
+  // Receiver-side state for one (origin, rail): last accepted sequence.
   struct RxConn {
     std::uint64_t expected = 0;
+  };
+
+  // Shared-bandwidth interior link (topology path): transmissions
+  // serialize against `free`. Touched only from the owning switch's shard.
+  struct LinkState {
+    sim::Time free = 0.0;
+    double bytes = 0.0;
   };
 
   struct Nic {
@@ -151,22 +188,52 @@ class Fabric {
     // sequence number reported to the invariant oracle at delivery.
     std::vector<sim::Time> pair_deliver;
     std::vector<std::uint64_t> pair_seq;
-    // Reliable-connection state, allocated only while faults are armed.
-    std::vector<TxConn> tx_conn;  // indexed by destination node
-    std::vector<RxConn> rx_conn;  // indexed by origin node
+    // Reliable-connection state, allocated only while faults are armed;
+    // indexed by peer * rails + rail (rails == 1 off the topology path).
+    std::vector<TxConn> tx_conn;  // sender side, per (destination, rail)
+    std::vector<RxConn> rx_conn;  // receiver side, per (origin, rail)
+    // Topology path only: rail injection lanes + striping, the sender's
+    // per-destination mux sequence, and the receive-side resequencer per
+    // origin (net/rail.h).
+    std::unique_ptr<RailScheduler> rail_sched;
+    std::vector<std::uint64_t> mux_next;
+    std::vector<Resequencer<Packet>> reseq;
   };
 
+  // -- Topology path (non-flat topology or rails > 1) --------------------
+  void send_topo(Packet p, sim::Rate rate_cap);  // faults off
+  // Select a route for the packet and schedule its first hop (or the direct
+  // delivery when the route has no interior links). `tx_end` is when the
+  // packet finishes serializing on its injection lane; `extra` carries
+  // jitter/delay-spike offsets into the first leg.
+  void route_and_launch(Packet pkt, double wire_bytes, sim::Time tx_end,
+                        sim::Dur extra, bool reliable);
+  // Traverse interior link route->links[idx] in the owning switch's shard.
+  void hop(Packet pkt, const Route* route, std::size_t idx, double wire_bytes,
+           bool reliable);
+  // Receiving rail mux: resequence by mux_seq, then push to the mailbox.
+  void mux_deliver(Packet pkt);
+
   // -- Lossy path (faults armed) ----------------------------------------
+  // rail is 0 off the topology path, where the historical flat behaviour
+  // is preserved byte-for-byte.
   void send_reliable(Packet p, sim::Rate rate_cap);
-  void pump(int src, int dst);                 // drain backlog into window
-  void transmit(int src, int dst, const Stored& s, bool is_retx);
+  void pump(int src, int dst, int rail);       // drain backlog into window
+  void transmit(int src, int dst, int rail, const Stored& s, bool is_retx);
   void deliver_reliable(Packet pkt);           // receiver: accept/suppress
-  void send_ack(int from, int to, std::uint64_t acked_seq);
-  void handle_ack(int src, int dst, std::uint64_t acked_seq);
-  void arm_timer(int src, int dst);
-  void on_timeout(int src, int dst);
-  TxConn& tx_conn(int src, int dst) {
-    return nics_[static_cast<size_t>(src)]->tx_conn[static_cast<size_t>(dst)];
+  void send_ack(int from, int to, int rail, std::uint64_t acked_seq);
+  void handle_ack(int src, int dst, int rail, std::uint64_t acked_seq);
+  void arm_timer(int src, int dst, int rail);
+  void on_timeout(int src, int dst, int rail);
+  TxConn& tx_conn(int src, int dst, int rail) {
+    return nics_[static_cast<size_t>(src)]
+        ->tx_conn[static_cast<size_t>(dst) * static_cast<size_t>(rails_) +
+                  static_cast<size_t>(rail)];
+  }
+  RxConn& rx_conn(int dst, int src, int rail) {
+    return nics_[static_cast<size_t>(dst)]
+        ->rx_conn[static_cast<size_t>(src) * static_cast<size_t>(rails_) +
+                  static_cast<size_t>(rail)];
   }
 
   // The executing shard's counter slice (shard 0 outside a run).
@@ -180,6 +247,12 @@ class Fabric {
   sim::NetConfig cfg_;
   FaultConfig fault_;
   bool armed_ = false;
+  int rails_ = 1;
+  sim::Dur hop_ = 0.0;       // per-hop latency (topology path)
+  sim::Rate link_bw_ = 0.0;  // interior link bandwidth (topology path)
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<Router> router_;
+  std::vector<LinkState> links_;
   std::vector<FaultStats> stats_shard_;
   mutable FaultStats merged_stats_;
   sim::Tracer* tracer_ = nullptr;

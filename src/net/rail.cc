@@ -1,0 +1,12 @@
+#include "net/rail.h"
+
+#include <cassert>
+
+namespace dcuda::net {
+
+RailScheduler::RailScheduler(int rails) {
+  assert(rails >= 1);
+  free_.resize(static_cast<std::size_t>(rails), 0.0);
+}
+
+}  // namespace dcuda::net

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "net/fault.h"
+#include "net/topology.h"
 #include "sim/units.h"
 
 namespace dcuda::sim {
@@ -57,6 +58,13 @@ struct NetConfig {
   Dur latency = micros(1.4);
   // Software overhead per message on send and on receive (verbs + MPI).
   Dur sw_overhead = micros(0.45);
+  // Interconnect topology and NIC rail layout (net/topology.h,
+  // docs/TOPOLOGY.md). The default — flat topology, one rail — keeps the
+  // fabric on its historical per-pair-pipe code path, byte-identical to the
+  // pre-topology event schedule. A fat-tree or torus expands every pair
+  // into per-hop traversals over shared links; rails > 1 stripes messages
+  // across independent injection lanes with receive-side resequencing.
+  net::TopoConfig topo;
 };
 
 struct MpiConfig {

@@ -21,17 +21,58 @@ void InvariantObserver::fabric_delivered(int src, int dst, std::uint64_t wire_se
   if (wire_seq > last) last = wire_seq;
 }
 
-void InvariantObserver::fabric_packet_sent(int src, int dst, std::uint64_t seq,
-                                           bool retransmit) {
+void InvariantObserver::route_selected(int src, int dst,
+                                       const std::vector<int>& switches) {
   std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
-  LinkRecovery& lr = link_recovery_[{src, dst}];
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    for (std::size_t j = i + 1; j < switches.size(); ++j) {
+      if (switches[i] == switches[j]) {
+        std::ostringstream os;
+        os << "routing loop detected: route " << src << "->" << dst
+           << " visits switch " << switches[i] << " twice (hops " << i
+           << " and " << j << " of " << switches.size() << ")";
+        violation(os.str());
+        return;
+      }
+    }
+  }
+}
+
+void InvariantObserver::link_transmission(int link, double start, double end) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++checks_;
+  if (end < start) {
+    std::ostringstream os;
+    os << "link capacity conservation violated: link " << link
+       << " transmission ends (" << end << ") before it starts (" << start << ")";
+    violation(os.str());
+    return;
+  }
+  double& busy = link_busy_[link];
+  // Strict serialization up to fp rounding: a transmission may begin the
+  // instant the previous one ends, never before.
+  if (start < busy - 1e-12) {
+    std::ostringstream os;
+    os << "link capacity conservation violated: link " << link
+       << " transmission starts at " << start
+       << " while the link is busy until " << busy;
+    violation(os.str());
+  }
+  if (end > busy) busy = end;
+}
+
+void InvariantObserver::fabric_packet_sent(int src, int dst, std::uint64_t seq,
+                                           bool retransmit, int rail) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++checks_;
+  LinkRecovery& lr = link_recovery_[{src, dst, rail}];
   if (!retransmit) {
     if (seq != lr.originals + 1) {
       std::ostringstream os;
       os << "fabric sequence assignment violated: link " << src << "->" << dst
-         << " transmitted fresh seq " << seq << " after " << lr.originals
-         << " originals";
+         << " rail " << rail << " transmitted fresh seq " << seq << " after "
+         << lr.originals << " originals";
       violation(os.str());
     }
     if (seq > lr.originals) lr.originals = seq;
@@ -41,51 +82,52 @@ void InvariantObserver::fabric_packet_sent(int src, int dst, std::uint64_t seq,
   if (seq == 0 || seq > lr.originals) {
     std::ostringstream os;
     os << "fabric retransmit of never-sent packet: link " << src << "->" << dst
-       << " retransmitted seq " << seq << " but only " << lr.originals
-       << " originals were sent";
+       << " rail " << rail << " retransmitted seq " << seq << " but only "
+       << lr.originals << " originals were sent";
     violation(os.str());
   }
 }
 
 void InvariantObserver::fabric_packet_dropped(int src, int dst,
-                                              std::uint64_t seq) {
+                                              std::uint64_t seq, int rail) {
   std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
-  LinkRecovery& lr = link_recovery_[{src, dst}];
+  LinkRecovery& lr = link_recovery_[{src, dst, rail}];
   ++lr.dropped;
   if (lr.dropped > lr.originals + lr.retransmits) {
     std::ostringstream os;
     os << "fabric loss accounting violated: link " << src << "->" << dst
-       << " recorded " << lr.dropped << " losses over "
+       << " rail " << rail << " recorded " << lr.dropped << " losses over "
        << lr.originals + lr.retransmits << " transmissions (seq " << seq << ")";
     violation(os.str());
   }
 }
 
 void InvariantObserver::fabric_packet_accepted(int src, int dst,
-                                               std::uint64_t seq) {
+                                               std::uint64_t seq, int rail) {
   std::lock_guard<std::mutex> lock(*mu_);
   ++checks_;
-  LinkRecovery& lr = link_recovery_[{src, dst}];
+  LinkRecovery& lr = link_recovery_[{src, dst, rail}];
   if (seq <= lr.last_accepted) {
     std::ostringstream os;
     os << "at-most-once delivery violated: link " << src << "->" << dst
-       << " accepted seq " << seq << " again (already accepted up to "
-       << lr.last_accepted << ")";
+       << " rail " << rail << " accepted seq " << seq
+       << " again (already accepted up to " << lr.last_accepted << ")";
     violation(os.str());
     return;
   }
   if (seq != lr.last_accepted + 1) {
     std::ostringstream os;
     os << "lossy-fabric in-order delivery violated: link " << src << "->" << dst
-       << " accepted seq " << seq << " after " << lr.last_accepted;
+       << " rail " << rail << " accepted seq " << seq << " after "
+       << lr.last_accepted;
     violation(os.str());
   }
   if (seq > lr.originals) {
     std::ostringstream os;
     os << "fabric accepted packet that was never sent: link " << src << "->"
-       << dst << " seq " << seq << " with only " << lr.originals
-       << " originals transmitted";
+       << dst << " rail " << rail << " seq " << seq << " with only "
+       << lr.originals << " originals transmitted";
     violation(os.str());
   }
   lr.last_accepted = seq;
@@ -321,15 +363,17 @@ void InvariantObserver::finalize() {
   for (const auto& [link, lr] : link_recovery_) {
     if (lr.accepted != lr.originals) {
       std::ostringstream os;
-      os << "lossy-fabric conservation violated: link " << link.first << "->"
-         << link.second << " sent " << lr.originals << " originals but "
-         << lr.accepted << " were accepted";
+      os << "lossy-fabric conservation violated: link " << std::get<0>(link)
+         << "->" << std::get<1>(link) << " rail " << std::get<2>(link)
+         << " sent " << lr.originals << " originals but " << lr.accepted
+         << " were accepted";
       violation(os.str());
     }
     if (lr.dropped > 0 && lr.retransmits == 0 && lr.accepted == lr.originals) {
       std::ostringstream os;
-      os << "retransmit accounting violated: link " << link.first << "->"
-         << link.second << " lost " << lr.dropped
+      os << "retransmit accounting violated: link " << std::get<0>(link)
+         << "->" << std::get<1>(link) << " rail " << std::get<2>(link)
+         << " lost " << lr.dropped
          << " transmissions yet recovered without a single retransmit";
       violation(os.str());
     }

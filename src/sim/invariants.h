@@ -58,8 +58,19 @@ class InvariantObserver {
  public:
   // -- Hooks (called by instrumented components) -----------------------
 
-  // net/fabric.cc, at delivery into the destination mailbox.
+  // net/fabric.cc, at delivery into the destination mailbox. On the
+  // topology path the sequence is the per-(src, dst) mux sequence released
+  // by the rail resequencer, so cross-rail reordering that escapes the mux
+  // (mutation: TopoConfig::resequence = false) fires this oracle.
   void fabric_delivered(int src, int dst, std::uint64_t wire_seq);
+
+  // Topology oracles (net/fabric.cc multi-hop path, docs/TOPOLOGY.md):
+  //  * no-routing-loop — a selected route never visits a switch twice.
+  //  * link-capacity conservation — transmissions on one directed link must
+  //    not overlap in time (a link serializes at its configured bandwidth;
+  //    mutation: TopoConfig::account_capacity = false over-commits it).
+  void route_selected(int src, int dst, const std::vector<int>& switches);
+  void link_transmission(int link, double start, double end);
 
   // Lossy-fabric recovery oracles (net/fabric.cc go-back-N; the hooks fire
   // only while fault injection is armed, docs/TESTING.md "Loss battery"):
@@ -71,9 +82,12 @@ class InvariantObserver {
   //    finalize() checks loss conservation per link: every original was
   //    eventually accepted, and any recorded loss implies at least one
   //    retransmission happened to repair it.
-  void fabric_packet_sent(int src, int dst, std::uint64_t seq, bool retransmit);
-  void fabric_packet_dropped(int src, int dst, std::uint64_t seq);
-  void fabric_packet_accepted(int src, int dst, std::uint64_t seq);
+  // `rail` keys the connection on multi-rail fabrics: go-back-N runs one
+  // independent sequence space per (src, dst, rail) lane (net/rail.h).
+  void fabric_packet_sent(int src, int dst, std::uint64_t seq, bool retransmit,
+                          int rail = 0);
+  void fabric_packet_dropped(int src, int dst, std::uint64_t seq, int rail = 0);
+  void fabric_packet_accepted(int src, int dst, std::uint64_t seq, int rail = 0);
 
   // queue/circular_queue.h, after every send/recv counter change.
   void queue_credit(std::uint64_t send_count, std::uint64_t recv_count,
@@ -174,7 +188,7 @@ class InvariantObserver {
   // fabric: last wire_seq per (src, dst).
   std::map<std::pair<int, int>, std::uint64_t> fabric_seq_;
 
-  // lossy fabric: per-(src, dst) go-back-N recovery accounting.
+  // lossy fabric: per-(src, dst, rail) go-back-N recovery accounting.
   struct LinkRecovery {
     std::uint64_t originals = 0;      // fresh sequences transmitted
     std::uint64_t retransmits = 0;    // re-transmissions of assigned seqs
@@ -182,7 +196,11 @@ class InvariantObserver {
     std::uint64_t accepted = 0;       // in-order accepts at the receiver
     std::uint64_t last_accepted = 0;  // highest accepted sequence
   };
-  std::map<std::pair<int, int>, LinkRecovery> link_recovery_;
+  std::map<std::tuple<int, int, int>, LinkRecovery> link_recovery_;
+
+  // topology: busy-until frontier per directed interior link (capacity
+  // conservation: a link's transmissions must not overlap).
+  std::map<int, double> link_busy_;
 
   // notified puts: FIFO per (origin, target, window) — across sizes, so an
   // eager-path notification overtaking a rendezvous-path one is caught.

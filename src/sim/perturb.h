@@ -9,7 +9,7 @@
 // per-class splitmix64 streams, so a run is replayed bit-identically by
 // re-seeding — there is no hidden global state.
 //
-// Four decision classes, each independently maskable (the fuzz harness
+// Five decision classes, each independently maskable (the fuzz harness
 // shrinks failures to a minimal class set):
 //  * kTieBreak — shuffles the firing order of same-timestamp events by
 //    replacing the engine's insertion-sequence tie-break with seeded random
@@ -26,6 +26,10 @@
 //    transmit and delivery time (net/fabric.cc). Draws happen only when a
 //    fault probability is configured, so fault-free runs never touch the
 //    stream.
+//  * kRoute — adaptive route-selection rotation for the topology-aware
+//    fabric (net/router.cc): which of a pair's equal-cost paths carries the
+//    next message. Draws happen only in RouteMode::kAdaptive on a multi-path
+//    topology, so flat and ECMP runs never touch the stream.
 //
 // Every decision is counted and the most recent ones are kept in a small
 // ring, so a failing seed can print where the schedule diverged.
@@ -44,10 +48,11 @@ class Perturbation {
     kLinkJitter = 1u << 1,
     kSmPick = 1u << 2,
     kFault = 1u << 3,
+    kRoute = 1u << 4,
   };
   static constexpr std::uint32_t kAllClasses =
-      kTieBreak | kLinkJitter | kSmPick | kFault;
-  static constexpr int kNumClasses = 4;
+      kTieBreak | kLinkJitter | kSmPick | kFault | kRoute;
+  static constexpr int kNumClasses = 5;
 
   // Minimal separation call sites add when clamping jittered completion
   // times to preserve a hardware ordering rule (fabric per-pair FIFO, PCIe
@@ -98,13 +103,22 @@ class Perturbation {
     return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0) < p;
   }
 
+  // Adaptive route rotation in [0, n) for the multi-path fabric; 0 when
+  // kRoute is masked off (the router's own deterministic rotation wins).
+  int route_pick(int n) {
+    const std::uint64_t r = draw(4, kRoute);
+    if (!has(kRoute) || n <= 1) return 0;
+    return static_cast<int>(r % static_cast<std::uint64_t>(n));
+  }
+
   // -- Introspection for failure reports -------------------------------
 
   std::uint64_t decisions(Class c) const {
     return decisions_[class_index(c)];
   }
   std::uint64_t total_decisions() const {
-    return decisions_[0] + decisions_[1] + decisions_[2] + decisions_[3];
+    return decisions_[0] + decisions_[1] + decisions_[2] + decisions_[3] +
+           decisions_[4];
   }
 
   struct Decision {
@@ -123,7 +137,10 @@ class Perturbation {
 
  private:
   static int class_index(Class c) {
-    return c == kTieBreak ? 0 : (c == kLinkJitter ? 1 : (c == kSmPick ? 2 : 3));
+    return c == kTieBreak
+               ? 0
+               : (c == kLinkJitter ? 1
+                                   : (c == kSmPick ? 2 : (c == kFault ? 3 : 4)));
   }
 
   // Draw from a class stream. Masked classes still draw nothing — the

@@ -26,6 +26,7 @@
 #include "apps/stencil.h"
 #include "cluster/cluster.h"
 #include "net/fault.h"
+#include "net/topology.h"
 #include "sim/invariants.h"
 #include "sim/simulation.h"
 
@@ -147,7 +148,7 @@ struct Fingerprint {
 };
 
 Fingerprint run_stencil(int groups, int threads, std::uint64_t perturb,
-                        double drop) {
+                        double drop, net::TopoConfig topo = {}) {
   sim::MachineConfig m;
   m.num_nodes = 4;
   m.shards = groups;
@@ -155,6 +156,7 @@ Fingerprint run_stencil(int groups, int threads, std::uint64_t perturb,
   m.perturb_seed = perturb;
   m.fault.drop_prob = drop;
   if (drop > 0.0) m.fault.dup_prob = 0.005;
+  m.net.topo = topo;
   apps::stencil::Config cfg;
   cfg.isize = 16;
   cfg.jlocal = 2;
@@ -197,6 +199,29 @@ TEST(ClusterParallel, FaultyRunIsExecutorInvariant) {
   const Fingerprint serial = run_stencil(1, 1, 7, 0.01);
   EXPECT_TRUE(run_stencil(0, 4, 7, 0.01) == serial);
   EXPECT_TRUE(run_stencil(2, 2, 7, 0.01) == serial);
+}
+
+TEST(ClusterParallel, MultiHopTopologyRunIsExecutorInvariant) {
+  // Fat tree with 2 NIC rails: hop events cross shards at the (shorter)
+  // per-hop lookahead and the rail mux resequences at the receiver — the
+  // full workload fingerprint must still be executor-invariant
+  // (docs/TOPOLOGY.md; the topology pass of check_determinism.sh runs the
+  // same comparison over a fig benchmark).
+  net::TopoConfig topo;
+  topo.kind = net::TopologyKind::kFatTree;
+  topo.fat_tree_arity = 2;  // 4 nodes -> 2 leaves, cross-leaf ECMP width 2
+  topo.rails = 2;
+  const Fingerprint serial = run_stencil(1, 1, 0, 0.0, topo);
+  EXPECT_TRUE(run_stencil(0, 4, 0, 0.0, topo) == serial);
+  EXPECT_TRUE(run_stencil(2, 2, 0, 0.0, topo) == serial);
+}
+
+TEST(ClusterParallel, FaultyTorusRunIsExecutorInvariant) {
+  // Go-back-N recovery over multi-hop torus routes, serial vs threaded.
+  net::TopoConfig topo;
+  topo.kind = net::TopologyKind::kTorus3D;
+  const Fingerprint serial = run_stencil(1, 1, 7, 0.01, topo);
+  EXPECT_TRUE(run_stencil(0, 4, 7, 0.01, topo) == serial);
 }
 
 TEST(ClusterParallel, ThreadCountDoesNotChangeEventCount) {

@@ -416,6 +416,19 @@ sim::MachineConfig faulty_machine(int nodes, std::uint64_t seed, double drop) {
   // depend on the host event loop. Bit 1 keeps the lane independent of the
   // link-down selector above.
   if ((seed >> 1) & 1) m.backend = sim::RuntimeBackend::kDeviceInitiated;
+  // Topology lane (docs/TOPOLOGY.md): bits 2-3 run the lossy fabric over a
+  // fat tree, a torus, or two striped NIC rails, so go-back-N recovery is
+  // exercised on multi-hop paths (retransmissions re-routed per ECMP) and
+  // under the rail mux's cross-rail resequencing.
+  switch ((seed >> 2) & 3) {
+    case 1: m.net.topo.kind = net::TopologyKind::kFatTree; break;
+    case 2: m.net.topo.kind = net::TopologyKind::kTorus3D; break;
+    case 3:
+      m.net.topo.kind = net::TopologyKind::kFatTree;
+      m.net.topo.rails = 2;
+      break;
+    default: break;
+  }
   return m;
 }
 

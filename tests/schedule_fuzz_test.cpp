@@ -43,6 +43,7 @@
 #include "apps/stencil.h"
 #include "cluster/cluster.h"
 #include "net/fault.h"
+#include "net/topology.h"
 #include "sim/invariants.h"
 #include "sim/perturb.h"
 
@@ -91,6 +92,20 @@ sim::MachineConfig fuzz_machine(int nodes, std::uint64_t seed,
   // backend × executor combinations.
   m.shards = 1 << ((seed >> 3) & 3);
   if ((seed >> 5) & 1) m.threads = 2;
+  // Topology lane (docs/TOPOLOGY.md): bits 6-7 pick the interconnect —
+  // flat (historical pipe), fat tree, torus, or flat with 2 NIC rails — and
+  // bit 8 doubles the rails on the non-flat kinds, so go-back-N recovery
+  // and the FIFO contract get fuzzed over multi-hop routes and striped
+  // rails with receive-side resequencing in the loop.
+  switch ((seed >> 6) & 3) {
+    case 1: m.net.topo.kind = net::TopologyKind::kFatTree; break;
+    case 2: m.net.topo.kind = net::TopologyKind::kTorus3D; break;
+    case 3: m.net.topo.rails = 2; break;
+    default: break;
+  }
+  if (m.net.topo.kind != net::TopologyKind::kFlat && ((seed >> 8) & 1)) {
+    m.net.topo.rails = 2;
+  }
   return m;
 }
 
@@ -485,6 +500,7 @@ std::uint32_t shrink_classes(const Workload& w, std::uint64_t seed) {
       Perturbation::kLinkJitter,
       Perturbation::kSmPick,
       Perturbation::kFault,
+      Perturbation::kRoute,
       Perturbation::kTieBreak | Perturbation::kLinkJitter,
       Perturbation::kTieBreak | Perturbation::kSmPick,
       Perturbation::kTieBreak | Perturbation::kFault,
