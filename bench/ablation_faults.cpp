@@ -26,7 +26,7 @@ LossyPoint pingpong(std::size_t bytes, int iters, double drop) {
     m.fault.drop_prob = drop;
     m.fault.dup_prob = drop / 2.0;
     m.fault.delay_prob = drop / 2.0;
-    Cluster c(m, 1);
+    Cluster c({.machine = m, .ranks_per_device = 1});
     auto m0 = c.device(0).alloc<std::byte>(bytes + 1);
     auto m1 = c.device(1).alloc<std::byte>(bytes + 1);
     c.run([&, iterations](Context& ctx) -> sim::Proc<void> {

@@ -21,11 +21,11 @@ int main() {
     const double scale = 100.0 / cfg.iterations;
     double d, m;
     {
-      Cluster c(bench::machine(4));
+      Cluster c({.machine = bench::machine(4)});
       d = sim::to_millis(apps::stencil::run_dcuda(c, cfg).elapsed) * scale;
     }
     {
-      Cluster c(bench::machine(4));
+      Cluster c({.machine = bench::machine(4)});
       m = sim::to_millis(apps::stencil::run_mpi_cuda(c, cfg).elapsed) * scale;
     }
     bench::row({bench::fmt(k, "%.0f"), bench::fmt(k * 1.0, "%.0f"), bench::fmt(d),

@@ -23,11 +23,11 @@ int main() {
     mc.net.latency = sim::micros(lat_us);
     double d, m;
     {
-      Cluster c(mc);
+      Cluster c({.machine = mc});
       d = sim::to_millis(apps::stencil::run_dcuda(c, cfg).elapsed) * scale;
     }
     {
-      Cluster c(mc);
+      Cluster c({.machine = mc});
       m = sim::to_millis(apps::stencil::run_mpi_cuda(c, cfg).elapsed) * scale;
     }
     if (base_d == 0.0) {

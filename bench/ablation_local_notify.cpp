@@ -26,7 +26,7 @@ double pingpong_latency_us(sim::RuntimeBackend backend, int nodes, int iters) {
   mc.backend = backend;
   const int rpd = nodes == 1 ? 2 : 1;
   auto run = [&](int n) {
-    Cluster c(mc, rpd);
+    Cluster c({.machine = mc, .ranks_per_device = rpd});
     std::vector<std::span<std::byte>> mem;
     for (int d = 0; d < nodes; ++d) mem.push_back(c.device(d).alloc<std::byte>(256));
     c.run([&, n](Context& ctx) -> sim::Proc<void> {

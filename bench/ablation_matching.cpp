@@ -17,7 +17,7 @@ double overhead_at_crossover(bench::Workload w, bool charge, int rounds) {
   cfg.runtime.charge_matching_cost = charge;
   // run_overlap builds its own cluster; replicate with the config knob.
   auto run = [&](bool compute, bool exchange) {
-    Cluster c(cfg);
+    Cluster c({.machine = cfg});
     const int rpd = c.ranks_per_device();
     std::vector<std::span<std::byte>> dst(static_cast<size_t>(8 * rpd));
     std::vector<std::span<std::byte>> src(static_cast<size_t>(8 * rpd));

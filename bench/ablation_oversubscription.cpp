@@ -24,7 +24,7 @@ Times run(int blocks_per_sm, bool compute, bool exchange, int rounds, int units)
   const int rpd = cfg.device.num_sms * blocks_per_sm;
   const int total_units = 16 * cfg.device.num_sms * 16;  // constant per device
   const int units_per_rank = std::max(1, total_units / rpd) * units;
-  Cluster c(cfg, rpd);
+  Cluster c({.machine = cfg, .ranks_per_device = rpd});
   std::vector<std::span<std::byte>> dst(static_cast<size_t>(2 * rpd));
   for (int n = 0; n < 2; ++n)
     for (int r = 0; r < rpd; ++r)

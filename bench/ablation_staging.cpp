@@ -14,7 +14,7 @@ namespace {
 double transfer_ms(std::size_t bytes, bool force_direct) {
   sim::MachineConfig mc = bench::machine(2);
   if (force_direct) mc.mpi.device_staging_threshold = 1ull << 40;
-  Cluster c(mc, 1);
+  Cluster c({.machine = mc, .ranks_per_device = 1});
   auto src = c.device(0).alloc<std::byte>(bytes);
   auto dst = c.device(1).alloc<std::byte>(bytes);
   auto& sim = c.sim();

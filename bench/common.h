@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "sim/env_config.h"
 #include "sim/stats.h"
 #include "sim/trace_export.h"
 #include "sim/units.h"
@@ -23,99 +24,18 @@ namespace dcuda::bench {
 // paper's 100 and report per-100-iteration numbers. DCUDA_BENCH_ITERS=100
 // reproduces the full runs.
 inline int iterations(int dflt = 20) {
-  if (const char* s = std::getenv("DCUDA_BENCH_ITERS")) return std::atoi(s);
-  return dflt;
+  return sim::env_int("DCUDA_BENCH_ITERS", dflt);
 }
 
+// Benchmark machine: the DCUDA_* knobs (perturbation seed, fault ladder,
+// executor shards/threads, topology/rails/route, runtime backend) all come
+// from sim::apply_env — the single DCUDA_* parser (src/sim/env_config.cc).
+// Any invalid value hard-exits with the valid-values list, so a benchmark
+// can never run with a partially-applied config.
 inline sim::MachineConfig machine(int nodes) {
   sim::MachineConfig cfg;
   cfg.num_nodes = nodes;
-  // DCUDA_PERTURB_SEED=<uint64> reruns the benchmark under a seeded schedule
-  // perturbation (docs/TESTING.md). check_determinism.sh uses this to verify
-  // seed-replay stability; unset or 0 keeps the canonical schedule.
-  if (const char* s = std::getenv("DCUDA_PERTURB_SEED")) {
-    cfg.perturb_seed = std::strtoull(s, nullptr, 0);
-  }
-  // DCUDA_FAULT_DROP / _DUP / _CORRUPT / _DELAY / _LINKDOWN=<probability>
-  // arm the lossy fabric with go-back-N recovery (net/fault.h). The faulty
-  // pass of check_determinism.sh combines DCUDA_FAULT_DROP with
-  // DCUDA_PERTURB_SEED to verify a lossy run replays bit-identically.
-  auto prob = [](const char* name, double* out) {
-    if (const char* s = std::getenv(name)) *out = std::atof(s);
-  };
-  prob("DCUDA_FAULT_DROP", &cfg.fault.drop_prob);
-  prob("DCUDA_FAULT_DUP", &cfg.fault.dup_prob);
-  prob("DCUDA_FAULT_CORRUPT", &cfg.fault.corrupt_prob);
-  prob("DCUDA_FAULT_DELAY", &cfg.fault.delay_prob);
-  prob("DCUDA_FAULT_LINKDOWN", &cfg.fault.link_down_prob);
-  // DCUDA_SHARDS=<n> / DCUDA_THREADS=<n> configure the parallel event
-  // engine (docs/PERF.md, "Parallel engine"): executor-group count (0 =
-  // auto, one group per node shard) and worker-thread count. Results are
-  // byte-identical for every setting — only wall-clock time changes —
-  // which check_determinism.sh verifies.
-  if (const char* s = std::getenv("DCUDA_SHARDS")) {
-    cfg.shards = std::atoi(s);
-  }
-  if (const char* s = std::getenv("DCUDA_THREADS")) {
-    cfg.threads = std::atoi(s);
-  }
-  // DCUDA_TOPOLOGY=flat|fattree|torus selects the interconnect topology and
-  // DCUDA_RAILS=<n> the NIC rail count (net/topology.h, docs/TOPOLOGY.md).
-  // Unset keeps the flat single-rail default — the historical per-pair pipe
-  // with its byte-identical event schedule. DCUDA_ROUTE=ecmp|adaptive picks
-  // the route-selection mode on multi-path topologies (default ecmp). The
-  // topology pass of check_determinism.sh combines DCUDA_TOPOLOGY=fattree
-  // DCUDA_RAILS=2 with the engine knobs to verify executor invariance on
-  // multi-hop routes.
-  if (const char* s = std::getenv("DCUDA_TOPOLOGY")) {
-    const std::string v = s;
-    if (v == "fattree" || v == "fat_tree" || v == "fat-tree") {
-      cfg.net.topo.kind = net::TopologyKind::kFatTree;
-    } else if (v == "torus" || v == "torus3d") {
-      cfg.net.topo.kind = net::TopologyKind::kTorus3D;
-    } else if (v == "flat" || v.empty()) {
-      cfg.net.topo.kind = net::TopologyKind::kFlat;
-    } else {
-      std::fprintf(stderr, "error: unknown DCUDA_TOPOLOGY '%s' "
-                   "(use flat, fattree, or torus)\n", s);
-      std::exit(2);
-    }
-  }
-  if (const char* s = std::getenv("DCUDA_RAILS")) {
-    cfg.net.topo.rails = std::atoi(s);
-    if (cfg.net.topo.rails < 1) {
-      std::fprintf(stderr, "error: DCUDA_RAILS must be >= 1\n");
-      std::exit(2);
-    }
-  }
-  if (const char* s = std::getenv("DCUDA_ROUTE")) {
-    const std::string v = s;
-    if (v == "adaptive") {
-      cfg.net.topo.route = net::RouteMode::kAdaptive;
-    } else if (v == "ecmp" || v.empty()) {
-      cfg.net.topo.route = net::RouteMode::kEcmp;
-    } else {
-      std::fprintf(stderr, "error: unknown DCUDA_ROUTE '%s' "
-                   "(use ecmp or adaptive)\n", s);
-      std::exit(2);
-    }
-  }
-  // DCUDA_BACKEND=host|device selects the runtime backend (docs/BACKENDS.md)
-  // for every benchmark: host (default, also host_loop/0) is the paper's
-  // host event loop; device (also device_initiated/1) is the GPU/NIC-
-  // initiated backend. docs/FIGURES.md lists the dual-mode run lines.
-  if (const char* s = std::getenv("DCUDA_BACKEND")) {
-    const std::string v = s;
-    if (v == "device" || v == "device_initiated" || v == "1") {
-      cfg.backend = sim::RuntimeBackend::kDeviceInitiated;
-    } else if (v == "host" || v == "host_loop" || v == "0" || v.empty()) {
-      cfg.backend = sim::RuntimeBackend::kHostLoop;
-    } else {
-      std::fprintf(stderr, "error: unknown DCUDA_BACKEND '%s' "
-                   "(use host or device)\n", s);
-      std::exit(2);
-    }
-  }
+  sim::apply_env(cfg);
   return cfg;
 }
 

@@ -23,13 +23,13 @@ int main(int argc, char** argv) {
     const bool trace = nodes == 8 && bench::trace_sink().enabled();
     apps::stencil::Result d, m, h;
     {
-      Cluster c(bench::machine(nodes));
+      Cluster c({.machine = bench::machine(nodes)});
       if (trace) c.tracer().enable();
       d = apps::stencil::run_dcuda(c, cfg);
       if (trace) bench::trace_sink().add("dCUDA 8 nodes", c.tracer());
     }
     {
-      Cluster c(bench::machine(nodes));
+      Cluster c({.machine = bench::machine(nodes)});
       if (trace) c.tracer().enable();
       m = apps::stencil::run_mpi_cuda(c, cfg);
       if (trace) bench::trace_sink().add("MPI-CUDA 8 nodes", c.tracer());
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     {
       apps::stencil::Config hx = cfg;
       hx.compute = false;
-      Cluster c(bench::machine(nodes));
+      Cluster c({.machine = bench::machine(nodes)});
       h = apps::stencil::run_mpi_cuda(c, hx);
     }
     bench::row({bench::fmt(nodes, "%.0f"), bench::fmt(sim::to_millis(d.elapsed) * scale),

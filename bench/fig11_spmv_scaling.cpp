@@ -24,13 +24,13 @@ int main(int argc, char** argv) {
     const bool trace = nodes == 9 && bench::trace_sink().enabled();
     apps::spmv::Result d, m, h;
     {
-      Cluster c(bench::machine(nodes));
+      Cluster c({.machine = bench::machine(nodes)});
       if (trace) c.tracer().enable();
       d = apps::spmv::run_dcuda(c, cfg);
       if (trace) bench::trace_sink().add("dCUDA 9 nodes", c.tracer());
     }
     {
-      Cluster c(bench::machine(nodes));
+      Cluster c({.machine = bench::machine(nodes)});
       if (trace) c.tracer().enable();
       m = apps::spmv::run_mpi_cuda(c, cfg);
       if (trace) bench::trace_sink().add("MPI-CUDA 9 nodes", c.tracer());
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     {
       apps::spmv::Config hx = cfg;
       hx.compute = false;
-      Cluster c(bench::machine(nodes));
+      Cluster c({.machine = bench::machine(nodes)});
       h = apps::spmv::run_mpi_cuda(c, hx);
     }
     bench::row({bench::fmt(nodes, "%.0f"), bench::fmt(sim::to_millis(d.elapsed) * scale),

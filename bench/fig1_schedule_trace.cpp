@@ -20,7 +20,7 @@ sim::MachineConfig fig1_machine() {
 }
 
 void run_variant(bool use_dcuda) {
-  Cluster c(fig1_machine(), 4);
+  Cluster c({.machine = fig1_machine(), .ranks_per_device = 4});
   c.tracer().enable();
   apps::stencil::Config cfg;
   cfg.isize = 512;

@@ -28,7 +28,7 @@ PingPong pingpong(int nodes, std::size_t bytes, int iters,
       m.rma.eager_threshold = 512;
       m.rma.max_batch = 1;
     }
-    Cluster c(m, nodes == 1 ? 2 : 1);
+    Cluster c({.machine = m, .ranks_per_device = nodes == 1 ? 2 : 1});
     if (trace) c.tracer().enable();
     auto m0 = c.device(0).alloc<std::byte>(bytes + 1);
     auto m1 = c.device(nodes - 1).alloc<std::byte>(bytes + 1);

@@ -28,13 +28,13 @@ int main(int argc, char** argv) {
     const bool trace = nodes == 8 && bench::trace_sink().enabled();
     apps::particles::Result d, m, h;
     {
-      Cluster c(bench::machine(nodes), cfg.cells_per_node);
+      Cluster c({.machine = bench::machine(nodes), .ranks_per_device = cfg.cells_per_node});
       if (trace) c.tracer().enable();
       d = apps::particles::run_dcuda(c, cfg);
       if (trace) bench::trace_sink().add("dCUDA 8 nodes", c.tracer());
     }
     {
-      Cluster c(bench::machine(nodes), cfg.cells_per_node);
+      Cluster c({.machine = bench::machine(nodes), .ranks_per_device = cfg.cells_per_node});
       if (trace) c.tracer().enable();
       m = apps::particles::run_mpi_cuda(c, cfg);
       if (trace) bench::trace_sink().add("MPI-CUDA 8 nodes", c.tracer());
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     {
       apps::particles::Config hx = cfg;
       hx.compute = false;
-      Cluster c(bench::machine(nodes), cfg.cells_per_node);
+      Cluster c({.machine = bench::machine(nodes), .ranks_per_device = cfg.cells_per_node});
       h = apps::particles::run_mpi_cuda(c, hx);
     }
     bench::row({bench::fmt(nodes, "%.0f"), bench::fmt(sim::to_millis(d.elapsed) * scale),

@@ -46,7 +46,7 @@ double stream_once(std::size_t bytes, int iters, bool eager) {
     m.rma.eager_threshold = kEagerThreshold;
     m.rma.max_batch = kMaxBatch;
   }
-  Cluster c(m, kOrigins);
+  Cluster c({.machine = m, .ranks_per_device = kOrigins});
   std::vector<std::span<std::byte>> win(static_cast<size_t>(kNodes * kOrigins));
   for (int g = 0; g < kNodes * kOrigins; ++g) {
     win[static_cast<size_t>(g)] =

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/channel.h"
+#include "sim/env_config.h"
 #include "sim/proc.h"
 #include "sim/random.h"
 #include "sim/resource.h"
@@ -37,22 +38,16 @@ struct Result {
 };
 
 int scale() {
-  if (const char* s = std::getenv("DCUDA_MICRO_SCALE")) {
-    const int v = std::atoi(s);
-    if (v > 0) return v;
-  }
-  return 1;
+  const int v = sim::env_int("DCUDA_MICRO_SCALE", 1);
+  return v > 0 ? v : 1;
 }
 
 // Worker threads for the sharded scenarios (docs/PERF.md, "Parallel
 // engine"); bench_perf.sh runs the binary once with DCUDA_THREADS=1 and
 // once with several threads to record the parallel speedup.
 int engine_threads() {
-  if (const char* s = std::getenv("DCUDA_THREADS")) {
-    const int v = std::atoi(s);
-    if (v > 0) return v;
-  }
-  return 1;
+  const int v = sim::env_int("DCUDA_THREADS", 1);
+  return v > 0 ? v : 1;
 }
 
 // The paper's wire latency, the lookahead the fabric registers.

@@ -34,7 +34,7 @@ inline sim::Proc<void> workload_unit(gpu::BlockCtx& blk, Workload w) {
 inline double run_overlap(int nodes, Workload w, int units_per_exchange,
                           bool compute, bool exchange, int rounds,
                           const char* trace_label = nullptr) {
-  Cluster c(machine(nodes));
+  Cluster c({.machine = machine(nodes)});
   if (trace_label != nullptr && trace_sink().enabled()) c.tracer().enable();
   const int rpd = c.ranks_per_device();
   // Distinct halo buffers per rank so that intra-device puts move data too

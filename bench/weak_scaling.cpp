@@ -46,7 +46,7 @@ Point measure(int nodes, int iters) {
     cfg.jlocal = 2;
     cfg.ksize = 4;
     cfg.iterations = iters;
-    Cluster c(bench::machine(nodes), kRanksPerDevice);
+    Cluster c({.machine = bench::machine(nodes), .ranks_per_device = kRanksPerDevice});
     p.stencil_ms = sim::to_millis(apps::stencil::run_dcuda(c, cfg).elapsed);
   }
   {
@@ -54,7 +54,7 @@ Point measure(int nodes, int iters) {
     cfg.n_dev = 64;  // divisible by ranks-per-device
     cfg.density = 0.02;
     cfg.iterations = iters;
-    Cluster c(bench::machine(nodes), kRanksPerDevice);
+    Cluster c({.machine = bench::machine(nodes), .ranks_per_device = kRanksPerDevice});
     p.spmv_ms = sim::to_millis(apps::spmv::run_dcuda(c, cfg).elapsed);
   }
   return p;
@@ -70,9 +70,8 @@ int main(int argc, char** argv) {
   }
   const int iters = bench::iterations(4);
   std::vector<int> sizes = {16, 64};
-  if (const char* s = std::getenv("DCUDA_WEAK_NODES")) {
-    const int n = std::atoi(s);
-    if (n > 0) sizes.push_back(n);
+  if (const int n = sim::env_int("DCUDA_WEAK_NODES", 0); n > 0) {
+    sizes.push_back(n);
   }
   std::vector<Point> pts;
   pts.reserve(sizes.size());

@@ -25,11 +25,11 @@ int main() {
 
   apps::stencil::Result dc, mc;
   {
-    Cluster c(sim::machine_config(nodes), rpd);
+    Cluster c({.machine = sim::machine_config(nodes), .ranks_per_device = rpd});
     dc = apps::stencil::run_dcuda(c, cfg);
   }
   {
-    Cluster c(sim::machine_config(nodes), rpd);
+    Cluster c({.machine = sim::machine_config(nodes), .ranks_per_device = rpd});
     mc = apps::stencil::run_mpi_cuda(c, cfg);
   }
   const double ref = apps::stencil::reference_checksum(cfg, nodes, rpd);

@@ -23,7 +23,7 @@ constexpr int kChunkElems = 64;
 }  // namespace
 
 int main() {
-  Cluster cluster(sim::machine_config(kNodes), kDeviceRanks, kHostRanks);
+  Cluster cluster({.machine = sim::machine_config(kNodes), .ranks_per_device = kDeviceRanks, .host_ranks = kHostRanks});
   const int rpn = cluster.ranks_per_node();
 
   // Per-node staging area the device ranks stream results into: one slot

@@ -23,11 +23,11 @@ int main() {
 
   apps::particles::Result dc, mc;
   {
-    Cluster c(sim::machine_config(nodes), cfg.cells_per_node);
+    Cluster c({.machine = sim::machine_config(nodes), .ranks_per_device = cfg.cells_per_node});
     dc = apps::particles::run_dcuda(c, cfg);
   }
   {
-    Cluster c(sim::machine_config(nodes), cfg.cells_per_node);
+    Cluster c({.machine = sim::machine_config(nodes), .ranks_per_device = cfg.cells_per_node});
     mc = apps::particles::run_mpi_cuda(c, cfg);
   }
   apps::particles::Result ref = apps::particles::reference(cfg, nodes);

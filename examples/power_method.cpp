@@ -28,7 +28,7 @@ constexpr int kIterations = 12;
 }  // namespace
 
 int main() {
-  Cluster cluster(sim::machine_config(1), kRanks);
+  Cluster cluster({.machine = sim::machine_config(1), .ranks_per_device = kRanks});
 
   // A symmetric-ish sparse matrix with a known dominant structure: the
   // deterministic CSR patch generator plus a strong diagonal.

@@ -73,7 +73,7 @@ sim::Proc<void> stencil_rank(Context& ctx, std::span<double> in,
 }  // namespace
 
 int main() {
-  Cluster cluster(sim::machine_config(kNodes), kRanksPerDevice);
+  Cluster cluster({.machine = sim::machine_config(kNodes), .ranks_per_device = kRanksPerDevice});
   const int ranks = kNodes * kRanksPerDevice;
   const int total_rows = ranks * kRowsPerRank;
   const std::size_t len = kRowsPerRank * kJstride;

@@ -24,11 +24,11 @@ int main() {
 
   apps::spmv::Result dc, mc;
   {
-    Cluster c(sim::machine_config(nodes), rpd);
+    Cluster c({.machine = sim::machine_config(nodes), .ranks_per_device = rpd});
     dc = apps::spmv::run_dcuda(c, cfg);
   }
   {
-    Cluster c(sim::machine_config(nodes), rpd);
+    Cluster c({.machine = sim::machine_config(nodes), .ranks_per_device = rpd});
     mc = apps::spmv::run_mpi_cuda(c, cfg);
   }
   const double ref = apps::spmv::reference_checksum(cfg, nodes);

@@ -207,3 +207,27 @@ if [ -x "$BUILD/bench/ablation_local_notify" ]; then
 else
   echo "warning: $BUILD/bench/ablation_local_notify not built, skipping BENCH_backend.json" >&2
 fi
+
+# -- Gang-scheduler record (simulated time, deterministic) -----------------
+# bench/cluster_traffic: a 16-node multi-tenant fabric under a seeded
+# open-arrival workload, once per policy (docs/CLUSTER.md). Gate: EASY
+# backfill must recover >= 1.15x FIFO's machine utilization — below that
+# the backfill pass has stopped sliding narrow jobs into the head's shadow.
+CLUSTER_OUT="$(dirname "$OUT")/BENCH_cluster.json"
+if [ -x "$BUILD/bench/cluster_traffic" ]; then
+  echo "== cluster_traffic (gang-scheduling policies, 16 nodes) ==" >&2
+  cluster_json="$("$BUILD/bench/cluster_traffic")"
+  printf '%s\n' "$cluster_json" > "$CLUSTER_OUT"
+  echo "wrote $CLUSTER_OUT" >&2
+  fifo_util="$(jq -r '.policies.fifo.utilization' <<< "$cluster_json")"
+  bf_util="$(jq -r '.policies.backfill.utilization' <<< "$cluster_json")"
+  ratio="$(awk -v f="$fifo_util" -v b="$bf_util" 'BEGIN { printf "%.3f", b / f }')"
+  ok="$(awk -v f="$fifo_util" -v b="$bf_util" 'BEGIN { print (b >= 1.15 * f) ? 1 : 0 }')"
+  if [ "$ok" -ne 1 ]; then
+    echo "FAIL: backfill utilization $bf_util < 1.15x fifo $fifo_util (ratio ${ratio}x)" >&2
+    exit 1
+  fi
+  echo "   backfill/fifo utilization ${ratio}x (bar: 1.15x)" >&2
+else
+  echo "warning: $BUILD/bench/cluster_traffic not built, skipping BENCH_cluster.json" >&2
+fi

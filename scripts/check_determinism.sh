@@ -16,7 +16,12 @@
 #     clean, perturbed, and faulty schedules alike. The window protocol's
 #     ordering is a function of the logical schedule only, never of the
 #     executor layout.
-#  5. Topology pass (docs/TOPOLOGY.md): the same benchmarks on a fat tree
+#  5. Cluster pass (docs/CLUSTER.md): the gang scheduler's lifecycle
+#     transcript (bench/cluster_traffic --transcript, all three policies on
+#     one multi-tenant fabric) must be bit-identical across runs and under
+#     the 4-group/2-thread executor — job placement, backfill decisions and
+#     completion order are functions of the logical schedule only.
+#  6. Topology pass (docs/TOPOLOGY.md): the same benchmarks on a fat tree
 #     with 2 NIC rails (DCUDA_TOPOLOGY=fattree DCUDA_RAILS=2) must be
 #     stable across runs AND byte-identical between the serial and the
 #     4-group/2-thread executors — multi-hop routes shrink the engine's
@@ -86,4 +91,18 @@ for name in fig6_put_bandwidth fig10_stencil_scaling; do
   compare "$name: fattree+2rails shards=4 threads=2 matches serial" \
           "$tmp/$name.topo1" "$tmp/$name.topo_par"
 done
+
+# -- Cluster pass (docs/CLUSTER.md) ----------------------------------------
+cbin="$BUILD/bench/cluster_traffic"
+if [ -x "$cbin" ]; then
+  "$cbin" --transcript > "$tmp/cluster.run1"
+  "$cbin" --transcript > "$tmp/cluster.run2"
+  compare "cluster_traffic: transcripts bit-identical across runs" \
+          "$tmp/cluster.run1" "$tmp/cluster.run2"
+  DCUDA_SHARDS=4 DCUDA_THREADS=2 "$cbin" --transcript > "$tmp/cluster.par"
+  compare "cluster_traffic: shards=4 threads=2 matches serial" \
+          "$tmp/cluster.run1" "$tmp/cluster.par"
+else
+  echo "warning: $cbin not built, skipping cluster pass" >&2
+fi
 exit $status

@@ -1,11 +1,53 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace dcuda {
 
-Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
-    : cfg_(cfg), rpd_(ranks_per_device), host_ranks_(host_ranks) {
+std::optional<std::string> ClusterSpec::validate() const {
+  if (machine.num_nodes < 1) {
+    return "machine.num_nodes must be >= 1";
+  }
+  if (ranks_per_device < 1) {
+    return "ranks_per_device must be >= 1";
+  }
+  if (host_ranks < 0) {
+    return "host_ranks must be >= 0";
+  }
+  if (machine.shards < 0) {
+    return "machine.shards must be >= 0 (0 = one executor per shard)";
+  }
+  if (machine.threads < 1) {
+    return "machine.threads must be >= 1";
+  }
+  const double* probs[] = {&machine.fault.drop_prob, &machine.fault.dup_prob,
+                           &machine.fault.corrupt_prob,
+                           &machine.fault.delay_prob,
+                           &machine.fault.link_down_prob};
+  for (const double* p : probs) {
+    if (!(*p >= 0.0 && *p <= 1.0)) {
+      return "fault probabilities must be in [0, 1]";
+    }
+  }
+  return std::nullopt;
+}
+
+Cluster::Cluster(ClusterSpec spec)
+    : cfg_(std::move(spec.machine)),
+      rpd_(spec.ranks_per_device),
+      host_ranks_(spec.host_ranks),
+      multi_tenant_(spec.multi_tenant) {
+  {
+    // Re-validate through the spec view of the already-moved fields so the
+    // check and the construction can't drift apart.
+    ClusterSpec check{cfg_, rpd_, host_ranks_, multi_tenant_};
+    if (auto err = check.validate()) {
+      std::fprintf(stderr, "error: invalid ClusterSpec: %s\n", err->c_str());
+      std::exit(2);
+    }
+  }
   // Backend normalization (docs/BACKENDS.md): device-initiated runs deliver
   // device-local notifications on the device by definition — the legacy
   // ablation knob must not re-route them through a host loop the backend no
@@ -17,13 +59,25 @@ Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
   // config bug, not a request for zero NICs. Clamped here so the Fabric and
   // every component that mirrors the config agree on the effective layout.
   cfg_.net.topo.rails = std::max(1, cfg_.net.topo.rails);
-  // Sharded engine (docs/PERF.md, "Parallel engine"): one logical shard per
-  // node, always — the shard/thread knobs below only group shards onto
-  // executors, so results are byte-identical for every setting. Must happen
-  // before any component schedules events or spawns daemons.
-  sim_.configure_shards(cfg_.num_nodes);
-  sim_.set_executor(cfg_.shards, cfg_.threads);
-  tracer_.set_shards(cfg_.num_nodes);
+  if (multi_tenant_) {
+    // Multi-tenant mode runs the classic sequential engine: one shard, one
+    // thread, whatever the executor knobs say. Jobs construct endpoints and
+    // runtimes mid-simulation, which the sharded fast paths don't allow —
+    // and a fixed engine layout keeps the job transcript byte-identical
+    // across DCUDA_SHARDS/DCUDA_THREADS settings (check_determinism.sh,
+    // cluster pass).
+    sim_.configure_shards(1);
+    sim_.set_executor(1, 1);
+    tracer_.set_shards(1);
+  } else {
+    // Sharded engine (docs/PERF.md, "Parallel engine"): one logical shard
+    // per node, always — the shard/thread knobs below only group shards
+    // onto executors, so results are byte-identical for every setting. Must
+    // happen before any component schedules events or spawns daemons.
+    sim_.configure_shards(cfg_.num_nodes);
+    sim_.set_executor(cfg_.shards, cfg_.threads);
+    tracer_.set_shards(cfg_.num_nodes);
+  }
   // Install the perturbation before any component spawns daemons, so every
   // event of the run — including runtime startup — draws from the seeded
   // streams. Fault injection needs the kFault stream even with perturb_seed
@@ -56,6 +110,22 @@ Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
                                                      pcie_.back().get(), &tracer_));
     dev_ptrs.push_back(devices_.back().get());
   }
+  if (multi_tenant_) {
+    // No global world: jobs bring their own. The fabric rx mailboxes are
+    // single-consumer, so one mux daemon per (node, channel) owns them for
+    // the whole simulation and forwards to whichever job currently holds
+    // the node (bind_rx).
+    rx_sinks_.assign(
+        static_cast<size_t>(cfg_.num_nodes) * net::kNumChannels, nullptr);
+    for (int n = 0; n < cfg_.num_nodes; ++n) {
+      for (int ch = 0; ch < net::kNumChannels; ++ch) {
+        sim_.spawn(rx_mux(n, ch),
+                   "rxmux@" + std::to_string(n) + "/" + std::to_string(ch),
+                   /*daemon=*/true);
+      }
+    }
+    return;
+  }
   world_ = std::make_unique<mpi::World>(sim_, *fabric_, cfg_.mpi, dev_ptrs);
   for (int n = 0; n < cfg_.num_nodes; ++n) {
     sim::ShardGuard guard(sim_, sim_.shard_for(n));
@@ -63,6 +133,26 @@ Cluster::Cluster(sim::MachineConfig cfg, int ranks_per_device, int host_ranks)
         sim_, *devices_[static_cast<size_t>(n)], world_->at(n),
         *pcie_[static_cast<size_t>(n)], *fabric_, cfg_, rpd_, host_ranks_));
   }
+}
+
+sim::Proc<void> Cluster::rx_mux(int node, int channel) {
+  sim::Mailbox<net::Packet>& rx = fabric_->rx(node, channel);
+  const size_t slot =
+      static_cast<size_t>(node) * net::kNumChannels + static_cast<size_t>(channel);
+  for (;;) {
+    net::Packet p = co_await rx.pop();
+    sim::Mailbox<net::Packet>* sink = rx_sinks_[slot];
+    if (sink != nullptr) {
+      sink->push(std::move(p));
+    } else {
+      ++rx_dropped_;
+    }
+  }
+}
+
+void Cluster::bind_rx(int node, int channel, sim::Mailbox<net::Packet>* sink) {
+  rx_sinks_[static_cast<size_t>(node) * net::kNumChannels +
+            static_cast<size_t>(channel)] = sink;
 }
 
 sim::Proc<void> Cluster::run_device(int n, const RankFn& fn) {

@@ -3,10 +3,20 @@
 // Simulated GPU cluster: N nodes, each with one device, one PCIe link, one
 // MPI endpoint and one dCUDA node runtime, connected by the network fabric.
 // This is the top-level entry point examples, tests and benchmarks build on.
+//
+// Construction goes through ClusterSpec (named, validated fields). The
+// default spec is the paper machine: one job owning every node, placed
+// immediately — byte-identical to the historical positional constructor.
+// spec.multi_tenant = true instead builds a shared fabric with no global
+// rank world; cluster::Scheduler then places whole dCUDA jobs onto node
+// subsets at simulated times (docs/CLUSTER.md).
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dcuda/dcuda.h"
@@ -16,19 +26,72 @@
 #include "pcie/pcie.h"
 #include "runtime/node_runtime.h"
 #include "sim/config.h"
+#include "sim/mailbox.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
 
 namespace dcuda {
 
+// Typed cluster construction surface (docs/API.md "ClusterSpec"). An
+// aggregate, so both designated initializers and the builder chain work:
+//
+//   Cluster c({.machine = m, .ranks_per_device = 4});
+//   Cluster c(ClusterSpec{}.with_nodes(16).with_multi_tenant());
+struct ClusterSpec {
+  // The simulated machine (node count, device/net/runtime models, executor
+  // and perturbation knobs). sim::apply_env fills it from DCUDA_* vars.
+  sim::MachineConfig machine = {};
+  // Device ranks per node. Defaults to the paper's launch configuration:
+  // 208 blocks per device (the maximum the K80 keeps in flight at 128
+  // threads and 26 registers).
+  int ranks_per_device = 208;
+  // §V host ranks per node: local ranks [rpd, rpd + host_ranks) run on the
+  // host CPU.
+  int host_ranks = 0;
+  // Multi-tenant mode: no global MPI world or node runtimes are built; jobs
+  // submitted through cluster::Scheduler own node subsets for a bounded
+  // simulated time and bring their own job-local world (docs/CLUSTER.md).
+  // Runs the classic sequential engine so jobs can be constructed
+  // mid-simulation.
+  bool multi_tenant = false;
+
+  ClusterSpec& with_machine(sim::MachineConfig m) {
+    machine = std::move(m);
+    return *this;
+  }
+  ClusterSpec& with_nodes(int n) {
+    machine.num_nodes = n;
+    return *this;
+  }
+  ClusterSpec& with_ranks_per_device(int r) {
+    ranks_per_device = r;
+    return *this;
+  }
+  ClusterSpec& with_host_ranks(int h) {
+    host_ranks = h;
+    return *this;
+  }
+  ClusterSpec& with_multi_tenant(bool on = true) {
+    multi_tenant = on;
+    return *this;
+  }
+
+  // First problem found, or nullopt when the spec is constructible. The
+  // Cluster constructor treats any error as fatal (exit 2): a simulation
+  // must never run on a half-valid machine.
+  std::optional<std::string> validate() const;
+};
+
 class Cluster {
  public:
-  // ranks_per_device defaults to the paper's launch configuration: 208
-  // blocks per device (the maximum the K80 keeps in flight at 128 threads
-  // and 26 registers). host_ranks adds §V host ranks per node: local ranks
-  // [rpd, rpd + host_ranks) run on the host CPU.
-  explicit Cluster(sim::MachineConfig cfg = {}, int ranks_per_device = 208,
-                   int host_ranks = 0);
+  explicit Cluster(ClusterSpec spec = {});
+
+  // Positional constructor kept for one release as a thin shim; call sites
+  // should move to ClusterSpec's named fields. Inline so the definition
+  // itself doesn't trip -Wdeprecated-declarations.
+  [[deprecated("construct with Cluster(ClusterSpec) instead")]] explicit Cluster(
+      sim::MachineConfig cfg, int ranks_per_device = 208, int host_ranks = 0)
+      : Cluster(ClusterSpec{std::move(cfg), ranks_per_device, host_ranks}) {}
 
   sim::Simulation& sim() { return sim_; }
   sim::Tracer& tracer() { return tracer_; }
@@ -38,6 +101,7 @@ class Cluster {
   int host_ranks() const { return host_ranks_; }
   int ranks_per_node() const { return rpd_ + host_ranks_; }
   int world_size() const { return cfg_.num_nodes * ranks_per_node(); }
+  bool multi_tenant() const { return multi_tenant_; }
 
   gpu::Device& device(int node) { return *devices_[static_cast<size_t>(node)]; }
   rt::NodeRuntime& node(int n) { return *runtimes_[static_cast<size_t>(n)]; }
@@ -69,13 +133,26 @@ class Cluster {
     return gpu::LaunchConfig{rpd_, 128, 26};
   }
 
+  // -- Multi-tenant fabric demux ----------------------------------------
+  //
+  // In multi-tenant mode each node's fabric rx mailboxes are owned by one
+  // mux daemon per channel; jobs bind their private mailbox as the node's
+  // current sink while they own the node. Packets arriving while no sink is
+  // bound (after a job finished, before the next starts) are dropped and
+  // counted — late traffic of a finished job must not leak into its
+  // successor's world.
+  void bind_rx(int node, int channel, sim::Mailbox<net::Packet>* sink);
+  std::uint64_t rx_dropped() const { return rx_dropped_; }
+
  private:
   sim::Proc<void> run_device(int n, const RankFn& fn);
   sim::Proc<void> run_host_rank(int n, int host_index, const RankFn& fn);
+  sim::Proc<void> rx_mux(int node, int channel);
 
   sim::MachineConfig cfg_;
   int rpd_;
   int host_ranks_;
+  bool multi_tenant_ = false;
   sim::Simulation sim_;
   sim::Tracer tracer_;
   std::unique_ptr<net::Fabric> fabric_;
@@ -83,6 +160,9 @@ class Cluster {
   std::vector<std::unique_ptr<gpu::Device>> devices_;
   std::unique_ptr<mpi::World> world_;
   std::vector<std::unique_ptr<rt::NodeRuntime>> runtimes_;
+  // Multi-tenant rx demux state: one slot per (node, channel).
+  std::vector<sim::Mailbox<net::Packet>*> rx_sinks_;
+  std::uint64_t rx_dropped_ = 0;
 };
 
 }  // namespace dcuda

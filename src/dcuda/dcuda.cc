@@ -52,7 +52,9 @@ sim::Proc<void> issue_rma(Context& ctx, rt::CmdKind kind, Window win,
     tr->bump("rma_bytes", static_cast<double>(bytes));
   };
   const auto count_inflight = [&] {
-    if (traced) tr->counter_add(ctx.sim().now(), node.node(), "inflight_rma", 1.0);
+    if (traced) {
+      tr->counter_add(ctx.sim().now(), node.phys_node(), "inflight_rma", 1.0);
+    }
   };
   if (sim::InvariantObserver* obs = ctx.sim().invariant_observer(); obs != nullptr) {
     obs->window_accessed(win.global_id);
@@ -114,12 +116,16 @@ sim::Proc<void> issue_rma(Context& ctx, rt::CmdKind kind, Window win,
           // Issue, landing, and delivery coincide here; reporting all four
           // keeps the data-before-notification and FIFO oracles closed over
           // this backend's local path too.
-          obs->data_put_issued(rs.global_rank, target_rank);
-          obs->notify_put_ordered(rs.global_rank, target_rank, win.global_id,
+          obs->data_put_issued(node.oracle_rank(rs.global_rank),
+                               node.oracle_rank(target_rank));
+          obs->notify_put_ordered(node.oracle_rank(rs.global_rank),
+                                  node.oracle_rank(target_rank), win.global_id,
                                   bytes, tag);
-          obs->data_put_landed(rs.global_rank, target_rank);
-          obs->notify_put_delivered(rs.global_rank, target_rank, win.global_id,
-                                    bytes, tag);
+          obs->data_put_landed(node.oracle_rank(rs.global_rank),
+                               node.oracle_rank(target_rank));
+          obs->notify_put_delivered(node.oracle_rank(rs.global_rank),
+                                    node.oracle_rank(target_rank),
+                                    win.global_id, bytes, tag);
         }
         n.win_device_id = peer->win_device_id;
         n.source = rs.global_rank;
@@ -191,7 +197,7 @@ void Context::trace(const char* activity, sim::Category category,
   if (sim::Tracer* t = node->device().tracer(); t && t->enabled()) {
     // Host ranks trace on a lane band of their own (kHostRankLaneBase + idx).
     const int host_index = world_rank % node->ranks_per_node() - node->ranks_per_device();
-    t->record(sim::TraceSpan{begin, end, node->node(),
+    t->record(sim::TraceSpan{begin, end, node->phys_node(),
                              sim::kHostRankLaneBase + host_index, activity,
                              category, bytes});
   }
@@ -391,12 +397,16 @@ sim::Proc<int> test_notifications(Context& ctx, std::int32_t win_filter, int sou
 sim::Proc<void> barrier(Context& ctx, Comm comm) {
   const sim::Time begin = ctx.sim().now();
   // Barrier domains for the oracle: the world communicator spans every rank
-  // (key -1); a device communicator spans one node's device ranks (key =
-  // node id).
-  const int comm_key = comm == Comm::kWorld ? -1 : ctx.node->node();
+  // of this job (key -1 - job_tag); a device communicator spans one node's
+  // device ranks (key = job-namespaced node id). The single-tenant keys are
+  // the historical -1 / node id.
+  const int comm_key = comm == Comm::kWorld
+                           ? ctx.node->barrier_world_key()
+                           : ctx.node->oracle_node(ctx.node->node());
   const int participants = comm == Comm::kWorld ? ctx.world_size : ctx.device_size;
   if (sim::InvariantObserver* obs = ctx.sim().invariant_observer(); obs != nullptr) {
-    obs->barrier_enter(comm_key, ctx.world_rank, participants);
+    obs->barrier_enter(comm_key, ctx.node->oracle_rank(ctx.world_rank),
+                       participants);
   }
   co_await charge_issue(ctx);
   rt::Command c;
@@ -407,7 +417,7 @@ sim::Proc<void> barrier(Context& ctx, Comm comm) {
   assert(a.kind == rt::AckKind::kBarrierDone);
   (void)a;
   if (sim::InvariantObserver* obs = ctx.sim().invariant_observer(); obs != nullptr) {
-    obs->barrier_exit(comm_key, ctx.world_rank);
+    obs->barrier_exit(comm_key, ctx.node->oracle_rank(ctx.world_rank));
   }
   ctx.trace("barrier", sim::Category::kBarrier, begin, ctx.sim().now());
 }

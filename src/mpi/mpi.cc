@@ -61,15 +61,19 @@ constexpr double kEnvelopeBytes = 64.0;  // wire header per message
 }  // namespace
 
 Endpoint::Endpoint(sim::Simulation& s, net::Fabric& fabric, int rank,
-                   int world_size, const sim::MpiConfig& cfg, gpu::Device* device)
+                   int world_size, const sim::MpiConfig& cfg, gpu::Device* device,
+                   std::vector<int> node_map,
+                   sim::Mailbox<net::Packet>* rx_override)
     : sim_(s),
       fabric_(fabric),
       rank_(rank),
       size_(world_size),
       cfg_(cfg),
       device_(device),
+      node_map_(std::move(node_map)),
+      rx_override_(rx_override),
       barrier_release_(std::make_unique<sim::Trigger>(s)) {
-  s.spawn(rx_loop(), "mpi-rx@" + std::to_string(rank), /*daemon=*/true);
+  s.spawn(rx_loop(), "mpi-rx@" + std::to_string(phys(rank)), /*daemon=*/true);
 }
 
 Request Endpoint::isend(int dst, int tag, gpu::MemRef buf) {
@@ -107,7 +111,7 @@ Request Endpoint::irecv(int src, int tag, gpu::MemRef buf) {
       cts.kind = Wire::kCts;
       cts.src = rank_;
       cts.msg_id = w.msg_id;
-      fabric_.send(net::Packet{rank_, w.src, kEnvelopeBytes, cts});
+      fabric_.send(net::Packet{phys(rank_), phys(w.src), kEnvelopeBytes, cts});
     }
     return Request(st);
   }
@@ -157,7 +161,8 @@ sim::Proc<void> Endpoint::send_body(int dst, int tag, gpu::MemRef buf,
                               ? device_->pcie()->config().gpudirect_bandwidth
                               : std::numeric_limits<sim::Rate>::infinity();
     if (buf.on_device()) ++direct_dev_;
-    fabric_.send(net::Packet{rank_, dst, static_cast<double>(buf.bytes) + kEnvelopeBytes,
+    fabric_.send(net::Packet{phys(rank_), phys(dst),
+                             static_cast<double>(buf.bytes) + kEnvelopeBytes,
                              std::move(w)},
                  cap);
     st->done = true;  // eager send buffers locally; sender may reuse buf
@@ -174,7 +179,7 @@ sim::Proc<void> Endpoint::send_body(int dst, int tag, gpu::MemRef buf,
   rts.tag = tag;
   rts.msg_id = id;
   rts.total_bytes = buf.bytes;
-  fabric_.send(net::Packet{rank_, dst, kEnvelopeBytes, rts});
+  fabric_.send(net::Packet{phys(rank_), phys(dst), kEnvelopeBytes, rts});
   while (!cts->granted) co_await cts->trig.wait();
   awaiting_cts_.erase(id);
   co_await send_data(dst, id, buf, st);
@@ -204,7 +209,8 @@ sim::Proc<void> Endpoint::send_data(int dst, std::uint64_t msg_id, gpu::MemRef b
       f.staged = true;
       f.data = std::make_shared<std::vector<std::byte>>(buf.data + off,
                                                         buf.data + off + chunk);
-      fabric_.send(net::Packet{rank_, dst, static_cast<double>(chunk) + kEnvelopeBytes,
+      fabric_.send(net::Packet{phys(rank_), phys(dst),
+                               static_cast<double>(chunk) + kEnvelopeBytes,
                                std::move(f)});
       off += chunk;
     }
@@ -221,7 +227,8 @@ sim::Proc<void> Endpoint::send_data(int dst, std::uint64_t msg_id, gpu::MemRef b
     f.offset = 0;
     f.last = true;
     f.data = std::make_shared<std::vector<std::byte>>(buf.data, buf.data + buf.bytes);
-    fabric_.send(net::Packet{rank_, dst, static_cast<double>(buf.bytes) + kEnvelopeBytes,
+    fabric_.send(net::Packet{phys(rank_), phys(dst),
+                             static_cast<double>(buf.bytes) + kEnvelopeBytes,
                              std::move(f)},
                  cap);
   }
@@ -230,8 +237,10 @@ sim::Proc<void> Endpoint::send_data(int dst, std::uint64_t msg_id, gpu::MemRef b
 }
 
 sim::Proc<void> Endpoint::rx_loop() {
+  sim::Mailbox<net::Packet>& rx =
+      rx_override_ != nullptr ? *rx_override_ : fabric_.rx(phys(rank_));
   for (;;) {
-    net::Packet p = co_await fabric_.rx(rank_).pop();
+    net::Packet p = co_await rx.pop();
     handle(std::any_cast<Wire>(std::move(p.payload)));
   }
 }
@@ -265,7 +274,7 @@ void Endpoint::handle(Wire w) {
         cts.kind = Wire::kCts;
         cts.src = rank_;
         cts.msg_id = w.msg_id;
-        fabric_.send(net::Packet{rank_, w.src, kEnvelopeBytes, cts});
+        fabric_.send(net::Packet{phys(rank_), phys(w.src), kEnvelopeBytes, cts});
       } else {
         unexpected_.push_back(std::make_shared<Wire>(std::move(w)));
       }
@@ -345,13 +354,13 @@ sim::Proc<void> Endpoint::barrier() {
       Wire rel;
       rel.kind = Wire::kBarrierRelease;
       rel.src = 0;
-      fabric_.send(net::Packet{0, r, kEnvelopeBytes, rel});
+      fabric_.send(net::Packet{phys(0), phys(r), kEnvelopeBytes, rel});
     }
   } else {
     Wire arr;
     arr.kind = Wire::kBarrier;
     arr.src = rank_;
-    fabric_.send(net::Packet{rank_, 0, kEnvelopeBytes, arr});
+    fabric_.send(net::Packet{phys(rank_), phys(0), kEnvelopeBytes, arr});
     const std::uint64_t target = ++barrier_waits_;
     while (barrier_epoch_ < target) co_await barrier_release_->wait();
   }
@@ -367,6 +376,21 @@ World::World(sim::Simulation& s, net::Fabric& fabric, const sim::MpiConfig& cfg,
     // Each endpoint (and its rx daemon) lives in its node's shard.
     sim::ShardGuard guard(s, s.shard_for(r));
     endpoints_.push_back(std::make_unique<Endpoint>(s, fabric, r, n, cfg, dev));
+  }
+}
+
+World::World(sim::Simulation& s, net::Fabric& fabric, const sim::MpiConfig& cfg,
+             const std::vector<gpu::Device*>& devices,
+             const std::vector<int>& node_map,
+             const std::vector<sim::Mailbox<net::Packet>*>& rx_overrides) {
+  const int n = static_cast<int>(node_map.size());
+  endpoints_.reserve(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    gpu::Device* dev =
+        r < static_cast<int>(devices.size()) ? devices[static_cast<size_t>(r)] : nullptr;
+    endpoints_.push_back(std::make_unique<Endpoint>(
+        s, fabric, r, n, cfg, dev, node_map,
+        rx_overrides[static_cast<size_t>(r)]));
   }
 }
 

@@ -27,6 +27,7 @@
 #include "gpu/mem.h"
 #include "net/fabric.h"
 #include "sim/config.h"
+#include "sim/mailbox.h"
 #include "sim/proc.h"
 #include "sim/simulation.h"
 #include "sim/trigger.h"
@@ -57,16 +58,27 @@ class Request {
 
 sim::Proc<void> wait_all(std::vector<Request> reqs);
 
-// One communication endpoint per node (rank == node id).
+// One communication endpoint per node (rank == node id). In a job-scoped
+// world (cluster::Scheduler, docs/CLUSTER.md) ranks are job-relative:
+// `node_map` translates them to physical fabric nodes at the wire, and
+// `rx_override` replaces the fabric rx mailbox with the job's private one
+// (fed by the Cluster rx mux) — every wire struct keeps carrying
+// job-relative ranks, so a job's protocol state is placement-independent.
 class Endpoint {
  public:
   Endpoint(sim::Simulation& s, net::Fabric& fabric, int rank, int world_size,
-           const sim::MpiConfig& cfg, gpu::Device* device);
+           const sim::MpiConfig& cfg, gpu::Device* device,
+           std::vector<int> node_map = {},
+           sim::Mailbox<net::Packet>* rx_override = nullptr);
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
 
   int rank() const { return rank_; }
   int size() const { return size_; }
+  // Physical fabric node of a (job-relative) rank.
+  int phys(int rank) const {
+    return node_map_.empty() ? rank : node_map_[static_cast<size_t>(rank)];
+  }
 
   Request isend(int dst, int tag, gpu::MemRef buf);
   Request irecv(int src, int tag, gpu::MemRef buf);
@@ -104,6 +116,8 @@ class Endpoint {
   int size_;
   sim::MpiConfig cfg_;
   gpu::Device* device_;
+  std::vector<int> node_map_;                         // empty = identity
+  sim::Mailbox<net::Packet>* rx_override_ = nullptr;  // null = fabric rx
 
   std::vector<std::shared_ptr<Posting>> postings_;
   std::deque<std::shared_ptr<Wire>> unexpected_;
@@ -130,6 +144,13 @@ class World {
  public:
   World(sim::Simulation& s, net::Fabric& fabric, const sim::MpiConfig& cfg,
         const std::vector<gpu::Device*>& devices);
+  // Job-scoped world (docs/CLUSTER.md): one endpoint per entry of
+  // `node_map` (job-relative rank -> physical node), each consuming its
+  // job-private rx mailbox instead of the fabric's.
+  World(sim::Simulation& s, net::Fabric& fabric, const sim::MpiConfig& cfg,
+        const std::vector<gpu::Device*>& devices,
+        const std::vector<int>& node_map,
+        const std::vector<sim::Mailbox<net::Packet>*>& rx_overrides);
   Endpoint& at(int rank) { return *endpoints_[static_cast<size_t>(rank)]; }
   int size() const { return static_cast<int>(endpoints_.size()); }
 

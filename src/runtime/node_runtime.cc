@@ -9,12 +9,16 @@
 namespace dcuda::rt {
 
 namespace {
-// Global window ids: (communicator, per-communicator creation sequence).
-// Window creation is collective, so every node derives the same id for the
-// same world window without any agreement traffic; the per-rank device-side
-// counter is translated through the block manager's hash map (§III-B).
-std::int32_t global_win_id(Comm comm, std::int32_t seq) {
-  return (static_cast<std::int32_t>(comm) << 20) | seq;
+// Global window ids: (job, communicator, per-communicator creation
+// sequence). Window creation is collective, so every node derives the same
+// id for the same world window without any agreement traffic; the per-rank
+// device-side counter is translated through the block manager's hash map
+// (§III-B). The job tag keeps concurrent gang-scheduled jobs' windows from
+// colliding in the observer's lifecycle tracking; tag 0 (single-tenant)
+// reproduces the historical ids bit for bit.
+std::int32_t global_win_id(int job_tag, Comm comm, std::int32_t seq) {
+  return (static_cast<std::int32_t>(job_tag) << 22) |
+         (static_cast<std::int32_t>(comm) << 20) | seq;
 }
 }  // namespace
 
@@ -48,10 +52,10 @@ queue::Transport NodeRuntime::doorbell_transport() {
 NodeRuntime::NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep,
                          pcie::PcieLink& pcie, net::Fabric& fabric,
                          const sim::MachineConfig& cfg, int ranks_per_device,
-                         int host_ranks)
+                         int host_ranks, JobBinding binding)
     : sim_(s), dev_(dev), ep_(ep), pcie_(pcie), fabric_(fabric), cfg_(cfg),
-      rpd_(ranks_per_device), host_ranks_(host_ranks), host_cpu_(s, 1),
-      nic_proc_(s, 1) {
+      rpd_(ranks_per_device), host_ranks_(host_ranks), binding_(binding),
+      host_cpu_(s, 1), nic_proc_(s, 1) {
   host_compute_ = std::make_unique<sim::SharedResource>(
       s, cfg.host.flops, cfg.host.flops / cfg.host.threads_to_saturate);
   host_memory_ = std::make_unique<sim::SharedResource>(
@@ -77,24 +81,29 @@ NodeRuntime::NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep
     ranks_.back()->host_flush_trig = host_flush_trigs_.back().get();
     if (sim::Tracer* tr = dev.tracer()) {
       // All ranks of the node share the per-device depth counters.
-      ranks_.back()->cmd_q.set_tracer(tr, node(), "cmd_queue");
-      ranks_.back()->ack_q.set_tracer(tr, node(), "ack_queue");
-      ranks_.back()->notif_q.set_tracer(tr, node(), "notif_queue");
+      ranks_.back()->cmd_q.set_tracer(tr, phys_node(), "cmd_queue");
+      ranks_.back()->ack_q.set_tracer(tr, phys_node(), "ack_queue");
+      ranks_.back()->notif_q.set_tracer(tr, phys_node(), "notif_queue");
     }
-    s.spawn(command_loop(r), "bm@" + std::to_string(node()) + "/" + std::to_string(r),
+    s.spawn(command_loop(r),
+            "bm@" + std::to_string(phys_node()) + "/" + std::to_string(r),
             /*daemon=*/true);
   }
   log_q_ = std::make_unique<queue::CircularQueue<LogEntry>>(
       s, cfg.runtime.logging_queue_entries, pcie_transport(pcie::Dir::kDeviceToHost));
-  if (sim::Tracer* tr = dev.tracer()) log_q_->set_tracer(tr, node(), "log_queue");
-  s.spawn(meta_loop(), "event-handler@" + std::to_string(node()), /*daemon=*/true);
-  s.spawn(log_loop(), "log@" + std::to_string(node()), /*daemon=*/true);
+  if (sim::Tracer* tr = dev.tracer()) {
+    log_q_->set_tracer(tr, phys_node(), "log_queue");
+  }
+  s.spawn(meta_loop(), "event-handler@" + std::to_string(phys_node()),
+          /*daemon=*/true);
+  s.spawn(log_loop(), "log@" + std::to_string(phys_node()), /*daemon=*/true);
   if (cfg_.rma.eager_enabled()) {
     // Only spawned when the fast path is on: disabled runs keep the exact
     // reference event schedule (golden traces).
     eager_agg_.resize(static_cast<size_t>(num_nodes()));
     rdv_landed_trig_ = std::make_unique<sim::Trigger>(s);
-    s.spawn(eager_loop(), "eager@" + std::to_string(node()), /*daemon=*/true);
+    s.spawn(eager_loop(), "eager@" + std::to_string(phys_node()),
+            /*daemon=*/true);
   }
 }
 
@@ -139,7 +148,7 @@ sim::Proc<void> NodeRuntime::command_loop(int local_rank) {
   // One name for every command processor of this rank — built once, not per
   // dispatched command (the loop runs once per device-side operation).
   const std::string proc_name =
-      "cmd@" + std::to_string(node()) + "/" + std::to_string(local_rank);
+      "cmd@" + std::to_string(phys_node()) + "/" + std::to_string(local_rank);
   const bool host_path = is_host_rank(local_rank);
   for (;;) {
     Command c = co_await rs.cmd_q.dequeue();
@@ -182,8 +191,9 @@ sim::Proc<void> NodeRuntime::process_command(int local_rank, Command c) {
 sim::Proc<void> NodeRuntime::handle_win_create(int local_rank, Command c) {
   RankState& rs = rank(local_rank);
   const int comm_idx = static_cast<int>(c.comm);
-  const std::int32_t gid =
-      global_win_id(c.comm, rs.win_create_seq[static_cast<size_t>(comm_idx)]++);
+  const std::int32_t gid = global_win_id(
+      binding_.job_tag, c.comm,
+      rs.win_create_seq[static_cast<size_t>(comm_idx)]++);
   rs.win_translate[c.win_device_id] = gid;
 
   WindowInfo& wi = windows_[gid];
@@ -243,7 +253,10 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
     // block manager loops the notification through the host (§III-A) and
     // completes the flush id.
     sim::InvariantObserver* obs = sim_.invariant_observer();
-    if (obs != nullptr) obs->data_put_issued(rs.global_rank, c.target_rank);
+    if (obs != nullptr) {
+      obs->data_put_issued(oracle_rank(rs.global_rank),
+                           oracle_rank(c.target_rank));
+    }
     if (c.notify) {
       const int target_local = c.target_rank - node() * ranks_per_node();
       const std::int32_t gid = rs.win_translate.at(c.win_device_id);
@@ -256,15 +269,19 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
       if (obs != nullptr) {
         // Local notified puts are ordered by per-rank command processing;
         // issue, landing, and delivery coincide in this coroutine.
-        obs->notify_put_ordered(rs.global_rank, c.target_rank, gid,
-                                c.bytes, c.tag);
-        obs->data_put_landed(rs.global_rank, c.target_rank);
-        obs->notify_put_delivered(rs.global_rank, c.target_rank, gid,
-                                  c.bytes, c.tag);
+        obs->notify_put_ordered(oracle_rank(rs.global_rank),
+                                oracle_rank(c.target_rank), gid, c.bytes,
+                                c.tag);
+        obs->data_put_landed(oracle_rank(rs.global_rank),
+                             oracle_rank(c.target_rank));
+        obs->notify_put_delivered(oracle_rank(rs.global_rank),
+                                  oracle_rank(c.target_rank), gid, c.bytes,
+                                  c.tag);
       }
       co_await push_notification(target_local, n);
     } else if (obs != nullptr) {
-      obs->data_put_landed(rs.global_rank, c.target_rank);
+      obs->data_put_landed(oracle_rank(rs.global_rank),
+                           oracle_rank(c.target_rank));
     }
     co_await complete_flush(rs, c.flush_id, c.win_device_id);
     co_return;
@@ -299,12 +316,16 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
     // fenced on its own sequence, so it cannot overtake parked eager data
     // and cannot commit before its own (or any earlier) payload landed.
     const std::uint64_t seq = ++rs.rdv_issued[target_node];
-    if (obs != nullptr) obs->data_put_issued(rs.global_rank, c.target_rank);
+    if (obs != nullptr) {
+      obs->data_put_issued(oracle_rank(rs.global_rank),
+                           oracle_rank(c.target_rank));
+    }
     m.notify = false;
     if (c.notify) {
       if (obs != nullptr) {
-        obs->notify_put_ordered(rs.global_rank, c.target_rank,
-                                m.win_global_id, c.bytes, c.tag);
+        obs->notify_put_ordered(oracle_rank(rs.global_rank),
+                                oracle_rank(c.target_rank), m.win_global_id,
+                                c.bytes, c.tag);
       }
       EagerAggregator& agg = eager_agg_[static_cast<size_t>(target_node)];
       EagerPutRecord r;
@@ -327,9 +348,11 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
     // same posting-order matching. (Rendezvous-sized transfers promise only
     // completion order, like MPI, so they are not sequence-tracked while the
     // fast path — and with it the rendezvous fence — is off.)
-    obs->data_put_issued(rs.global_rank, c.target_rank);
+    obs->data_put_issued(oracle_rank(rs.global_rank),
+                         oracle_rank(c.target_rank));
     if (c.notify) {
-      obs->notify_put_ordered(rs.global_rank, c.target_rank, m.win_global_id,
+      obs->notify_put_ordered(oracle_rank(rs.global_rank),
+                              oracle_rank(c.target_rank), m.win_global_id,
                               c.bytes, c.tag);
     }
   }
@@ -341,7 +364,7 @@ sim::Proc<void> NodeRuntime::handle_put(int local_rank, Command c) {
   mpi::Request rd;
   if (c.bytes > 0) {
     rd = ep_.isend(target_node, kPutDataTagBase + rs.global_rank,
-                   gpu::MemRef{c.local_ptr, c.bytes, node()});
+                   gpu::MemRef{c.local_ptr, c.bytes, phys_node()});
   }
   if (cfg_.rma.eager_enabled() &&
       !eager_agg_[static_cast<size_t>(target_node)].records.empty()) {
@@ -374,7 +397,7 @@ sim::Proc<void> NodeRuntime::handle_get(int local_rank, Command c) {
   // Post the receive for the data before requesting it, so the response can
   // never be unexpected-buffered into the wrong transfer.
   mpi::Request rr = ep_.irecv(target_node, kGetDataTagBase + rs.global_rank,
-                              gpu::MemRef{c.local_ptr, c.bytes, node()});
+                              gpu::MemRef{c.local_ptr, c.bytes, phys_node()});
   Meta m;
   m.kind = CmdKind::kGet;
   m.origin_rank = rs.global_rank;
@@ -459,7 +482,7 @@ sim::Proc<void> NodeRuntime::handle_meta(Meta m, std::uint64_t rdv_seq) {
     // then notify the target rank once the data landed.
     if (m.bytes > 0) {
       co_await ep_.recv(origin_node, kPutDataTagBase + m.origin_rank,
-                        gpu::MemRef{info.base + m.offset, m.bytes, node()});
+                        gpu::MemRef{info.base + m.offset, m.bytes, phys_node()});
     }
     if (cfg_.rma.eager_enabled()) {
       // Advance the per-origin-rank landed frontier and wake fenced batch
@@ -468,17 +491,20 @@ sim::Proc<void> NodeRuntime::handle_meta(Meta m, std::uint64_t rdv_seq) {
       assert(!m.notify && "fast path on: notifications ride the eager stream");
       if (sim::InvariantObserver* obs = sim_.invariant_observer();
           obs != nullptr) {
-        obs->data_put_landed(m.origin_rank, m.target_rank);
+        obs->data_put_landed(oracle_rank(m.origin_rank),
+                             oracle_rank(m.target_rank));
       }
       mark_rdv_landed(m.origin_rank, rdv_seq);
     } else if (sim::InvariantObserver* obs = sim_.invariant_observer();
                obs != nullptr && m.bytes <= cfg_.mpi.eager_limit) {
-      obs->data_put_landed(m.origin_rank, m.target_rank);
+      obs->data_put_landed(oracle_rank(m.origin_rank),
+                           oracle_rank(m.target_rank));
     }
     if (m.notify) {
       if (sim::InvariantObserver* obs = sim_.invariant_observer();
           obs != nullptr && m.bytes <= cfg_.mpi.eager_limit) {
-        obs->notify_put_delivered(m.origin_rank, m.target_rank, m.win_global_id,
+        obs->notify_put_delivered(oracle_rank(m.origin_rank),
+                                  oracle_rank(m.target_rank), m.win_global_id,
                                   m.bytes, m.tag);
       }
       Notification n;
@@ -491,7 +517,7 @@ sim::Proc<void> NodeRuntime::handle_meta(Meta m, std::uint64_t rdv_seq) {
     assert(m.kind == CmdKind::kGet);
     // Serve the read: send the requested window range back to the origin.
     co_await ep_.send(origin_node, kGetDataTagBase + m.origin_rank,
-                      gpu::MemRef{info.base + m.offset, m.bytes, node()});
+                      gpu::MemRef{info.base + m.offset, m.bytes, phys_node()});
   }
 }
 
@@ -529,9 +555,11 @@ sim::Proc<void> NodeRuntime::handle_eager_put(int local_rank, Command c) {
     // coroutine entry and here), flushes are FIFO per target, and the
     // runtime fabric channel shares the non-overtaking clamp — so the
     // eager path keeps the §III-B guarantee for every size it carries.
-    obs->data_put_issued(rs.global_rank, c.target_rank);
+    obs->data_put_issued(oracle_rank(rs.global_rank),
+                         oracle_rank(c.target_rank));
     if (c.notify) {
-      obs->notify_put_ordered(rs.global_rank, c.target_rank, r.win_global_id,
+      obs->notify_put_ordered(oracle_rank(rs.global_rank),
+                              oracle_rank(c.target_rank), r.win_global_id,
                               c.bytes, c.tag);
     }
   }
@@ -558,7 +586,7 @@ sim::Proc<void> NodeRuntime::handle_eager_put(int local_rank, Command c) {
     co_await flush_eager(target_node);
   } else if (first) {
     sim_.spawn(eager_flush_timer(target_node, epoch_at_append),
-               "eager-timer@" + std::to_string(node()));
+               "eager-timer@" + std::to_string(phys_node()));
   }
 }
 
@@ -597,8 +625,8 @@ sim::Proc<void> NodeRuntime::ship_eager(StagedEager s) {
   co_await dispatch_cost();
 
   if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
-    obs->eager_batch_flushed(node(), s.target_node, b.batch_seq,
-                             static_cast<int>(b.records.size()));
+    obs->eager_batch_flushed(oracle_node(node()), oracle_node(s.target_node),
+                             b.batch_seq, static_cast<int>(b.records.size()));
   }
   if (sim::Tracer* tr = dev_.tracer(); tr && tr->enabled()) {
     tr->bump("eager_batches");
@@ -609,8 +637,8 @@ sim::Proc<void> NodeRuntime::ship_eager(StagedEager s) {
       static_cast<double>(b.payload->size());
   // The payload was gathered from device memory: cap wire entry at the
   // GPUDirect read rate, matching the MPI eager path for device buffers.
-  fabric_.send(net::Packet{node(), s.target_node, wire_bytes, std::move(b),
-                           net::kRuntimeChannel},
+  fabric_.send(net::Packet{ep_.phys(node()), ep_.phys(s.target_node),
+                           wire_bytes, std::move(b), net::kRuntimeChannel},
                cfg_.pcie.gpudirect_bandwidth);
   // The batch buffered the payload, so origin-side completion is local
   // completion — same semantics as the MPI eager send.
@@ -624,8 +652,14 @@ sim::Proc<void> NodeRuntime::flush_eager(int target_node) {
 }
 
 sim::Proc<void> NodeRuntime::eager_loop() {
+  // Job-scoped runtimes consume their private mailbox (fed by the Cluster
+  // rx mux); the single-tenant default owns the fabric's runtime channel.
+  sim::Mailbox<net::Packet>& rx =
+      binding_.eager_rx != nullptr
+          ? *binding_.eager_rx
+          : fabric_.rx(phys_node(), net::kRuntimeChannel);
   for (;;) {
-    net::Packet p = co_await fabric_.rx(node(), net::kRuntimeChannel).pop();
+    net::Packet p = co_await rx.pop();
     EagerBatch b = std::any_cast<EagerBatch>(std::move(p.payload));
     co_await dispatch_cost();
     // Processed inline, not spawned: two in-flight batch handlers blocked
@@ -637,7 +671,8 @@ sim::Proc<void> NodeRuntime::eager_loop() {
 
 sim::Proc<void> NodeRuntime::handle_eager_batch(EagerBatch b) {
   if (sim::InvariantObserver* obs = sim_.invariant_observer(); obs != nullptr) {
-    obs->eager_batch_delivered(b.origin_node, node(), b.batch_seq,
+    obs->eager_batch_delivered(oracle_node(b.origin_node), oracle_node(node()),
+                               b.batch_seq,
                                static_cast<int>(b.records.size()));
   }
   // Land every payload into its window, collecting notifications grouped by
@@ -672,12 +707,16 @@ sim::Proc<void> NodeRuntime::handle_eager_batch(EagerBatch b) {
         obs != nullptr) {
       // rdv_notify stand-ins carry no data of their own — their payload
       // landed (and was reported) on the meta+payload pipeline.
-      if (!r.rdv_notify) obs->data_put_landed(r.origin_rank, r.target_rank);
+      if (!r.rdv_notify) {
+        obs->data_put_landed(oracle_rank(r.origin_rank),
+                             oracle_rank(r.target_rank));
+      }
       if (r.notify) {
         // bytes is diagnostic-only in the oracle; rdv_notify records report
         // 0 (the payload size lives with the rendezvous transfer).
-        obs->notify_put_delivered(r.origin_rank, r.target_rank,
-                                  r.win_global_id, r.bytes, r.tag);
+        obs->notify_put_delivered(oracle_rank(r.origin_rank),
+                                  oracle_rank(r.target_rank), r.win_global_id,
+                                  r.bytes, r.tag);
       }
     }
     if (r.notify) {
@@ -727,7 +766,7 @@ sim::Proc<void> NodeRuntime::push_notification(int local_rank, Notification n) {
   }
   const sim::Time begin = sim_.now();
   co_await rank(local_rank).notif_q.enqueue(n);
-  tr->record(sim::TraceSpan{begin, sim_.now(), node(), sim::kRuntimeLane,
+  tr->record(sim::TraceSpan{begin, sim_.now(), phys_node(), sim::kRuntimeLane,
                             "notify", sim::Category::kNotify, 0.0});
   tr->bump("notifications_delivered");
 }
@@ -750,7 +789,7 @@ sim::Proc<void> NodeRuntime::push_notification_batch(
   }
   const sim::Time begin = sim_.now();
   co_await rank(local_rank).notif_q.enqueue_batch(std::move(ns));
-  tr->record(sim::TraceSpan{begin, sim_.now(), node(), sim::kRuntimeLane,
+  tr->record(sim::TraceSpan{begin, sim_.now(), phys_node(), sim::kRuntimeLane,
                             "notify", sim::Category::kNotify, 0.0});
   tr->bump("notifications_delivered", n);
 }
@@ -775,7 +814,7 @@ sim::Proc<void> NodeRuntime::board_deliver(int local_rank,
   const bool traced = tr != nullptr && tr->enabled();
   const sim::Time begin = sim_.now();
   sim::Simulation* s = &sim_;
-  const std::int32_t trace_node = node();
+  const std::int32_t trace_node = phys_node();
   auto commit = [rs, payload, tr, traced, begin, s, trace_node, n, bytes] {
     for (const Notification& rec : *payload) rs->board.deposit(rec);
     rs->notif_q.nonempty_trigger().notify_all();
@@ -794,7 +833,7 @@ sim::Proc<void> NodeRuntime::complete_flush(RankState& rs, std::uint64_t id,
   if (id == 0) co_return;  // operation outside flush tracking
   if (sim::Tracer* tr = dev_.tracer(); tr && tr->enabled()) {
     // Mirrors the +1 in the device library's issue path (issue_rma).
-    tr->counter_add(sim_.now(), node(), "inflight_rma", -1.0);
+    tr->counter_add(sim_.now(), phys_node(), "inflight_rma", -1.0);
   }
   rs.flush_done_ooo.insert(id);
   bool advanced = false;

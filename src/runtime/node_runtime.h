@@ -31,6 +31,7 @@
 #include "queue/circular_queue.h"
 #include "runtime/protocol.h"
 #include "sim/config.h"
+#include "sim/mailbox.h"
 #include "sim/resource.h"
 #include "sim/trigger.h"
 
@@ -92,6 +93,20 @@ struct RankState {
   std::unordered_map<int, std::uint64_t> rdv_issued;
 };
 
+// Job-scoped runtime identity (cluster::Scheduler, docs/CLUSTER.md). The
+// default binding is the single-tenant identity: node index == physical
+// node, tag 0, fabric-owned rx — byte-identical to the historical layout.
+// Under a gang-scheduled job the runtime's node index and all rank
+// arithmetic are job-relative (the job world's Endpoint translates to
+// physical nodes at the wire), `job_tag` namespaces the global window ids,
+// oracle keys and barrier domains of concurrent jobs, and `eager_rx` is the
+// job-private runtime-channel mailbox fed by the Cluster rx mux.
+struct JobBinding {
+  int node_index = -1;      // job-relative node; -1 = use dev.node()
+  int job_tag = 0;          // 0 = single-tenant (seed-identical keys)
+  sim::Mailbox<net::Packet>* eager_rx = nullptr;  // null = fabric rx
+};
+
 class NodeRuntime {
  public:
   // `ranks_per_device` device ranks (GPU blocks) plus `host_ranks` host
@@ -101,11 +116,16 @@ class NodeRuntime {
   NodeRuntime(sim::Simulation& s, gpu::Device& dev, mpi::Endpoint& ep,
               pcie::PcieLink& pcie, net::Fabric& fabric,
               const sim::MachineConfig& cfg, int ranks_per_device,
-              int host_ranks = 0);
+              int host_ranks = 0, JobBinding binding = {});
   NodeRuntime(const NodeRuntime&) = delete;
   NodeRuntime& operator=(const NodeRuntime&) = delete;
 
-  int node() const { return dev_.node(); }
+  // Job-relative node index: all rank/window arithmetic runs on it. Equals
+  // the physical node in the single-tenant default.
+  int node() const { return binding_.node_index < 0 ? dev_.node() : binding_.node_index; }
+  // Physical node: fabric packets, tracer spans and proc names.
+  int phys_node() const { return dev_.node(); }
+  int job_tag() const { return binding_.job_tag; }
   int ranks_per_device() const { return rpd_; }
   int host_ranks() const { return host_ranks_; }
   int ranks_per_node() const { return rpd_ + host_ranks_; }
@@ -119,6 +139,13 @@ class NodeRuntime {
   RankState& rank(int local_rank) { return *ranks_[static_cast<size_t>(local_rank)]; }
   bool is_host_rank(int local_rank) const { return local_rank >= rpd_; }
   bool device_initiated() const { return cfg_.device_initiated(); }
+
+  // Oracle key namespacing (sim::InvariantObserver): concurrent jobs must
+  // not collide in the observer's per-rank / per-node / per-domain maps.
+  // job_tag 0 reproduces the single-tenant keys exactly.
+  int oracle_rank(int rank) const { return (binding_.job_tag << 20) + rank; }
+  int oracle_node(int n) const { return binding_.job_tag * 4096 + n; }
+  int barrier_world_key() const { return -1 - binding_.job_tag; }
 
   // Host-rank processor resources (shared by the node's host ranks).
   sim::SharedResource& host_compute() { return *host_compute_; }
@@ -244,6 +271,7 @@ class NodeRuntime {
   sim::MachineConfig cfg_;
   int rpd_;
   int host_ranks_;
+  JobBinding binding_;
 
   sim::FifoResource host_cpu_;  // single runtime worker thread per device
   sim::FifoResource nic_proc_;  // NIC command processor (kDeviceInitiated)

@@ -1,0 +1,64 @@
+#pragma once
+
+// Centralized DCUDA_* environment parsing (docs/API.md, "Environment
+// variables"). This module is the single translation unit that interprets
+// DCUDA_* values: benches, tests, and the cluster workload generator all go
+// through it, so a knob behaves identically everywhere and an invalid value
+// is always a hard error instead of a silently half-applied config.
+//
+// Two layers:
+//  * try_* functions validate and report: they return the first error
+//    message (including the valid-values list) and never exit, which is
+//    what the parser unit tests drive.
+//  * the plain wrappers (apply_env, cluster_env, env_int, ...) are what
+//    binaries call: on any invalid value they print the error to stderr and
+//    exit(2) — a benchmark must never run with a partially-applied config.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/config.h"
+
+namespace dcuda::sim {
+
+// Scheduling policy requested through DCUDA_SCHED (cluster/ gang scheduler,
+// docs/CLUSTER.md). Parsed here so the spelling is validated in one place;
+// cluster::Scheduler maps it onto its Policy enum.
+enum class SchedPolicyEnv { kFifo, kBackfill, kFairShare };
+
+// Cluster-layer env knobs (not MachineConfig fields).
+struct ClusterEnv {
+  SchedPolicyEnv sched = SchedPolicyEnv::kFifo;
+  bool sched_set = false;        // DCUDA_SCHED was present
+  std::optional<int> jobs;       // DCUDA_JOBS: open-arrival job count
+};
+
+// Applies every DCUDA_* machine knob to cfg:
+//   DCUDA_PERTURB_SEED, DCUDA_FAULT_{DROP,DUP,CORRUPT,DELAY,LINKDOWN},
+//   DCUDA_SHARDS, DCUDA_THREADS, DCUDA_TOPOLOGY, DCUDA_RAILS, DCUDA_ROUTE,
+//   DCUDA_BACKEND.
+// Returns std::nullopt on success, otherwise the first error (cfg may then
+// be partially updated — treat any error as fatal).
+std::optional<std::string> try_apply_env(MachineConfig& cfg);
+
+// Hard-exit wrapper used by binaries: prints the error and exits(2).
+void apply_env(MachineConfig& cfg);
+
+std::optional<std::string> try_cluster_env(ClusterEnv& env);
+ClusterEnv cluster_env();
+
+// Typed accessors for the DCUDA_* dials that are not MachineConfig fields
+// (bench iteration counts, fuzz seed counts, ...). Strict full-string
+// parses; an invalid value hard-exits with the expected format.
+int env_int(const char* name, int dflt);
+std::uint64_t env_u64(const char* name, std::uint64_t dflt);
+std::optional<std::uint64_t> env_u64_opt(const char* name);
+std::optional<std::string> env_string(const char* name);
+
+// try_* variants of the typed accessors (parser unit tests).
+std::optional<std::string> try_env_int(const char* name, int dflt, int* out);
+std::optional<std::string> try_env_u64(const char* name, std::uint64_t dflt,
+                                       std::uint64_t* out);
+
+}  // namespace dcuda::sim

@@ -343,6 +343,101 @@ void InvariantObserver::barrier_exit(int comm_key, int rank) {
   }
 }
 
+void InvariantObserver::cluster_nodes(int total) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  cluster_total_nodes_ = total;
+}
+
+void InvariantObserver::job_submitted(int job_id) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++checks_;
+  JobTrack& j = jobs_[job_id];
+  if (j.submitted) {
+    std::ostringstream os;
+    os << "job lifecycle violated: job " << job_id << " submitted twice";
+    violation(os.str());
+  }
+  j.submitted = true;
+}
+
+void InvariantObserver::job_started(int job_id, const std::vector<int>& nodes) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++checks_;
+  JobTrack& j = jobs_[job_id];
+  if (!j.submitted) {
+    std::ostringstream os;
+    os << "job lifecycle violated: job " << job_id << " started without submit";
+    violation(os.str());
+  }
+  if (j.started) {
+    std::ostringstream os;
+    os << "job lifecycle violated: job " << job_id << " started twice";
+    violation(os.str());
+    return;
+  }
+  j.started = true;
+  if (nodes.empty()) {
+    std::ostringstream os;
+    os << "job allocation violated: job " << job_id << " started on zero nodes";
+    violation(os.str());
+  }
+  for (int n : nodes) {
+    if (cluster_total_nodes_ > 0 && (n < 0 || n >= cluster_total_nodes_)) {
+      std::ostringstream os;
+      os << "job allocation violated: job " << job_id << " allocated node " << n
+         << " outside the " << cluster_total_nodes_ << "-node cluster";
+      violation(os.str());
+      continue;
+    }
+    auto [it, inserted] = node_owner_.emplace(n, job_id);
+    if (!inserted) {
+      std::ostringstream os;
+      os << "overlapping node allocation: job " << job_id << " allocated node "
+         << n;
+      if (it->second == job_id) {
+        os << " twice";
+      } else {
+        os << " held by job " << it->second;
+      }
+      violation(os.str());
+      continue;
+    }
+    j.nodes.push_back(n);
+  }
+}
+
+void InvariantObserver::job_completed(int job_id) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++checks_;
+  JobTrack& j = jobs_[job_id];
+  if (!j.started) {
+    std::ostringstream os;
+    os << "job lifecycle violated: job " << job_id
+       << " completed without starting";
+    violation(os.str());
+  }
+  if (j.completed) {
+    std::ostringstream os;
+    os << "job lifecycle violated: job " << job_id << " completed twice";
+    violation(os.str());
+    return;
+  }
+  j.completed = true;
+  // Node conservation: completion frees exactly the nodes the start claimed.
+  for (int n : j.nodes) {
+    auto it = node_owner_.find(n);
+    if (it == node_owner_.end() || it->second != job_id) {
+      std::ostringstream os;
+      os << "node conservation violated: job " << job_id << " released node "
+         << n << " it no longer owns";
+      violation(os.str());
+      continue;
+    }
+    node_owner_.erase(it);
+  }
+  j.nodes.clear();
+}
+
 void InvariantObserver::finalize() {
   std::lock_guard<std::mutex> lock(*mu_);
   if (finalized_) return;
@@ -414,6 +509,22 @@ void InvariantObserver::finalize() {
         violation(os.str());
       }
     }
+  }
+  for (const auto& [id, j] : jobs_) {
+    if (j.submitted && !j.completed) {
+      std::ostringstream os;
+      os << "lost job: job " << id << " was submitted but never "
+         << (j.started ? "completed" : "started");
+      violation(os.str());
+    }
+  }
+  if (!node_owner_.empty()) {
+    std::ostringstream os;
+    os << "node conservation violated: " << node_owner_.size()
+       << " nodes still allocated at end of run (first: node "
+       << node_owner_.begin()->first << " held by job "
+       << node_owner_.begin()->second << ")";
+    violation(os.str());
   }
 }
 

@@ -156,6 +156,19 @@ class InvariantObserver {
   void barrier_enter(int comm_key, int rank, int participants);
   void barrier_exit(int comm_key, int rank);
 
+  // -- Cluster gang-scheduler oracles (cluster/scheduler.cc, docs/CLUSTER.md)
+  //
+  // cluster_nodes arms the checks with the machine size. Then per job:
+  // submitted exactly once, started at most once with a node set that is
+  // in bounds, duplicate-free and disjoint from every running job's nodes
+  // (no overlapping allocations), completed only after starting (frees its
+  // nodes — conservation). finalize() adds: no lost jobs (every submitted
+  // job completed) and zero nodes still allocated.
+  void cluster_nodes(int total);
+  void job_submitted(int job_id);
+  void job_started(int job_id, const std::vector<int>& nodes);
+  void job_completed(int job_id);
+
   // -- Results ---------------------------------------------------------
 
   // End-of-run conservation checks; call after Simulation::run returned.
@@ -245,6 +258,18 @@ class InvariantObserver {
     std::map<int, std::uint64_t> exits;
   };
   std::map<int, BarrierDomain> barriers_;
+
+  // cluster scheduler: machine size, per-node owning job (allocation
+  // overlap), per-job state machine.
+  int cluster_total_nodes_ = 0;
+  std::map<int, int> node_owner_;  // node -> running job id
+  struct JobTrack {
+    bool submitted = false;
+    bool started = false;
+    bool completed = false;
+    std::vector<int> nodes;
+  };
+  std::map<int, JobTrack> jobs_;
 
   std::vector<std::string> violations_;
   bool finalized_ = false;

@@ -27,7 +27,7 @@ TEST_P(ReduceSweep, SumArrivesAtRoot) {
   const auto [nodes, rpd, root, elems] = GetParam();
   const int world = nodes * rpd;
   if (root >= world) GTEST_SKIP();
-  Cluster c(machine(nodes), rpd);
+  Cluster c({.machine = machine(nodes), .ranks_per_device = rpd});
   std::vector<std::vector<double>> data(static_cast<size_t>(world));
   for (int g = 0; g < world; ++g) {
     data[static_cast<size_t>(g)].resize(static_cast<size_t>(elems));
@@ -62,7 +62,7 @@ TEST_P(BcastSweepColl, PayloadReachesEveryRank) {
   const auto [nodes, rpd, root] = GetParam();
   const int world = nodes * rpd;
   if (root >= world) GTEST_SKIP();
-  Cluster c(machine(nodes), rpd);
+  Cluster c({.machine = machine(nodes), .ranks_per_device = rpd});
   std::vector<std::vector<double>> data(static_cast<size_t>(world));
   for (int g = 0; g < world; ++g) {
     data[static_cast<size_t>(g)].assign(8, g == root ? 3.5 : 0.0);
@@ -88,7 +88,7 @@ class AllreduceSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
 TEST_P(AllreduceSweep, EveryRankHoldsTheSum) {
   const auto [nodes, rpd] = GetParam();
   const int world = nodes * rpd;
-  Cluster c(machine(nodes), rpd);
+  Cluster c({.machine = machine(nodes), .ranks_per_device = rpd});
   std::vector<std::vector<double>> data(static_cast<size_t>(world));
   for (int g = 0; g < world; ++g) data[static_cast<size_t>(g)].assign(4, g + 1.0);
   c.run([&](Context& ctx) -> Proc<void> {
@@ -111,7 +111,7 @@ TEST(CollectivesPipelining, BackToBackReductionsStaySafe) {
   // overwriting a scratch slot before the parent consumed it.
   const int nodes = 2, rpd = 4;
   const int world = nodes * rpd;
-  Cluster c(machine(nodes), rpd);
+  Cluster c({.machine = machine(nodes), .ranks_per_device = rpd});
   std::vector<std::vector<double>> data(static_cast<size_t>(world));
   std::vector<double> sums;
   for (int g = 0; g < world; ++g) data[static_cast<size_t>(g)].assign(2, 0.0);
@@ -137,7 +137,7 @@ TEST(CollectivesHierarchy, CrossDeviceTrafficIsPerDeviceNotPerRank) {
   // With 8 ranks per device, the hierarchical reduction must cross the
   // network once per device pair — not once per rank.
   const int nodes = 2, rpd = 8;
-  Cluster c(machine(nodes), rpd);
+  Cluster c({.machine = machine(nodes), .ranks_per_device = rpd});
   std::vector<std::vector<double>> data(static_cast<size_t>(nodes * rpd));
   for (auto& d : data) d.assign(64, 1.0);
   c.run([&](Context& ctx) -> Proc<void> {

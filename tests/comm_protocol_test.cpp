@@ -71,7 +71,7 @@ ExchangeResult run_exchange(const ExchangeConfig& xc) {
   m.rma.max_batch = xc.max_batch;
   m.rma.max_batch_bytes = xc.max_batch_bytes;
   m.backend = xc.backend;
-  Cluster c(m, rpd);
+  Cluster c({.machine = m, .ranks_per_device = rpd});
   InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
 
@@ -230,7 +230,7 @@ MixedResult run_mixed_exchange(const MixedConfig& xc) {
   m.perturb_seed = xc.perturb_seed;
   m.rma.eager_threshold = xc.eager_threshold;
   m.rma.max_batch = xc.max_batch;
-  Cluster c(m, rpd);
+  Cluster c({.machine = m, .ranks_per_device = rpd});
   InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
 

@@ -26,7 +26,7 @@ sim::MachineConfig small_machine(int nodes) {
 constexpr int kFewRanks = 4;
 
 TEST(DcudaInit, RankIdentities) {
-  Cluster c(small_machine(2), kFewRanks);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = kFewRanks});
   std::vector<int> world_ranks, device_ranks;
   c.run([&](Context& ctx) -> Proc<void> {
     world_ranks.push_back(comm_rank(ctx, kCommWorld));
@@ -43,7 +43,7 @@ TEST(DcudaInit, RankIdentities) {
 }
 
 TEST(DcudaWindow, CreateAndFreeCollective) {
-  Cluster c(small_machine(2), kFewRanks);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = kFewRanks});
   std::vector<std::span<double>> bufs;
   for (int n = 0; n < 2; ++n) {
     for (int r = 0; r < kFewRanks; ++r) bufs.push_back(c.device(n).alloc<double>(64));
@@ -65,7 +65,7 @@ TEST(DcudaWindow, IdTranslationWithDivergentLocalIds) {
   // Ranks create different numbers of device-communicator windows before a
   // world window, so device-side ids diverge; the block manager's hash map
   // must still translate them to one consistent global id (§III-B).
-  Cluster c(small_machine(2), 2);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = 2});
   std::vector<std::span<double>> bufs;
   for (int n = 0; n < 2; ++n)
     for (int r = 0; r < 2; ++r) bufs.push_back(c.device(n).alloc<double>(16));
@@ -95,7 +95,7 @@ TEST(DcudaWindow, IdTranslationWithDivergentLocalIds) {
 }
 
 TEST(DcudaPut, DistributedMemoryMovesData) {
-  Cluster c(small_machine(2), 1);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = 1});
   auto a = c.device(0).alloc<int>(32);
   auto b = c.device(1).alloc<int>(32);
   for (int i = 0; i < 32; ++i) {
@@ -116,7 +116,7 @@ TEST(DcudaPut, DistributedMemoryMovesData) {
 }
 
 TEST(DcudaPut, SharedMemoryRanksSameDevice) {
-  Cluster c(small_machine(1), 2);
+  Cluster c({.machine = small_machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<int>(64);  // two ranks, 32 ints each
   for (auto& x : mem) x = 0;
   c.run([&](Context& ctx) -> Proc<void> {
@@ -137,7 +137,7 @@ TEST(DcudaPut, SharedMemoryRanksSameDevice) {
 TEST(DcudaPut, OverlappingWindowsSkipCopy) {
   // Shared-memory ranks register overlapping windows; a put whose source and
   // target addresses coincide moves no data (§III-A) but still notifies.
-  Cluster c(small_machine(1), 2);
+  Cluster c({.machine = small_machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<double>(100);
   c.run([&](Context& ctx) -> Proc<void> {
     // Both ranks register the *same* range.
@@ -154,7 +154,7 @@ TEST(DcudaPut, OverlappingWindowsSkipCopy) {
 }
 
 TEST(DcudaGet, ReadsRemoteWindow) {
-  Cluster c(small_machine(2), 1);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = 1});
   auto a = c.device(0).alloc<int>(16);
   auto b = c.device(1).alloc<int>(16);
   for (int i = 0; i < 16; ++i) b[static_cast<size_t>(i)] = 1000 + i;
@@ -175,7 +175,7 @@ TEST(DcudaGet, ReadsRemoteWindow) {
 }
 
 TEST(DcudaGet, SharedMemoryGet) {
-  Cluster c(small_machine(1), 2);
+  Cluster c({.machine = small_machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<int>(8);
   for (int i = 0; i < 8; ++i) mem[static_cast<size_t>(i)] = i * 11;
   std::vector<int> out(4, 0);
@@ -192,7 +192,7 @@ TEST(DcudaGet, SharedMemoryGet) {
 }
 
 TEST(DcudaNotifications, TagFiltering) {
-  Cluster c(small_machine(1), 2);
+  Cluster c({.machine = small_machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<int>(8);
   c.run([&](Context& ctx) -> Proc<void> {
     Window w = co_await win_create(ctx, kCommWorld, mem);
@@ -211,7 +211,7 @@ TEST(DcudaNotifications, TagFiltering) {
 }
 
 TEST(DcudaNotifications, SourceFiltering) {
-  Cluster c(small_machine(1), 3);
+  Cluster c({.machine = small_machine(1), .ranks_per_device = 3});
   auto mem = c.device(0).alloc<int>(16);
   c.run([&](Context& ctx) -> Proc<void> {
     Window w = co_await win_create(ctx, kCommWorld, mem);
@@ -228,7 +228,7 @@ TEST(DcudaNotifications, SourceFiltering) {
 }
 
 TEST(DcudaNotifications, WindowFiltering) {
-  Cluster c(small_machine(1), 2);
+  Cluster c({.machine = small_machine(1), .ranks_per_device = 2});
   auto m1 = c.device(0).alloc<int>(8);
   auto m2 = c.device(0).alloc<int>(8);
   c.run([&](Context& ctx) -> Proc<void> {
@@ -248,7 +248,7 @@ TEST(DcudaNotifications, WindowFiltering) {
 }
 
 TEST(DcudaNotifications, WildcardMatchesAnything) {
-  Cluster c(small_machine(1), 3);
+  Cluster c({.machine = small_machine(1), .ranks_per_device = 3});
   auto mem = c.device(0).alloc<int>(16);
   c.run([&](Context& ctx) -> Proc<void> {
     Window w = co_await win_create(ctx, kCommWorld, mem);
@@ -263,7 +263,7 @@ TEST(DcudaNotifications, WildcardMatchesAnything) {
 }
 
 TEST(DcudaNotifications, TestReturnsZeroWithoutArrivals) {
-  Cluster c(small_machine(1), 2);
+  Cluster c({.machine = small_machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<int>(8);
   c.run([&](Context& ctx) -> Proc<void> {
     Window w = co_await win_create(ctx, kCommWorld, mem);
@@ -275,7 +275,7 @@ TEST(DcudaNotifications, TestReturnsZeroWithoutArrivals) {
 }
 
 TEST(DcudaNotifications, TestConsumesAvailableMatches) {
-  Cluster c(small_machine(1), 2);
+  Cluster c({.machine = small_machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<int>(8);
   int consumed = -1;
   c.run([&](Context& ctx) -> Proc<void> {
@@ -299,7 +299,7 @@ TEST(DcudaNotifications, TestConsumesAvailableMatches) {
 }
 
 TEST(DcudaFlush, WaitsForAllPendingOps) {
-  Cluster c(small_machine(2), 1);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = 1});
   auto a = c.device(0).alloc<int>(1024);
   auto b = c.device(1).alloc<int>(1024);
   for (int i = 0; i < 1024; ++i) a[static_cast<size_t>(i)] = i;
@@ -323,7 +323,7 @@ TEST(DcudaFlush, WaitsForAllPendingOps) {
 }
 
 TEST(DcudaBarrier, WorldBarrierSpansNodes) {
-  Cluster c(small_machine(2), 2);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = 2});
   sim::Time max_entry = 0.0;
   std::vector<sim::Time> exits;
   c.run([&](Context& ctx) -> Proc<void> {
@@ -337,7 +337,7 @@ TEST(DcudaBarrier, WorldBarrierSpansNodes) {
 }
 
 TEST(DcudaBarrier, DeviceBarrierIsLocal) {
-  Cluster c(small_machine(2), 2);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = 2});
   std::vector<sim::Time> exits(4, -1.0);
   c.run([&](Context& ctx) -> Proc<void> {
     // Node 1 ranks enter much later; node 0's device barrier must not wait
@@ -352,7 +352,7 @@ TEST(DcudaBarrier, DeviceBarrierIsLocal) {
 }
 
 TEST(DcudaLog, ReachesHostLog) {
-  Cluster c(small_machine(1), 2);
+  Cluster c({.machine = small_machine(1), .ranks_per_device = 2});
   c.run([&](Context& ctx) -> Proc<void> {
     co_await log(ctx, "iteration", 40 + ctx.world_rank);
   });
@@ -365,7 +365,7 @@ TEST(DcudaCalibration, EmptyPacketLatencies) {
   // The paper measures 7.8us (shared) and 9.2us (distributed) for an empty
   // notified put (§IV-B). The model must land in that regime.
   auto pingpong = [](int nodes, int rpd) {
-    Cluster c(sim::machine_config(nodes), rpd);
+    Cluster c({.machine = sim::machine_config(nodes), .ranks_per_device = rpd});
     auto m0 = c.device(0).alloc<std::byte>(64);
     auto m1 = c.device(nodes - 1).alloc<std::byte>(64);
     const int iters = 50;
@@ -431,7 +431,7 @@ TEST(DcudaStencilListing, PaperExampleSemantics) {
     std::swap(ref_in, ref_out);
   }
 
-  Cluster c(small_machine(2), 2);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = 2});
   const size_t len = static_cast<size_t>(rows_per_rank * jstride);
   // Per rank: halo row below + domain + halo row above.
   struct RankMem {
@@ -529,7 +529,7 @@ TEST(DcudaStencilListing, PaperExampleSemantics) {
 }
 
 TEST(DcudaExtensions, Put2dMovesRectangle) {
-  Cluster c(small_machine(2), 1);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = 1});
   constexpr int stride = 16;
   auto a = c.device(0).alloc<double>(stride * 8);
   auto b = c.device(1).alloc<double>(stride * 8);
@@ -563,7 +563,7 @@ TEST(DcudaExtensions, Put2dMovesRectangle) {
 }
 
 TEST(DcudaExtensions, PutNotifyAllReachesEveryLocalRank) {
-  Cluster c(small_machine(2), 3);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = 3});
   auto target_mem = c.device(1).alloc<int>(3 * 8);
   auto src_mem = c.device(0).alloc<int>(8);
   for (int i = 0; i < 8; ++i) src_mem[static_cast<size_t>(i)] = 7 * i;
@@ -590,7 +590,7 @@ TEST(DcudaExtensions, PutNotifyAllReachesEveryLocalRank) {
 }
 
 TEST(DcudaExtensions, BcastNotifyDistributesRootBuffer) {
-  Cluster c(small_machine(2), 2);
+  Cluster c({.machine = small_machine(2), .ranks_per_device = 2});
   std::vector<std::span<double>> bufs;
   for (int n = 0; n < 2; ++n)
     for (int r = 0; r < 2; ++r) bufs.push_back(c.device(n).alloc<double>(32));
@@ -614,7 +614,7 @@ TEST(DcudaAblation, DeviceLocalNotificationsFaster) {
     sim::MachineConfig cfg;
     cfg.num_nodes = 1;
     cfg.runtime.local_notifications_via_host = via_host;
-    Cluster c(cfg, 2);
+    Cluster c({.machine = cfg, .ranks_per_device = 2});
     auto mem = c.device(0).alloc<std::byte>(128);
     c.run([&](Context& ctx) -> Proc<void> {
       Window w = co_await win_create(ctx, kCommWorld, mem);

@@ -162,7 +162,7 @@ Fingerprint run_stencil(int groups, int threads, std::uint64_t perturb,
   cfg.jlocal = 2;
   cfg.ksize = 3;
   cfg.iterations = 4;
-  Cluster c(m, 4);
+  Cluster c({.machine = m, .ranks_per_device = 4});
   sim::InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
   apps::stencil::Result res = apps::stencil::run_dcuda(c, cfg);

@@ -31,7 +31,7 @@ TEST_P(Put2dSweep, RectangleArrivesIntact) {
   ASSERT_GE(stride_elems, row_elems);
   const int nodes = cross_node ? 2 : 1;
   const int rpd = cross_node ? 1 : 2;
-  Cluster c(machine(nodes), rpd);
+  Cluster c({.machine = machine(nodes), .ranks_per_device = rpd});
   const size_t elems = static_cast<size_t>(stride_elems) * (rows + 2);
   auto src = c.device(0).alloc<double>(elems);
   auto dst = c.device(nodes - 1).alloc<double>(elems);
@@ -81,7 +81,7 @@ class BcastSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {}
 
 TEST_P(BcastSweep, EveryRankReceivesRootPayload) {
   const auto [nodes, rpd, root] = GetParam();
-  Cluster c(machine(nodes), rpd);
+  Cluster c({.machine = machine(nodes), .ranks_per_device = rpd});
   const int world = nodes * rpd;
   ASSERT_LT(root, world);
   std::vector<std::span<double>> bufs;
@@ -112,7 +112,7 @@ class MulticastSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(MulticastSweep, AllLocalRanksNotifiedOnce) {
   const int rpd = GetParam();
-  Cluster c(machine(2), rpd);
+  Cluster c({.machine = machine(2), .ranks_per_device = rpd});
   auto payload = c.device(0).alloc<int>(4);
   auto target = c.device(1).alloc<int>(static_cast<size_t>(rpd) * 4);
   for (int i = 0; i < 4; ++i) payload[static_cast<size_t>(i)] = 11 * (i + 1);
@@ -166,7 +166,7 @@ TEST(Tracer, DisabledTracerDropsSpans) {
 }
 
 TEST(Tracer, ClusterTraceCapturesBlockActivity) {
-  Cluster c(machine(1), 2);
+  Cluster c({.machine = machine(1), .ranks_per_device = 2});
   c.tracer().enable();
   auto mem = c.device(0).alloc<std::byte>(4096);
   c.run([&](Context& ctx) -> Proc<void> {

@@ -32,6 +32,7 @@
 #include "cluster/cluster.h"
 #include "net/fabric.h"
 #include "net/fault.h"
+#include "sim/env_config.h"
 #include "sim/invariants.h"
 #include "sim/perturb.h"
 #include "sim/simulation.h"
@@ -44,16 +45,12 @@ using sim::Perturbation;
 using sim::Proc;
 
 std::uint64_t perturb_seed_env(std::uint64_t fallback) {
-  const char* s = std::getenv("DCUDA_PERTURB_SEED");
-  if (s == nullptr) return fallback;
-  return std::strtoull(s, nullptr, 0);
+  return sim::env_u64("DCUDA_PERTURB_SEED", fallback);
 }
 
 int fuzz_seeds_env(int fallback) {
-  const char* s = std::getenv("DCUDA_FUZZ_SEEDS");
-  if (s == nullptr) return fallback;
-  const long n = std::strtol(s, nullptr, 0);
-  return n > 0 ? static_cast<int>(n) : fallback;
+  const int n = sim::env_int("DCUDA_FUZZ_SEEDS", fallback);
+  return n > 0 ? n : fallback;
 }
 
 // -- Fabric-level harness ------------------------------------------------
@@ -438,7 +435,7 @@ std::string run_faulty_stencil(std::uint64_t seed, double drop) {
   cfg.jlocal = 2;
   cfg.ksize = 3;
   cfg.iterations = 4;
-  Cluster c(faulty_machine(2, seed, drop), 4);
+  Cluster c({.machine = faulty_machine(2, seed, drop), .ranks_per_device = 4});
   InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
   apps::stencil::Result res = apps::stencil::run_dcuda(c, cfg);
@@ -467,7 +464,7 @@ std::string run_faulty_mixed(std::uint64_t seed, double drop) {
   sim::MachineConfig m = faulty_machine(nodes, seed, drop);
   m.rma.eager_threshold = 256 + 256 * (seed % 2);
   m.rma.max_batch = 2 + static_cast<int>(seed % 4);
-  Cluster c(m, rpd);
+  Cluster c({.machine = m, .ranks_per_device = rpd});
   InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
   auto value = [](int origin, int round, int e) {

@@ -19,7 +19,7 @@ sim::MachineConfig machine(int nodes) {
 }
 
 TEST(HostRanks, IdentityAndSizes) {
-  Cluster c(machine(2), /*ranks_per_device=*/3, /*host_ranks=*/2);
+  Cluster c({.machine = machine(2), .ranks_per_device = 3, .host_ranks = 2});
   EXPECT_EQ(c.world_size(), 10);
   std::vector<int> host_ranks_seen, device_ranks_seen;
   c.run(
@@ -43,7 +43,7 @@ TEST(HostRanks, IdentityAndSizes) {
 }
 
 TEST(HostRanks, DeviceToHostPutSameNode) {
-  Cluster c(machine(1), 1, 1);  // rank 0 = device, rank 1 = host
+  Cluster c({.machine = machine(1), .ranks_per_device = 1, .host_ranks = 1});  // rank 0 = device, rank 1 = host
   auto dev_buf = c.device(0).alloc<int>(8);
   std::vector<int> host_buf(8, 0);
   for (int i = 0; i < 8; ++i) dev_buf[static_cast<size_t>(i)] = 5 * i;
@@ -64,7 +64,7 @@ TEST(HostRanks, DeviceToHostPutSameNode) {
 }
 
 TEST(HostRanks, HostToDeviceAcrossNodes) {
-  Cluster c(machine(2), 1, 1);  // world: 0=dev@0, 1=host@0, 2=dev@1, 3=host@1
+  Cluster c({.machine = machine(2), .ranks_per_device = 1, .host_ranks = 1});  // world: 0=dev@0, 1=host@0, 2=dev@1, 3=host@1
   auto dev_buf = c.device(1).alloc<double>(4);
   std::vector<double> host_buf{1.5, 2.5, 3.5, 4.5};
   std::fill(dev_buf.begin(), dev_buf.end(), 0.0);
@@ -85,7 +85,7 @@ TEST(HostRanks, HostToDeviceAcrossNodes) {
 }
 
 TEST(HostRanks, HostRankComputeChargesHostCpu) {
-  Cluster c(machine(1), 1, 1);
+  Cluster c({.machine = machine(1), .ranks_per_device = 1, .host_ranks = 1});
   sim::Time host_compute_time = 0.0;
   c.run([&](Context& ctx) -> Proc<void> {
     if (ctx.is_host_rank()) {
@@ -100,7 +100,7 @@ TEST(HostRanks, HostRankComputeChargesHostCpu) {
 }
 
 TEST(HostRanks, GetFromHostWindow) {
-  Cluster c(machine(1), 2, 1);
+  Cluster c({.machine = machine(1), .ranks_per_device = 2, .host_ranks = 1});
   std::vector<double> host_data{10.0, 20.0, 30.0};
   std::vector<double> landing(3, 0.0);
   auto dev_pad = c.device(0).alloc<double>(4);
@@ -119,7 +119,7 @@ TEST(HostRanks, GetFromHostWindow) {
 }
 
 TEST(HostRanks, CollectivesSpanHostAndDeviceRanks) {
-  Cluster c(machine(2), 2, 1);  // 6 ranks total, 2 host ranks
+  Cluster c({.machine = machine(2), .ranks_per_device = 2, .host_ranks = 1});  // 6 ranks total, 2 host ranks
   const int world = c.world_size();
   std::vector<std::vector<double>> data(static_cast<size_t>(world));
   for (int g = 0; g < world; ++g) data[static_cast<size_t>(g)].assign(2, g + 1.0);
@@ -137,7 +137,7 @@ TEST(HostRanks, CollectivesSpanHostAndDeviceRanks) {
 TEST(HostRanks, HostRankQueuesAvoidPcie) {
   // Host-rank command/notification queues use local transport: a pure
   // host-rank ping-pong must not touch the PCIe link.
-  Cluster c(machine(1), 1, 2);
+  Cluster c({.machine = machine(1), .ranks_per_device = 1, .host_ranks = 2});
   std::vector<double> a(4, 1.0), b(4, 2.0);
   const auto txns_before = c.pcie(0).transactions(pcie::Dir::kHostToDevice) +
                            c.pcie(0).transactions(pcie::Dir::kDeviceToHost);

@@ -29,12 +29,12 @@ TEST(MessageCounts, DcudaSendsOneMessagePerVerticalLayer) {
   cfg.iterations = 4;
   std::uint64_t dcuda_msgs, mpicuda_msgs;
   {
-    Cluster c(machine(2), 2);
+    Cluster c({.machine = machine(2), .ranks_per_device = 2});
     apps::stencil::run_dcuda(c, cfg);
     dcuda_msgs = c.fabric().messages_sent(0) + c.fabric().messages_sent(1);
   }
   {
-    Cluster c(machine(2), 2);
+    Cluster c({.machine = machine(2), .ranks_per_device = 2});
     apps::stencil::run_mpi_cuda(c, cfg);
     mpicuda_msgs = c.fabric().messages_sent(0) + c.fabric().messages_sent(1);
   }
@@ -50,7 +50,7 @@ TEST(Determinism, StencilFullyReproducible) {
   cfg.ksize = 3;
   cfg.iterations = 5;
   auto run_once = [&] {
-    Cluster c(machine(2), 4);
+    Cluster c({.machine = machine(2), .ranks_per_device = 4});
     auto r = apps::stencil::run_dcuda(c, cfg);
     return std::pair<double, double>{r.elapsed, r.checksum};
   };
@@ -66,7 +66,7 @@ TEST(Determinism, SpmvFullyReproducible) {
   cfg.density = 0.1;
   cfg.iterations = 2;
   auto run_once = [&] {
-    Cluster c(machine(4), 4);
+    Cluster c({.machine = machine(4), .ranks_per_device = 4});
     auto r = apps::spmv::run_dcuda(c, cfg);
     return std::pair<double, double>{r.elapsed, r.checksum};
   };
@@ -81,12 +81,12 @@ TEST(ConfigKnobs, ExtraFlopsSlowTheStencilDown) {
   cfg.iterations = 5;
   double base, heavy;
   {
-    Cluster c(machine(1), 4);
+    Cluster c({.machine = machine(1), .ranks_per_device = 4});
     base = apps::stencil::run_dcuda(c, cfg).elapsed;
   }
   cfg.extra_flops_per_point = 500.0;
   {
-    Cluster c(machine(1), 4);
+    Cluster c({.machine = machine(1), .ranks_per_device = 4});
     heavy = apps::stencil::run_dcuda(c, cfg).elapsed;
   }
   EXPECT_GT(heavy, base);
@@ -101,7 +101,7 @@ TEST(ConfigKnobs, SlowerNetworkOnlyHurtsMultiNode) {
   auto timed = [&](int nodes, double gbs_rate) {
     sim::MachineConfig mc = machine(nodes);
     mc.net.bandwidth = sim::gbs(gbs_rate);
-    Cluster c(mc, 4);
+    Cluster c({.machine = mc, .ranks_per_device = 4});
     return apps::stencil::run_mpi_cuda(c, cfg).elapsed;
   };
   EXPECT_NEAR(timed(1, 6.0), timed(1, 0.5), 1e-9);  // no network use at 1 node
@@ -112,7 +112,7 @@ TEST(ConfigKnobs, FasterDeviceMemorySpeedsMemoryBoundWork) {
   auto timed = [&](double bw_gbs) {
     sim::MachineConfig mc = machine(1);
     mc.device.mem_bandwidth = sim::gbs(bw_gbs);
-    Cluster c(mc, 16);
+    Cluster c({.machine = mc, .ranks_per_device = 16});
     return c.run([&](Context& ctx) -> Proc<void> {
       co_await ctx.block->mem_traffic(1e6);
     });
@@ -124,7 +124,7 @@ TEST(ConfigKnobs, FasterDeviceMemorySpeedsMemoryBoundWork) {
 
 TEST(ClusterApi, SequentialRunsOnOneCluster) {
   // The runtime state (queues, counters) must survive multiple kernels.
-  Cluster c(machine(1), 2);
+  Cluster c({.machine = machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<std::byte>(64);
   for (int k = 0; k < 3; ++k) {
     int notified = 0;
@@ -141,7 +141,7 @@ TEST(ClusterApi, SequentialRunsOnOneCluster) {
 }
 
 TEST(ClusterApi, TracerOffByDefaultCostsNothing) {
-  Cluster c(machine(1), 2);
+  Cluster c({.machine = machine(1), .ranks_per_device = 2});
   c.run([&](Context& ctx) -> Proc<void> {
     co_await ctx.block->compute_flops(1e6);
   });
@@ -149,7 +149,7 @@ TEST(ClusterApi, TracerOffByDefaultCostsNothing) {
 }
 
 TEST(MpiStats, StagingCountersTrackProtocolChoice) {
-  Cluster c(machine(2), 1);
+  Cluster c({.machine = machine(2), .ranks_per_device = 1});
   auto small_buf = c.device(0).alloc<std::byte>(1024);
   auto big_buf = c.device(0).alloc<std::byte>(256 * 1024);
   auto small_dst = c.device(1).alloc<std::byte>(1024);

@@ -44,7 +44,7 @@ TEST(ParticlesApp, ParticlesActuallyMigrate) {
 
 TEST(ParticlesApp, DcudaMatchesReferenceSingleNode) {
   Config cfg = tiny_config(6);
-  Cluster c(machine(1), 6);
+  Cluster c({.machine = machine(1), .ranks_per_device = 6});
   Result r = run_dcuda(c, cfg);
   Result ref = reference(cfg, 1);
   EXPECT_EQ(r.total_particles, ref.total_particles);
@@ -54,7 +54,7 @@ TEST(ParticlesApp, DcudaMatchesReferenceSingleNode) {
 
 TEST(ParticlesApp, DcudaMatchesReferenceMultiNode) {
   Config cfg = tiny_config(4);
-  Cluster c(machine(3), 4);
+  Cluster c({.machine = machine(3), .ranks_per_device = 4});
   Result r = run_dcuda(c, cfg);
   Result ref = reference(cfg, 3);
   EXPECT_EQ(r.total_particles, ref.total_particles);
@@ -63,7 +63,7 @@ TEST(ParticlesApp, DcudaMatchesReferenceMultiNode) {
 
 TEST(ParticlesApp, MpiCudaMatchesReferenceSingleNode) {
   Config cfg = tiny_config(6);
-  Cluster c(machine(1), 6);
+  Cluster c({.machine = machine(1), .ranks_per_device = 6});
   Result r = run_mpi_cuda(c, cfg);
   Result ref = reference(cfg, 1);
   EXPECT_EQ(r.total_particles, ref.total_particles);
@@ -72,7 +72,7 @@ TEST(ParticlesApp, MpiCudaMatchesReferenceSingleNode) {
 
 TEST(ParticlesApp, MpiCudaMatchesReferenceMultiNode) {
   Config cfg = tiny_config(4);
-  Cluster c(machine(3), 4);
+  Cluster c({.machine = machine(3), .ranks_per_device = 4});
   Result r = run_mpi_cuda(c, cfg);
   Result ref = reference(cfg, 3);
   EXPECT_EQ(r.total_particles, ref.total_particles);
@@ -82,8 +82,8 @@ TEST(ParticlesApp, MpiCudaMatchesReferenceMultiNode) {
 TEST(ParticlesApp, VariantsAgreeExactly) {
   Config cfg = tiny_config(4);
   cfg.iterations = 15;
-  Cluster c1(machine(2), 4);
-  Cluster c2(machine(2), 4);
+  Cluster c1({.machine = machine(2), .ranks_per_device = 4});
+  Cluster c2({.machine = machine(2), .ranks_per_device = 4});
   Result a = run_dcuda(c1, cfg);
   Result b = run_mpi_cuda(c2, cfg);
   EXPECT_EQ(a.total_particles, b.total_particles);
@@ -96,11 +96,11 @@ TEST(ParticlesApp, DecompositionInvariance) {
   Config cfg = tiny_config(8);
   Result one_node;
   {
-    Cluster c(machine(1), 8);
+    Cluster c({.machine = machine(1), .ranks_per_device = 8});
     one_node = run_dcuda(c, cfg);
   }
   Config cfg2 = tiny_config(4);  // same 8 global cells as 2 nodes x 4
-  Cluster c(machine(2), 4);
+  Cluster c({.machine = machine(2), .ranks_per_device = 4});
   Result two_nodes = run_dcuda(c, cfg2);
   EXPECT_EQ(one_node.total_particles, two_nodes.total_particles);
   EXPECT_NEAR(one_node.checksum, two_nodes.checksum, 1e-9);
@@ -123,7 +123,7 @@ TEST(ParticlesApp, MomentumDriftsOnlyThroughWalls) {
 TEST(ParticlesApp, ExchangeOnlySwitchRuns) {
   Config cfg = tiny_config(4);
   cfg.compute = false;
-  Cluster c(machine(2), 4);
+  Cluster c({.machine = machine(2), .ranks_per_device = 4});
   Result r = run_dcuda(c, cfg);
   EXPECT_GT(r.elapsed, 0.0);
   EXPECT_EQ(r.total_particles, 2 * 4 * 12);  // nothing moves, nothing lost
@@ -133,7 +133,7 @@ TEST(ParticlesApp, ComputeOnlySwitchRuns) {
   Config cfg = tiny_config(4);
   cfg.exchange = false;
   cfg.iterations = 3;  // timing-only mode: halos stale, movers are dropped
-  Cluster c(machine(2), 4);
+  Cluster c({.machine = machine(2), .ranks_per_device = 4});
   Result r = run_dcuda(c, cfg);
   EXPECT_GT(r.elapsed, 0.0);
   EXPECT_LE(r.total_particles, 2 * 4 * 12);

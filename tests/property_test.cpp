@@ -112,7 +112,7 @@ class MatchSweep : public ::testing::TestWithParam<MatchCase> {};
 TEST_P(MatchSweep, AgreesWithOracle) {
   const auto param = GetParam();
   sim::Rng rng(param.seed);
-  Cluster c(sim::machine_config(1), 4);
+  Cluster c({.machine = sim::machine_config(1), .ranks_per_device = 4});
   auto mem = c.device(0).alloc<std::byte>(256);
 
   // Rank 1..3 send notifications to rank 0 with random tags on two windows.
@@ -274,7 +274,7 @@ class WildcardSweep
 
 TEST_P(WildcardSweep, WaitConsumesExactlyCountThenRestIsDrainable) {
   const auto [any_win, any_src, any_tag, count] = GetParam();
-  Cluster c(sim::machine_config(1), 4);
+  Cluster c({.machine = sim::machine_config(1), .ranks_per_device = 4});
   auto mem = c.device(0).alloc<std::byte>(256);
   // Matching notifications available to the first wait under this filter:
   // exact filters pin window 0, source 1, tag 1; tag equals the sender, so
@@ -322,7 +322,7 @@ INSTANTIATE_TEST_SUITE_P(Axes, WildcardSweep,
 // is in arrival order, §III-C queue compression), leaving the later
 // duplicate for the exact waiter instead of starving it.
 TEST(WildcardSweep, WildcardWaiterTakesEarliestArrivalNotTheLast) {
-  Cluster c(sim::machine_config(1), 2);
+  Cluster c({.machine = sim::machine_config(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<std::byte>(64);
   int leftover = -1;
   c.run([&](Context& ctx) -> Proc<void> {
@@ -357,7 +357,7 @@ class AppDeterminism : public ::testing::TestWithParam<int> {};
 TEST_P(AppDeterminism, SameConfigSameSimulatedTime) {
   const int nodes = GetParam();
   auto run_once = [&] {
-    Cluster c(sim::machine_config(nodes), 4);
+    Cluster c({.machine = sim::machine_config(nodes), .ranks_per_device = 4});
     auto mem = c.device(0).alloc<std::byte>(1024);
     return c.run([&](Context& ctx) -> Proc<void> {
       Window w = co_await win_create(ctx, kCommWorld, mem);

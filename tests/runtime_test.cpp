@@ -29,7 +29,7 @@ TEST(RuntimeFlush, OutOfOrderCompletionAdvancesContiguously) {
   // Issue one small and one large put; the small one (to a near target)
   // can complete first, but the flush frontier must only advance once the
   // earlier-issued large transfer is done too.
-  Cluster c(machine(3), 1);
+  Cluster c({.machine = machine(3), .ranks_per_device = 1});
   auto src = c.device(0).alloc<std::byte>(512 * 1024);
   auto big = c.device(1).alloc<std::byte>(512 * 1024);
   auto small = c.device(2).alloc<std::byte>(64);
@@ -54,7 +54,7 @@ TEST(RuntimeFlush, OutOfOrderCompletionAdvancesContiguously) {
 TEST(RuntimeFlush, WinFlushIsWindowScoped) {
   // A window with no pending operations flushes immediately even while
   // another window still has a large transfer in flight.
-  Cluster c(machine(2), 1);
+  Cluster c({.machine = machine(2), .ranks_per_device = 1});
   auto big_src = c.device(0).alloc<std::byte>(1024 * 1024);
   auto big_dst = c.device(1).alloc<std::byte>(1024 * 1024);
   auto small = c.device(1).alloc<std::byte>(64);
@@ -78,7 +78,7 @@ TEST(RuntimeFlush, WinFlushIsWindowScoped) {
 }
 
 TEST(RuntimeFlush, FlushWithNoPendingOpsReturnsImmediately) {
-  Cluster c(machine(1), 2);
+  Cluster c({.machine = machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<std::byte>(64);
   c.run([&](Context& ctx) -> Proc<void> {
     Window w = co_await win_create(ctx, kCommWorld, mem);
@@ -90,7 +90,7 @@ TEST(RuntimeFlush, FlushWithNoPendingOpsReturnsImmediately) {
 }
 
 TEST(RuntimeWindows, ManyWindowsPerRank) {
-  Cluster c(machine(2), 2);
+  Cluster c({.machine = machine(2), .ranks_per_device = 2});
   std::vector<std::span<double>> bufs;
   for (int n = 0; n < 2; ++n)
     for (int r = 0; r < 2; ++r) bufs.push_back(c.device(n).alloc<double>(8));
@@ -112,7 +112,7 @@ TEST(RuntimeWindows, ManyWindowsPerRank) {
 }
 
 TEST(RuntimeWindows, WindowIdsReusableAfterFree) {
-  Cluster c(machine(1), 2);
+  Cluster c({.machine = machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<double>(16);
   c.run([&](Context& ctx) -> Proc<void> {
     for (int round = 0; round < 3; ++round) {
@@ -128,7 +128,7 @@ TEST(RuntimeWindows, WindowIdsReusableAfterFree) {
 TEST(RuntimeOrdering, PutsFromOneRankArriveInOrder) {
   // Non-overtaking per (origin, target): sequence of puts to the same
   // target window region lands in issue order; the final value wins.
-  Cluster c(machine(2), 1);
+  Cluster c({.machine = machine(2), .ranks_per_device = 1});
   auto src = c.device(0).alloc<int>(64);
   auto dst = c.device(1).alloc<int>(64);
   c.run([&](Context& ctx) -> Proc<void> {
@@ -150,7 +150,7 @@ TEST(RuntimeOrdering, PutsFromOneRankArriveInOrder) {
 }
 
 TEST(RuntimeBarrier, MixedWorldAndDeviceBarriers) {
-  Cluster c(machine(2), 2);
+  Cluster c({.machine = machine(2), .ranks_per_device = 2});
   std::vector<int> phase(4, 0);
   c.run([&](Context& ctx) -> Proc<void> {
     co_await barrier(ctx, kCommDevice);
@@ -167,7 +167,7 @@ TEST(RuntimeBarrier, MixedWorldAndDeviceBarriers) {
 TEST(RuntimeQueues, CommandQueueBackpressure) {
   // A rank that issues many commands back-to-back exceeds the 16-entry
   // command ring; the credit system must throttle without losing commands.
-  Cluster c(machine(1), 2);
+  Cluster c({.machine = machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<std::byte>(4096);
   int received = 0;
   c.run([&](Context& ctx) -> Proc<void> {
@@ -190,7 +190,7 @@ TEST(RuntimeQueues, NotificationQueueOverflowThrottled) {
   // enqueue must block on credits until the device drains, not overwrite.
   sim::MachineConfig cfg = machine(1);
   cfg.runtime.notification_queue_entries = 8;
-  Cluster c(cfg, 2);
+  Cluster c({.machine = cfg, .ranks_per_device = 2});
   auto mem = c.device(0).alloc<std::byte>(64);
   c.run([&](Context& ctx) -> Proc<void> {
     Window w = co_await win_create(ctx, kCommWorld, mem);
@@ -207,7 +207,7 @@ TEST(RuntimeQueues, NotificationQueueOverflowThrottled) {
 }
 
 TEST(RuntimeLog, ManyRanksLogConcurrently) {
-  Cluster c(machine(1), 8);
+  Cluster c({.machine = machine(1), .ranks_per_device = 8});
   c.run([&](Context& ctx) -> Proc<void> {
     co_await log(ctx, "value", ctx.world_rank * 10);
   });
@@ -219,7 +219,7 @@ TEST(RuntimeConfigs, HostWakeupLatencyAffectsPutLatency) {
     sim::MachineConfig cfg;
     cfg.num_nodes = 1;
     cfg.runtime.host_wakeup_latency = micros(wakeup_us);
-    Cluster c(cfg, 2);
+    Cluster c({.machine = cfg, .ranks_per_device = 2});
     auto mem = c.device(0).alloc<std::byte>(64);
     c.run([&](Context& ctx) -> Proc<void> {
       Window w = co_await win_create(ctx, kCommWorld, mem);
@@ -240,7 +240,7 @@ TEST(RuntimeConfigs, HostWakeupLatencyAffectsPutLatency) {
 }
 
 TEST(RuntimeDeadlock, WaitForMissingNotificationIsDiagnosed) {
-  Cluster c(machine(1), 2);
+  Cluster c({.machine = machine(1), .ranks_per_device = 2});
   auto mem = c.device(0).alloc<std::byte>(64);
   EXPECT_THROW(c.run([&](Context& ctx) -> Proc<void> {
                  Window w = co_await win_create(ctx, kCommWorld, mem);
@@ -255,7 +255,7 @@ TEST(RuntimeDeadlock, MixedHostAndDeviceRankDeadlockIsDiagnosed) {
   // Host rank waits for a device-rank notification that is never sent while
   // the device rank blocks in the barrier: a cross-processor deadlock (§V
   // host ranks share the RMA machinery) must be detected, not hang.
-  Cluster c(machine(1), /*ranks_per_device=*/1, /*host_ranks=*/1);
+  Cluster c({.machine = machine(1), .ranks_per_device = 1, .host_ranks = 1});
   auto mem = c.device(0).alloc<std::byte>(64);
   std::vector<std::byte> host_mem(64);
   try {
@@ -283,7 +283,7 @@ TEST(RuntimeDeadlock, OneBlockPastResidencyLimitIsDiagnosed) {
   // barrier can never complete: the 208 resident blocks wait for rank 208,
   // which cannot start until an SM slot frees. The engine must turn this
   // into a DeadlockError naming a stuck rank, not a silent hang.
-  Cluster c(machine(1), /*ranks_per_device=*/209);
+  Cluster c({.machine = machine(1), .ranks_per_device = 209});
   try {
     c.run([&](Context& ctx) -> Proc<void> {
       co_await barrier(ctx, kCommWorld);
@@ -299,7 +299,7 @@ TEST(RuntimeDeadlock, OneBlockPastResidencyLimitIsDiagnosed) {
 
 TEST(RuntimeDeadlock, ExactResidencyLimitStillCompletes) {
   // The companion positive case: exactly 208 blocks barrier fine.
-  Cluster c(machine(1), /*ranks_per_device=*/208);
+  Cluster c({.machine = machine(1), .ranks_per_device = 208});
   EXPECT_NO_THROW(c.run([&](Context& ctx) -> Proc<void> {
     co_await barrier(ctx, kCommWorld);
   }));
@@ -307,7 +307,7 @@ TEST(RuntimeDeadlock, ExactResidencyLimitStillCompletes) {
 
 TEST(RuntimeGet, ConcurrentGetsFromManyRanks) {
   // All ranks of node 1 read disjoint slices of rank 0's window at once.
-  Cluster c(machine(2), 4);
+  Cluster c({.machine = machine(2), .ranks_per_device = 4});
   auto data = c.device(0).alloc<int>(64);
   for (int i = 0; i < 64; ++i) data[static_cast<size_t>(i)] = 1000 + i;
   std::vector<std::vector<int>> got(8, std::vector<int>(16, 0));
@@ -352,7 +352,7 @@ TEST(RuntimeBackendParity, StencilChecksumMatchesReference) {
   cfg.iterations = 4;
   const double want = apps::stencil::reference_checksum(cfg, 2, 4);
   for (sim::RuntimeBackend b : kBothBackends) {
-    Cluster c(backend_machine(2, b), 4);
+    Cluster c({.machine = backend_machine(2, b), .ranks_per_device = 4});
     sim::InvariantObserver obs;
     c.sim().set_invariant_observer(&obs);
     apps::stencil::Result res = apps::stencil::run_dcuda(c, cfg);
@@ -371,7 +371,7 @@ TEST(RuntimeBackendParity, ParticlesConservedUnderBothBackends) {
   cfg.dt = 0.02;
   const apps::particles::Result ref = apps::particles::reference(cfg, 2);
   for (sim::RuntimeBackend b : kBothBackends) {
-    Cluster c(backend_machine(2, b), 4);
+    Cluster c({.machine = backend_machine(2, b), .ranks_per_device = 4});
     sim::InvariantObserver obs;
     c.sim().set_invariant_observer(&obs);
     apps::particles::Result res = apps::particles::run_dcuda(c, cfg);
@@ -392,7 +392,7 @@ TEST(RuntimeBackendParity, SpmvChecksumMatchesReference) {
   cfg.iterations = 2;
   const double want = apps::spmv::reference_checksum(cfg, 4);
   for (sim::RuntimeBackend b : kBothBackends) {
-    Cluster c(backend_machine(4, b), 4);
+    Cluster c({.machine = backend_machine(4, b), .ranks_per_device = 4});
     sim::InvariantObserver obs;
     c.sim().set_invariant_observer(&obs);
     apps::spmv::Result res = apps::spmv::run_dcuda(c, cfg);
@@ -408,7 +408,7 @@ TEST(RuntimeBackendParity, DeviceModeDeliversOnBoardOnly) {
   // Under kDeviceInitiated every device-rank notification must arrive via
   // the on-device board (no host round trip); under kHostLoop none may.
   for (sim::RuntimeBackend b : kBothBackends) {
-    Cluster c(backend_machine(2, b), 2);
+    Cluster c({.machine = backend_machine(2, b), .ranks_per_device = 2});
     sim::InvariantObserver obs;
     c.sim().set_invariant_observer(&obs);
     auto mem = c.device(0).alloc<std::byte>(256);
@@ -438,7 +438,7 @@ TEST(RuntimeBackendParity, DeviceModeCutsNotifiedPutLatency) {
   // The backend's whole point: no host_wakeup_latency sweep, cheaper
   // dispatch. A cross-node notified-put ping-pong must finish faster.
   auto elapsed = [](sim::RuntimeBackend b) {
-    Cluster c(backend_machine(2, b), 1);
+    Cluster c({.machine = backend_machine(2, b), .ranks_per_device = 1});
     auto a = c.device(0).alloc<std::byte>(64);
     auto z = c.device(1).alloc<std::byte>(64);
     return c.run([&](Context& ctx) -> Proc<void> {
@@ -465,7 +465,7 @@ TEST(RuntimeBackendParity, HostRanksStillWorkInDeviceMode) {
   // the machine is device-initiated; mixed traffic must still match.
   sim::MachineConfig m =
       backend_machine(2, sim::RuntimeBackend::kDeviceInitiated);
-  Cluster c(m, /*ranks_per_device=*/1, /*host_ranks_per_node=*/1);
+  Cluster c({.machine = m, .ranks_per_device = 1, .host_ranks = 1});
   auto d0 = c.device(0).alloc<int>(16);
   auto d1 = c.device(1).alloc<int>(16);
   std::vector<std::vector<int>> host_mem(2, std::vector<int>(16, -1));

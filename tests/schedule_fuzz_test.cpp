@@ -34,6 +34,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,6 +45,7 @@
 #include "cluster/cluster.h"
 #include "net/fault.h"
 #include "net/topology.h"
+#include "sim/env_config.h"
 #include "sim/invariants.h"
 #include "sim/perturb.h"
 
@@ -112,11 +114,9 @@ sim::MachineConfig fuzz_machine(int nodes, std::uint64_t seed,
 // DCUDA_FUZZ_SEEDS overrides every sweep's seed count (bounded by the
 // 0x1000 spacing of the disjoint per-sweep seed ranges).
 int sweep_count(int default_count) {
-  const char* s = std::getenv("DCUDA_FUZZ_SEEDS");
-  if (s == nullptr) return default_count;
-  const long n = std::strtol(s, nullptr, 0);
+  const int n = sim::env_int("DCUDA_FUZZ_SEEDS", 0);
   if (n <= 0) return default_count;
-  return static_cast<int>(n < 0x1000 ? n : 0xfff);
+  return n < 0x1000 ? n : 0xfff;
 }
 
 // Outcome of one perturbed run: validation errors (empty == pass) plus the
@@ -163,7 +163,7 @@ RunResult run_stencil(std::uint64_t seed, std::uint32_t classes) {
   cfg.jlocal = 2;
   cfg.ksize = 3;
   cfg.iterations = 4;
-  Cluster c(fuzz_machine(2, seed, classes), 4);
+  Cluster c({.machine = fuzz_machine(2, seed, classes), .ranks_per_device = 4});
   InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
   apps::stencil::Result res = apps::stencil::run_dcuda(c, cfg);
@@ -185,7 +185,7 @@ RunResult run_particles(std::uint64_t seed, std::uint32_t classes) {
   cfg.particles_per_cell = 12;
   cfg.iterations = 10;
   cfg.dt = 0.02;
-  Cluster c(fuzz_machine(2, seed, classes), 4);
+  Cluster c({.machine = fuzz_machine(2, seed, classes), .ranks_per_device = 4});
   InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
   apps::particles::Result res = apps::particles::run_dcuda(c, cfg);
@@ -214,7 +214,7 @@ RunResult run_spmv(std::uint64_t seed, std::uint32_t classes) {
   cfg.n_dev = 32;  // 8 rows per rank at rpd=4
   cfg.density = 0.05;
   cfg.iterations = 2;
-  Cluster c(fuzz_machine(4, seed, classes), 4);  // 2x2 device grid
+  Cluster c({.machine = fuzz_machine(4, seed, classes), .ranks_per_device = 4});  // 2x2 device grid
   InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
   apps::spmv::Result res = apps::spmv::run_dcuda(c, cfg);
@@ -237,7 +237,7 @@ RunResult run_collectives(std::uint64_t seed, std::uint32_t classes) {
   RunResult r;
   const int nodes = 2, rpd = 3;
   const int world = nodes * rpd;
-  Cluster c(fuzz_machine(nodes, seed, classes), rpd);
+  Cluster c({.machine = fuzz_machine(nodes, seed, classes), .ranks_per_device = rpd});
   InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
   std::vector<std::span<double>> bufs;
@@ -297,7 +297,7 @@ RunResult run_eager(std::uint64_t seed, std::uint32_t classes) {
   m.rma.eager_threshold = 256 + 128 * (seed % 3);       // 256/384/512 B
   m.rma.max_batch = 2 + static_cast<int>(seed % 5);     // 2..6 records
   m.rma.aggregation_window = sim::micros(1.0 + 0.5 * (seed % 4));
-  Cluster c(m, rpd);
+  Cluster c({.machine = m, .ranks_per_device = rpd});
   InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
 
@@ -383,7 +383,7 @@ RunResult run_mixed(std::uint64_t seed, std::uint32_t classes) {
   m.rma.eager_threshold = 256 + 256 * (seed % 2);    // 256/512 B
   m.rma.max_batch = 2 + static_cast<int>(seed % 4);  // 2..5 records
   m.rma.aggregation_window = sim::micros(1.0 + 0.5 * (seed % 3));
-  Cluster c(m, rpd);
+  Cluster c({.machine = m, .ranks_per_device = rpd});
   InvariantObserver obs;
   c.sim().set_invariant_observer(&obs);
 
@@ -585,7 +585,7 @@ TEST(ScheduleFuzz, SameSeedReplaysBitIdentically) {
 }
 
 TEST(ScheduleFuzz, PerturbationActuallyChangesTheSchedule) {
-  Cluster canonical(fuzz_machine(2, 0, 0), 4);
+  Cluster canonical({.machine = fuzz_machine(2, 0, 0), .ranks_per_device = 4});
   apps::stencil::Config cfg;
   cfg.isize = 16;
   cfg.jlocal = 2;
@@ -604,7 +604,7 @@ TEST(ScheduleFuzz, PerturbationActuallyChangesTheSchedule) {
 
 TEST(ScheduleFuzz, DeadlockIsDiagnosedNotHung) {
   for (std::uint64_t seed : {0x63001ull, 0x63002ull, 0x63003ull}) {
-    Cluster c(fuzz_machine(1, seed, Perturbation::kAllClasses), 2);
+    Cluster c({.machine = fuzz_machine(1, seed, Perturbation::kAllClasses), .ranks_per_device = 2});
     auto mem = c.device(0).alloc<std::byte>(64);
     try {
       c.run([&](Context& ctx) -> Proc<void> {
@@ -627,22 +627,20 @@ TEST(ScheduleFuzz, DeadlockIsDiagnosedNotHung) {
 // -- One-command replay --------------------------------------------------
 
 TEST(ScheduleFuzz, ReplayFromEnv) {
-  const char* seed_s = std::getenv("DCUDA_FUZZ_SEED");
-  if (seed_s == nullptr) {
+  const std::optional<std::uint64_t> seed_opt =
+      sim::env_u64_opt("DCUDA_FUZZ_SEED");
+  if (!seed_opt) {
     GTEST_SKIP() << "set DCUDA_FUZZ_SEED (optionally DCUDA_FUZZ_WORKLOAD, "
                     "DCUDA_FUZZ_CLASSES) to replay a fuzz case";
   }
-  const std::uint64_t seed = std::strtoull(seed_s, nullptr, 0);
-  const char* wl_s = std::getenv("DCUDA_FUZZ_WORKLOAD");
-  const char* cls_s = std::getenv("DCUDA_FUZZ_CLASSES");
-  const std::uint32_t classes =
-      cls_s != nullptr
-          ? static_cast<std::uint32_t>(std::strtoul(cls_s, nullptr, 0))
-          : Perturbation::kAllClasses;
+  const std::uint64_t seed = *seed_opt;
+  const std::optional<std::string> wl_s = sim::env_string("DCUDA_FUZZ_WORKLOAD");
+  const std::uint32_t classes = static_cast<std::uint32_t>(
+      sim::env_u64("DCUDA_FUZZ_CLASSES", Perturbation::kAllClasses));
   std::vector<const Workload*> todo;
-  if (wl_s != nullptr) {
-    const Workload* w = find_workload(wl_s);
-    ASSERT_NE(w, nullptr) << "unknown DCUDA_FUZZ_WORKLOAD " << wl_s;
+  if (wl_s) {
+    const Workload* w = find_workload(wl_s->c_str());
+    ASSERT_NE(w, nullptr) << "unknown DCUDA_FUZZ_WORKLOAD " << *wl_s;
     todo.push_back(w);
   } else {
     for (const Workload& w : kWorkloads) todo.push_back(&w);

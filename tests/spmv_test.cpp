@@ -36,50 +36,50 @@ TEST(SpmvApp, PatchGenerationDeterministic) {
 
 TEST(SpmvApp, DcudaMatchesReferenceSingleNode) {
   Config cfg = tiny_config(4);
-  Cluster c(machine(1), 4);
+  Cluster c({.machine = machine(1), .ranks_per_device = 4});
   Result r = run_dcuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 1), 1e-9 * std::abs(r.checksum) + 1e-9);
 }
 
 TEST(SpmvApp, DcudaMatchesReferenceFourNodes) {
   Config cfg = tiny_config(4);
-  Cluster c(machine(4), 4);
+  Cluster c({.machine = machine(4), .ranks_per_device = 4});
   Result r = run_dcuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 4), 1e-9 * std::abs(r.checksum) + 1e-9);
 }
 
 TEST(SpmvApp, DcudaMatchesReferenceNineNodes) {
   Config cfg = tiny_config(2);
-  Cluster c(machine(9), 2);
+  Cluster c({.machine = machine(9), .ranks_per_device = 2});
   Result r = run_dcuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 9), 1e-9 * std::abs(r.checksum) + 1e-9);
 }
 
 TEST(SpmvApp, MpiCudaMatchesReferenceSingleNode) {
   Config cfg = tiny_config(4);
-  Cluster c(machine(1), 4);
+  Cluster c({.machine = machine(1), .ranks_per_device = 4});
   Result r = run_mpi_cuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 1), 1e-9 * std::abs(r.checksum) + 1e-9);
 }
 
 TEST(SpmvApp, MpiCudaMatchesReferenceFourNodes) {
   Config cfg = tiny_config(4);
-  Cluster c(machine(4), 4);
+  Cluster c({.machine = machine(4), .ranks_per_device = 4});
   Result r = run_mpi_cuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 4), 1e-9 * std::abs(r.checksum) + 1e-9);
 }
 
 TEST(SpmvApp, MpiCudaMatchesReferenceNineNodes) {
   Config cfg = tiny_config(2);
-  Cluster c(machine(9), 2);
+  Cluster c({.machine = machine(9), .ranks_per_device = 2});
   Result r = run_mpi_cuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 9), 1e-9 * std::abs(r.checksum) + 1e-9);
 }
 
 TEST(SpmvApp, VariantsAgree) {
   Config cfg = tiny_config(4);
-  Cluster c1(machine(4), 4);
-  Cluster c2(machine(4), 4);
+  Cluster c1({.machine = machine(4), .ranks_per_device = 4});
+  Cluster c2({.machine = machine(4), .ranks_per_device = 4});
   Result a = run_dcuda(c1, cfg);
   Result b = run_mpi_cuda(c2, cfg);
   EXPECT_NEAR(a.checksum, b.checksum, 1e-9 * std::abs(a.checksum) + 1e-9);
@@ -91,8 +91,8 @@ TEST(SpmvApp, TightSynchronizationLimitsOverlap) {
   // not dramatically faster.
   Config cfg = tiny_config(8);
   cfg.iterations = 4;
-  Cluster c1(machine(4), 8);
-  Cluster c2(machine(4), 8);
+  Cluster c1({.machine = machine(4), .ranks_per_device = 8});
+  Cluster c2({.machine = machine(4), .ranks_per_device = 8});
   const double d = run_dcuda(c1, cfg).elapsed;
   const double m = run_mpi_cuda(c2, cfg).elapsed;
   // At this toy size the per-operation host costs dominate dCUDA; the paper

@@ -26,28 +26,28 @@ sim::MachineConfig machine(int nodes) {
 
 TEST(StencilApp, DcudaMatchesReferenceSingleNode) {
   Config cfg = tiny_config();
-  Cluster c(machine(1), 4);
+  Cluster c({.machine = machine(1), .ranks_per_device = 4});
   Result r = run_dcuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 1, 4), 1e-9);
 }
 
 TEST(StencilApp, DcudaMatchesReferenceMultiNode) {
   Config cfg = tiny_config();
-  Cluster c(machine(3), 4);
+  Cluster c({.machine = machine(3), .ranks_per_device = 4});
   Result r = run_dcuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 3, 4), 1e-9);
 }
 
 TEST(StencilApp, MpiCudaMatchesReferenceSingleNode) {
   Config cfg = tiny_config();
-  Cluster c(machine(1), 4);
+  Cluster c({.machine = machine(1), .ranks_per_device = 4});
   Result r = run_mpi_cuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 1, 4), 1e-9);
 }
 
 TEST(StencilApp, MpiCudaMatchesReferenceMultiNode) {
   Config cfg = tiny_config();
-  Cluster c(machine(3), 4);
+  Cluster c({.machine = machine(3), .ranks_per_device = 4});
   Result r = run_mpi_cuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 3, 4), 1e-9);
 }
@@ -55,8 +55,8 @@ TEST(StencilApp, MpiCudaMatchesReferenceMultiNode) {
 TEST(StencilApp, VariantsAgreeWithEachOther) {
   Config cfg = tiny_config();
   cfg.iterations = 5;  // odd: exercises the buffer-parity bookkeeping
-  Cluster c1(machine(2), 4);
-  Cluster c2(machine(2), 4);
+  Cluster c1({.machine = machine(2), .ranks_per_device = 4});
+  Cluster c2({.machine = machine(2), .ranks_per_device = 4});
   Result a = run_dcuda(c1, cfg);
   Result b = run_mpi_cuda(c2, cfg);
   EXPECT_NEAR(a.checksum, b.checksum, 1e-9);
@@ -65,14 +65,14 @@ TEST(StencilApp, VariantsAgreeWithEachOther) {
 TEST(StencilApp, OddIterationCountMatchesReference) {
   Config cfg = tiny_config();
   cfg.iterations = 3;
-  Cluster c(machine(2), 4);
+  Cluster c({.machine = machine(2), .ranks_per_device = 4});
   Result r = run_dcuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 2, 4), 1e-9);
 }
 
 TEST(StencilApp, SingleRankPerDeviceWorks) {
   Config cfg = tiny_config();
-  Cluster c(machine(2), 1);
+  Cluster c({.machine = machine(2), .ranks_per_device = 1});
   Result r = run_dcuda(c, cfg);
   EXPECT_NEAR(r.checksum, reference_checksum(cfg, 2, 1), 1e-9);
 }
@@ -86,7 +86,7 @@ TEST(StencilApp, RuntimeSwitchesProduceShorterRuns) {
     Config c2 = cfg;
     c2.compute = compute;
     c2.exchange = exchange;
-    Cluster c(machine(2), 4);
+    Cluster c({.machine = machine(2), .ranks_per_device = 4});
     return run_dcuda(c, c2).elapsed;
   };
   const double full = timed(true, true);
@@ -101,7 +101,7 @@ TEST(StencilApp, DcudaWireTrafficOnlyAtDeviceBoundaries) {
   // All intra-device halos are zero-copy notifications; only the two device
   // boundary lines travel the network per exchange.
   Config cfg = tiny_config();
-  Cluster c(machine(2), 4);
+  Cluster c({.machine = machine(2), .ranks_per_device = 4});
   Result r = run_dcuda(c, cfg);
   // Upper bound: iterations * 4 directed line-exchanges * line bytes * k
   // plus envelopes/meta/barrier traffic — far below one full array.
@@ -120,8 +120,8 @@ TEST(StencilApp, MultiNodeDcudaHidesHaloCost) {
   cfg.ksize = 8;
   cfg.iterations = 12;
   auto run_pair = [&](int nodes) {
-    Cluster cd(machine(nodes), 32);
-    Cluster cm(machine(nodes), 32);
+    Cluster cd({.machine = machine(nodes), .ranks_per_device = 32});
+    Cluster cm({.machine = machine(nodes), .ranks_per_device = 32});
     return std::pair<double, double>{run_dcuda(cd, cfg).elapsed,
                                      run_mpi_cuda(cm, cfg).elapsed};
   };

@@ -28,7 +28,7 @@ TEST(StressFuzz, RandomNotifiedPutsKeepOrderAndCounts) {
   constexpr int kNodes = 3, kRpd = 4;
   constexpr int kWorld = kNodes * kRpd;
   constexpr int kMsgsPerRank = 25;
-  Cluster c(machine(kNodes), kRpd);
+  Cluster c({.machine = machine(kNodes), .ranks_per_device = kRpd});
 
   struct Slot {
     double seq;
@@ -88,7 +88,7 @@ TEST(StressFuzz, NotificationFloodWithBackpressure) {
   sim::MachineConfig cfg = machine(2);
   cfg.runtime.notification_queue_entries = 4;  // brutal backpressure
   constexpr int kRpd = 5;
-  Cluster c(cfg, kRpd);
+  Cluster c({.machine = cfg, .ranks_per_device = kRpd});
   auto mem = c.device(0).alloc<std::byte>(64);
   const int world = 2 * kRpd;
   constexpr int kPerSender = 30;
@@ -120,7 +120,7 @@ TEST(StressFuzz, NotificationFloodWithBackpressure) {
 // 2 nodes, a few stencil-like rounds — exercises occupancy, queue credit
 // churn and the host worker under production-scale rank counts.
 TEST(StressScale, FullRankCountSmoke) {
-  Cluster c(machine(2));  // 208 ranks per device
+  Cluster c({.machine = machine(2)});  // 208 ranks per device
   ASSERT_EQ(c.world_size(), 416);
   auto m0 = c.device(0).alloc<double>(416);
   auto m1 = c.device(1).alloc<double>(416);
@@ -147,7 +147,7 @@ TEST(StressScale, FullRankCountSmoke) {
 
 // Repeated window create/free churn across communicators.
 TEST(StressScale, WindowChurn) {
-  Cluster c(machine(2), 6);
+  Cluster c({.machine = machine(2), .ranks_per_device = 6});
   auto m0 = c.device(0).alloc<double>(128);
   auto m1 = c.device(1).alloc<double>(128);
   c.run([&](Context& ctx) -> Proc<void> {

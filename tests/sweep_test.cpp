@@ -34,7 +34,7 @@ TEST_P(StencilSweep, MatchesReference) {
   cfg.jlocal = 2;
   cfg.ksize = 2;
   cfg.iterations = iterations;
-  Cluster c(machine(nodes), rpd);
+  Cluster c({.machine = machine(nodes), .ranks_per_device = rpd});
   const auto r = use_dcuda ? apps::stencil::run_dcuda(c, cfg)
                            : apps::stencil::run_mpi_cuda(c, cfg);
   EXPECT_NEAR(r.checksum, apps::stencil::reference_checksum(cfg, nodes, rpd), 1e-9)
@@ -59,7 +59,7 @@ TEST_P(ParticlesSweep, MatchesReference) {
   cfg.particles_per_cell = 8;
   cfg.iterations = 8;
   cfg.dt = 0.02;
-  Cluster c(machine(nodes), cells);
+  Cluster c({.machine = machine(nodes), .ranks_per_device = cells});
   const auto r = use_dcuda ? apps::particles::run_dcuda(c, cfg)
                            : apps::particles::run_mpi_cuda(c, cfg);
   const auto ref = apps::particles::reference(cfg, nodes);
@@ -79,7 +79,7 @@ TEST(ParticlesReducedCutoff, StillMatchesReference) {
   cfg.particles_per_cell = 10;
   cfg.iterations = 10;
   cfg.cutoff = 0.25;
-  Cluster c(machine(2), 3);
+  Cluster c({.machine = machine(2), .ranks_per_device = 3});
   const auto r = apps::particles::run_dcuda(c, cfg);
   const auto ref = apps::particles::reference(cfg, 2);
   EXPECT_EQ(r.total_particles, ref.total_particles);
@@ -96,7 +96,7 @@ TEST_P(SpmvSweep, MatchesReference) {
   cfg.n_dev = rpd * 6;
   cfg.density = 0.1;
   cfg.iterations = 2;
-  Cluster c(machine(nodes), rpd);
+  Cluster c({.machine = machine(nodes), .ranks_per_device = rpd});
   const auto r = use_dcuda ? apps::spmv::run_dcuda(c, cfg)
                            : apps::spmv::run_mpi_cuda(c, cfg);
   const double ref = apps::spmv::reference_checksum(cfg, nodes);
@@ -116,7 +116,7 @@ TEST_P(EagerBoundary, PutSizesAroundEagerLimit) {
   // Put payloads straddling the MPI eager limit (8 kB): -1, exact, +1.
   const int delta = GetParam();
   const std::size_t bytes = 8 * 1024 + static_cast<std::size_t>(delta);
-  Cluster c(machine(2), 1);
+  Cluster c({.machine = machine(2), .ranks_per_device = 1});
   auto src = c.device(0).alloc<std::byte>(bytes);
   auto dst = c.device(1).alloc<std::byte>(bytes);
   for (std::size_t i = 0; i < bytes; ++i) src[i] = static_cast<std::byte>(i * 13);
@@ -140,7 +140,7 @@ class StagingBoundary : public ::testing::TestWithParam<int> {};
 TEST_P(StagingBoundary, PutSizesAroundStagingThreshold) {
   const int delta = GetParam();
   const std::size_t bytes = 20 * 1024 + static_cast<std::size_t>(delta);
-  Cluster c(machine(2), 1);
+  Cluster c({.machine = machine(2), .ranks_per_device = 1});
   auto src = c.device(0).alloc<std::byte>(bytes);
   auto dst = c.device(1).alloc<std::byte>(bytes);
   for (std::size_t i = 0; i < bytes; ++i) src[i] = static_cast<std::byte>(i * 7);
@@ -166,7 +166,7 @@ INSTANTIATE_TEST_SUITE_P(AroundThreshold, StagingBoundary,
 // ------------------------------------------------- device communicator ----
 
 TEST(DeviceComm, WindowsAndBarriersStayLocal) {
-  Cluster c(machine(2), 3);
+  Cluster c({.machine = machine(2), .ranks_per_device = 3});
   auto m0 = c.device(0).alloc<double>(32);
   auto m1 = c.device(1).alloc<double>(32);
   c.run([&](Context& ctx) -> Proc<void> {

@@ -193,7 +193,7 @@ TEST(TraceSpans, DisabledTracerRecordsNothing) {
 }
 
 TEST(TraceSpans, ClusterRunOrdersSpansPerLane) {
-  Cluster c(machine(2), 2);
+  Cluster c({.machine = machine(2), .ranks_per_device = 2});
   c.tracer().enable();
   auto m0 = c.device(0).alloc<std::byte>(1024);
   auto m1 = c.device(1).alloc<std::byte>(1024);
@@ -248,7 +248,7 @@ TEST(TraceCounters, CounterAddTracksRunningValue) {
 }
 
 TEST(TraceCounters, InflightRmaAndQueueDepthsReturnToZero) {
-  Cluster c(machine(2), 2);
+  Cluster c({.machine = machine(2), .ranks_per_device = 2});
   c.tracer().enable();
   auto m0 = c.device(0).alloc<std::byte>(4096);
   auto m1 = c.device(1).alloc<std::byte>(4096);
@@ -295,7 +295,7 @@ TEST(TraceExport, EmptyTracerStillValidJson) {
 }
 
 TEST(TraceExport, TimestampsAreMonotone) {
-  Cluster c(machine(1), 4);
+  Cluster c({.machine = machine(1), .ranks_per_device = 4});
   c.tracer().enable();
   c.run([&](Context& ctx) -> Proc<void> {
     co_await ctx.block->compute_flops(1e6);
