@@ -208,6 +208,36 @@ else
   echo "warning: $BUILD/bench/ablation_local_notify not built, skipping BENCH_backend.json" >&2
 fi
 
+# -- 3-D DPD overlap record (simulated time, deterministic) ----------------
+# bench/fig_dpd3d --json: the skewed-density DPD scenario on 4 nodes, dCUDA
+# with work-adoption rebalance vs the plain MPI-CUDA fork-join baseline
+# (docs/FIGURES.md "fig_dpd3d"). Gate: the overlapped notified-put variant,
+# using its dCUDA-only ticket rebalance to shorten the blob rank's critical
+# path, must hold >= 1.2x over the baseline under dynamic load imbalance,
+# and the two variants' physics must match bitwise — a speedup bought with
+# a wrong answer fails outright.
+DPD3D_OUT="$(dirname "$OUT")/BENCH_dpd3d.json"
+if [ -x "$BUILD/bench/fig_dpd3d" ]; then
+  echo "== fig_dpd3d --json (skewed-density overlap, 4 nodes) ==" >&2
+  dpd3d_json="$("$BUILD/bench/fig_dpd3d" --json)"
+  printf '%s\n' "$dpd3d_json" > "$DPD3D_OUT"
+  echo "wrote $DPD3D_OUT" >&2
+  dspeed="$(jq -r '.speedup' <<< "$dpd3d_json")"
+  dmatch="$(jq -r '.bitwise_match' <<< "$dpd3d_json")"
+  if [ "$dmatch" != "true" ]; then
+    echo "FAIL: dpd3d dCUDA and MPI-CUDA results diverged (bitwise_match=$dmatch)" >&2
+    exit 1
+  fi
+  ok="$(awk -v s="$dspeed" 'BEGIN { print (s >= 1.2) ? 1 : 0 }')"
+  if [ "$ok" -ne 1 ]; then
+    echo "FAIL: dpd3d skewed-density dCUDA speedup $dspeed < 1.2x" >&2
+    exit 1
+  fi
+  echo "   dpd3d skewed speedup ${dspeed}x (bar: 1.2x)" >&2
+else
+  echo "warning: $BUILD/bench/fig_dpd3d not built, skipping BENCH_dpd3d.json" >&2
+fi
+
 # -- Gang-scheduler record (simulated time, deterministic) -----------------
 # bench/cluster_traffic: a 16-node multi-tenant fabric under a seeded
 # open-arrival workload, once per policy (docs/CLUSTER.md). Gate: EASY

@@ -21,7 +21,15 @@
 #     one multi-tenant fabric) must be bit-identical across runs and under
 #     the 4-group/2-thread executor — job placement, backfill decisions and
 #     completion order are functions of the logical schedule only.
-#  6. Topology pass (docs/TOPOLOGY.md): the same benchmarks on a fat tree
+#  6. dpd3d pass (docs/TESTING.md): the skewed-density DPD schedule
+#     fingerprint (bench/fig_dpd3d --fingerprint: bitwise physics checksum,
+#     halo totals, rebalance tickets, virtual elapsed time) must be stable
+#     across runs and byte-identical between the serial and the
+#     4-group/2-thread executors — for the clean schedule, a perturbed
+#     schedule, and with the eager/aggregation protocol switched on
+#     (--eager), which reroutes every small halo/ticket put through the
+#     batching path without being allowed to change any result.
+#  7. Topology pass (docs/TOPOLOGY.md): the same benchmarks on a fat tree
 #     with 2 NIC rails (DCUDA_TOPOLOGY=fattree DCUDA_RAILS=2) must be
 #     stable across runs AND byte-identical between the serial and the
 #     4-group/2-thread executors — multi-hop routes shrink the engine's
@@ -91,6 +99,45 @@ for name in fig6_put_bandwidth fig10_stencil_scaling; do
   compare "$name: fattree+2rails shards=4 threads=2 matches serial" \
           "$tmp/$name.topo1" "$tmp/$name.topo_par"
 done
+
+# -- dpd3d pass (docs/TESTING.md) ------------------------------------------
+dbin="$BUILD/bench/fig_dpd3d"
+if [ -x "$dbin" ]; then
+  "$dbin" --fingerprint > "$tmp/dpd3d.run1"
+  "$dbin" --fingerprint > "$tmp/dpd3d.run2"
+  compare "fig_dpd3d: skew fingerprint bit-identical across runs" \
+          "$tmp/dpd3d.run1" "$tmp/dpd3d.run2"
+  DCUDA_SHARDS=4 DCUDA_THREADS=2 "$dbin" --fingerprint > "$tmp/dpd3d.par"
+  compare "fig_dpd3d: shards=4 threads=2 matches serial (clean)" \
+          "$tmp/dpd3d.run1" "$tmp/dpd3d.par"
+  DCUDA_PERTURB_SEED="$PERTURB_SEED" "$dbin" --fingerprint > "$tmp/dpd3d.seed1"
+  DCUDA_PERTURB_SEED="$PERTURB_SEED" "$dbin" --fingerprint > "$tmp/dpd3d.seed2"
+  compare "fig_dpd3d: perturbed seed $PERTURB_SEED replays bit-identically" \
+          "$tmp/dpd3d.seed1" "$tmp/dpd3d.seed2"
+  DCUDA_SHARDS=4 DCUDA_THREADS=2 DCUDA_PERTURB_SEED="$PERTURB_SEED" \
+      "$dbin" --fingerprint > "$tmp/dpd3d.par_seed"
+  compare "fig_dpd3d: shards=4 threads=2 matches serial (perturbed)" \
+          "$tmp/dpd3d.seed1" "$tmp/dpd3d.par_seed"
+  "$dbin" --fingerprint --eager > "$tmp/dpd3d.eager1"
+  "$dbin" --fingerprint --eager > "$tmp/dpd3d.eager2"
+  compare "fig_dpd3d: eager-on fingerprint bit-identical across runs" \
+          "$tmp/dpd3d.eager1" "$tmp/dpd3d.eager2"
+  DCUDA_SHARDS=4 DCUDA_THREADS=2 "$dbin" --fingerprint --eager \
+      > "$tmp/dpd3d.eager_par"
+  compare "fig_dpd3d: shards=4 threads=2 matches serial (eager on)" \
+          "$tmp/dpd3d.eager1" "$tmp/dpd3d.eager_par"
+  # The eager path may change the schedule (elapsed time) but never the
+  # physics: the checksum field must agree between eager off and on.
+  if [ "$(grep -o 'checksum=[^ ]*' "$tmp/dpd3d.run1")" = \
+       "$(grep -o 'checksum=[^ ]*' "$tmp/dpd3d.eager1")" ]; then
+    echo "OK   fig_dpd3d: eager on/off physics checksum identical"
+  else
+    echo "FAIL fig_dpd3d: eager protocol changed the physics checksum" >&2
+    status=1
+  fi
+else
+  echo "warning: $dbin not built, skipping dpd3d pass" >&2
+fi
 
 # -- Cluster pass (docs/CLUSTER.md) ----------------------------------------
 cbin="$BUILD/bench/cluster_traffic"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Golden-file regression gate for the dpd3d skewed-density schedule: the
+# one-line fingerprint of bench/fig_dpd3d --fingerprint (bitwise physics
+# checksum, halo totals, rebalance ticket count and the virtual elapsed
+# time) must be byte-identical to tests/golden/dpd3d_skew.golden under the
+# default (unperturbed) schedule. Regenerate with
+#
+#   env -u DCUDA_PERTURB_SEED -u DCUDA_BENCH_ITERS -u DCUDA_DPD3D_PPC \
+#     build/bench/fig_dpd3d --fingerprint > tests/golden/dpd3d_skew.golden
+#
+# only when the schedule change is intentional (docs/TESTING.md).
+#
+# Usage: scripts/check_dpd3d_golden.sh [build-dir] [golden-file]
+set -euo pipefail
+
+BUILD="${1:-build}"
+GOLDEN="${2:-tests/golden/dpd3d_skew.golden}"
+BIN="$BUILD/bench/fig_dpd3d"
+
+[ -x "$BIN" ] || { echo "error: $BIN not built" >&2; exit 1; }
+[ -f "$GOLDEN" ] || { echo "error: $GOLDEN missing" >&2; exit 1; }
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# The golden run is the canonical schedule: keep perturbation and scale
+# environment out of it.
+env -u DCUDA_PERTURB_SEED -u DCUDA_BENCH_ITERS -u DCUDA_DPD3D_PPC \
+    "$BIN" --fingerprint > "$tmp"
+
+if cmp -s "$tmp" "$GOLDEN"; then
+  echo "OK   dpd3d skew fingerprint matches $GOLDEN"
+else
+  echo "FAIL dpd3d skew fingerprint drifted from $GOLDEN" >&2
+  diff "$GOLDEN" "$tmp" >&2 || true
+  exit 1
+fi

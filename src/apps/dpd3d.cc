@@ -1,0 +1,1125 @@
+#include "apps/dpd3d.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <span>
+
+#include "baseline/mpi_cuda.h"
+#include "net/topology.h"
+#include "sim/random.h"
+
+namespace dcuda::apps::dpd3d {
+
+namespace {
+
+// Packed particle record: x, y, z, vx, vy, vz.
+constexpr int kRec = 6;
+constexpr int kHaloTag = 11, kMigrateTag = 12, kTicketTag = 13;
+// MPI tag spaces: base + sender_cell * kDirs + sender_dir. Cell counts stay
+// far below 1 << 20 / kDirs, so the spaces never collide.
+constexpr int kTagHaloCnt = 1 << 20, kTagHaloPay = 2 << 20;
+constexpr int kTagMigCnt = 3 << 20, kTagMigPay = 4 << 20;
+
+// A view of one cell's (or halo/inbox slot's) packed particle records.
+struct View {
+  double* rec = nullptr;
+  std::int32_t count = 0;
+};
+
+struct Box {
+  double lo[3] = {0, 0, 0};
+  double hi[3] = {0, 0, 0};
+};
+
+Box box_of(const Config& cfg, const Grid& g, int cell) {
+  const std::array<int, 3> c = g.coords(cell);
+  Box b;
+  for (int a = 0; a < 3; ++a) {
+    b.lo[a] = c[static_cast<std::size_t>(a)] * cfg.cell_width;
+    b.hi[a] = b.lo[a] + cfg.cell_width;
+  }
+  return b;
+}
+
+// Per-cell initial counts. kSkewed concentrates the same global total into a
+// Gaussian blob near the low corner (the drift then sweeps it across the
+// grid); largest-remainder rounding plus a deterministic per-cell clamp keep
+// the total exact and every cell within half its storage capacity.
+std::vector<int> initial_counts(const Config& cfg, const Grid& g) {
+  const int cells = g.cells();
+  std::vector<int> n(static_cast<std::size_t>(cells), cfg.particles_per_cell);
+  if (cfg.density == Density::kUniform) return n;
+
+  const std::int64_t total =
+      static_cast<std::int64_t>(cells) * cfg.particles_per_cell;
+  const double c0[3] = {0.3 * g.gx, 0.3 * g.gy, 0.3 * g.gz};
+  std::vector<double> w(static_cast<std::size_t>(cells));
+  double wsum = 0.0;
+  for (int c = 0; c < cells; ++c) {
+    const std::array<int, 3> cc = g.coords(c);
+    double d2 = 0.0;
+    for (int a = 0; a < 3; ++a) {
+      const double d = (cc[static_cast<std::size_t>(a)] + 0.5) - c0[a];
+      d2 += d * d;
+    }
+    // The tiny floor keeps far cells populated (but near-empty) so skewed
+    // runs still exercise every rank's protocol.
+    w[static_cast<std::size_t>(c)] =
+        std::exp(-d2 / (2.0 * cfg.skew_sigma * cfg.skew_sigma)) + 1e-4;
+    wsum += w[static_cast<std::size_t>(c)];
+  }
+  // Largest-remainder rounding: decomposition-invariant and total-exact.
+  std::vector<double> frac(static_cast<std::size_t>(cells));
+  std::int64_t assigned = 0;
+  for (int c = 0; c < cells; ++c) {
+    const double quota = total * w[static_cast<std::size_t>(c)] / wsum;
+    n[static_cast<std::size_t>(c)] = static_cast<int>(quota);
+    frac[static_cast<std::size_t>(c)] = quota - n[static_cast<std::size_t>(c)];
+    assigned += n[static_cast<std::size_t>(c)];
+  }
+  std::vector<int> order(static_cast<std::size_t>(cells));
+  for (int c = 0; c < cells; ++c) order[static_cast<std::size_t>(c)] = c;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double fa = frac[static_cast<std::size_t>(a)];
+    const double fb = frac[static_cast<std::size_t>(b)];
+    return fa != fb ? fa > fb : a < b;
+  });
+  for (std::int64_t i = 0; i < total - assigned; ++i) {
+    ++n[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+  }
+  // Clamp the blob peak to half the storage capacity (migration headroom),
+  // pushing overflow to the least-loaded cells (lowest index on ties).
+  const int limit = cfg.capacity() / 2;
+  assert(static_cast<std::int64_t>(limit) * cells >= total &&
+         "capacity_factor too small for the particle total");
+  std::int64_t excess = 0;
+  for (int c = 0; c < cells; ++c) {
+    if (n[static_cast<std::size_t>(c)] > limit) {
+      excess += n[static_cast<std::size_t>(c)] - limit;
+      n[static_cast<std::size_t>(c)] = limit;
+    }
+  }
+  while (excess > 0) {
+    int argmin = -1;
+    for (int c = 0; c < cells; ++c) {
+      if (n[static_cast<std::size_t>(c)] >= limit) continue;
+      if (argmin < 0 ||
+          n[static_cast<std::size_t>(c)] < n[static_cast<std::size_t>(argmin)]) {
+        argmin = c;
+      }
+    }
+    assert(argmin >= 0);
+    ++n[static_cast<std::size_t>(argmin)];
+    --excess;
+  }
+  return n;
+}
+
+// Packs the particles of `cell` that must be shipped toward `dir` into
+// `out`, in storage order; returns the record count.
+int pack_halo(const Config& cfg, const Grid& g, int cell, const double* rec,
+              std::int32_t count, int dir, double* out) {
+  int n = 0;
+  for (int i = 0; i < count; ++i) {
+    const double* p = &rec[static_cast<std::size_t>(i) * kRec];
+    if (!ship_to_dir(cfg, g, cell, dir, p[0], p[1], p[2])) continue;
+    std::memcpy(&out[static_cast<std::size_t>(n) * kRec], p, kRec * sizeof(double));
+    ++n;
+  }
+  return n;
+}
+
+// Geometry side of the halo oracle: every record in slot (cell, dir) must
+// lie inside the sender's box and satisfy the sender-side ship predicate.
+std::int64_t check_halo_slot(const Config& cfg, const Grid& g, int cell, int dir,
+                             const View& v) {
+  const int sender = g.dir2cell(cell, dir);
+  if (sender < 0) return v.count;  // data from outside the domain
+  const Box sb = box_of(cfg, g, sender);
+  constexpr double kEps = 1e-9;
+  std::int64_t bad = 0;
+  for (int i = 0; i < v.count; ++i) {
+    const double* p = &v.rec[static_cast<std::size_t>(i) * kRec];
+    bool in_box = true;
+    for (int a = 0; a < 3; ++a) {
+      in_box = in_box && p[a] >= sb.lo[a] - kEps && p[a] <= sb.hi[a] + kEps;
+    }
+    if (!in_box || !ship_to_dir(cfg, g, sender, opposite(dir), p[0], p[1], p[2])) {
+      ++bad;
+    }
+  }
+  return bad;
+}
+
+// DPD force computation + Euler update with reflecting walls. `nb[kSelf]`
+// must alias (rec, count); the accumulation order — directions ascending,
+// records in slot order — is identical in every variant, so results are
+// bitwise comparable.
+std::int64_t force_and_update(const Config& cfg, const std::array<View, kDirs>& nb,
+                              double* rec, std::int32_t count, const double L[3]) {
+  const double rc = cfg.cutoff, rc2 = rc * rc;
+  std::int64_t scans = 0;
+  std::vector<double> acc(static_cast<std::size_t>(count) * 3, 0.0);
+  for (int i = 0; i < count; ++i) {
+    const double* pi = &rec[static_cast<std::size_t>(i) * kRec];
+    double f[3] = {0.0, 0.0, 0.0};
+    for (int d = 0; d < kDirs; ++d) {
+      const View& o = nb[static_cast<std::size_t>(d)];
+      for (int j = 0; j < o.count; ++j) {
+        if (o.rec == rec && j == i) continue;
+        const double* pj = &o.rec[static_cast<std::size_t>(j) * kRec];
+        const double dx = pi[0] - pj[0];
+        const double dy = pi[1] - pj[1];
+        const double dz = pi[2] - pj[2];
+        const double r2 = dx * dx + dy * dy + dz * dz;
+        if (r2 >= rc2 || r2 == 0.0) continue;
+        const double r = std::sqrt(r2);
+        const double wgt = 1.0 - r / rc;
+        // Conservative soft repulsion + deterministic dissipative drag
+        // (stochastic DPD term omitted for bitwise reproducibility). The
+        // combined coefficient is antisymmetric under i <-> j, so pairwise
+        // momentum is conserved in the interior.
+        const double dvx = pi[3] - pj[3];
+        const double dvy = pi[4] - pj[4];
+        const double dvz = pi[5] - pj[5];
+        const double c = cfg.force_a * wgt / r -
+                         cfg.force_gamma * wgt * wgt *
+                             ((dx * dvx + dy * dvy + dz * dvz) / r2);
+        f[0] += c * dx;
+        f[1] += c * dy;
+        f[2] += c * dz;
+      }
+      scans += o.count;
+    }
+    acc[static_cast<std::size_t>(i) * 3 + 0] = f[0];
+    acc[static_cast<std::size_t>(i) * 3 + 1] = f[1];
+    acc[static_cast<std::size_t>(i) * 3 + 2] = f[2];
+  }
+  for (int i = 0; i < count; ++i) {
+    double* p = &rec[static_cast<std::size_t>(i) * kRec];
+    for (int a = 0; a < 3; ++a) {
+      p[3 + a] += acc[static_cast<std::size_t>(i) * 3 + static_cast<std::size_t>(a)] *
+                  cfg.dt;
+      p[a] += p[3 + a] * cfg.dt;
+      if (p[a] < 0.0) {
+        p[a] = -p[a];
+        p[3 + a] = -p[3 + a];
+      }
+      if (p[a] > L[a]) {
+        p[a] = 2.0 * L[a] - p[a];
+        p[3 + a] = -p[3 + a];
+      }
+    }
+  }
+  return scans;
+}
+
+// Sort-out: stable-compacts stayers, packs movers into the per-direction
+// outboxes (diagonal movers go directly to the diagonal neighbor). The
+// break_compaction mutation drops the last record of every non-empty outbox
+// — the compaction bug the conservation oracle must catch.
+struct Moves {
+  std::array<std::int32_t, kDirs> n{};
+  std::int32_t total = 0;
+};
+
+Moves sort_out(const Config& cfg, const Grid& g, int cell, double* rec,
+               std::int32_t* count, const std::array<double*, kDirs>& out) {
+  const Box b = box_of(cfg, g, cell);
+  const std::array<int, 3> c = g.coords(cell);
+  const int dims[3] = {g.gx, g.gy, g.gz};
+  Moves m;
+  int keep = 0;
+  for (int i = 0; i < *count; ++i) {
+    const double* p = &rec[static_cast<std::size_t>(i) * kRec];
+    int off[3];
+    for (int a = 0; a < 3; ++a) {
+      assert(p[a] >= b.lo[a] - cfg.cell_width && p[a] < b.hi[a] + cfg.cell_width &&
+             "particle hopped two cells");
+      off[a] = p[a] < b.lo[a] ? -1 : (p[a] >= b.hi[a] ? 1 : 0);
+      // A particle resting exactly on a domain wall stays in the edge cell.
+      if (c[static_cast<std::size_t>(a)] + off[a] < 0 ||
+          c[static_cast<std::size_t>(a)] + off[a] >= dims[a]) {
+        off[a] = 0;
+      }
+    }
+    const int d = (off[0] + 1) + 3 * (off[1] + 1) + 9 * (off[2] + 1);
+    if (d == kSelf) {
+      std::memmove(&rec[static_cast<std::size_t>(keep) * kRec], p,
+                   kRec * sizeof(double));
+      ++keep;
+    } else {
+      assert(g.dir2cell(cell, d) >= 0 && "mover fell off the global domain");
+      const int idx = m.n[static_cast<std::size_t>(d)]++;
+      std::memcpy(&out[static_cast<std::size_t>(d)][static_cast<std::size_t>(idx) * kRec],
+                  p, kRec * sizeof(double));
+      ++m.total;
+    }
+  }
+  *count = keep;
+  if (cfg.break_compaction) {
+    for (int d = 0; d < kDirs; ++d) {
+      if (m.n[static_cast<std::size_t>(d)] > 0) {
+        --m.n[static_cast<std::size_t>(d)];
+        --m.total;
+      }
+    }
+  }
+  return m;
+}
+
+void append(double* rec, std::int32_t* count, const double* from, int n, int cap) {
+  assert(*count + n <= cap && "cell overflow: increase capacity_factor");
+  (void)cap;
+  std::memcpy(&rec[static_cast<std::size_t>(*count) * kRec], from,
+              static_cast<std::size_t>(n) * kRec * sizeof(double));
+  *count += static_cast<std::int32_t>(n);
+}
+
+// Simulated per-iteration cost of one rank's cell (cf. particles.cc; the
+// 3-D scan reads a full 6-double record per pair).
+sim::Proc<void> charge_iteration(gpu::BlockCtx& blk, std::int64_t pair_scans,
+                                 int particles, std::int64_t shipped, int moved) {
+  const double scans = static_cast<double>(pair_scans);
+  co_await blk.compute_flops(scans * 18.0 + particles * 12.0);
+  co_await blk.mem_traffic(scans * kRec * sizeof(double) +
+                           particles * 12.0 * sizeof(double) +
+                           static_cast<double>(shipped + moved) * kRec *
+                               sizeof(double));
+}
+
+// Per-device storage: cell records, windowed halo/inbox slots + counters,
+// local halo-send and migration outbox buffers, and rebalance work tickets.
+// All slot arrays are (rank-local cell, direction)-indexed with `cap`
+// records per slot.
+struct DeviceState {
+  std::span<double> cell, halo, inbox, hsend, outbox;
+  std::span<std::int32_t> count, hcount, ibcount, hscount, obcount;
+  std::span<std::int64_t> ticket, tksend;
+  int cap = 0;
+
+  double* cell_recs(int r) {
+    return &cell[static_cast<std::size_t>(r) * static_cast<std::size_t>(cap) * kRec];
+  }
+  double* recs(std::span<double> a, int r, int d) {
+    return &a[(static_cast<std::size_t>(r) * kDirs + static_cast<std::size_t>(d)) *
+              static_cast<std::size_t>(cap) * kRec];
+  }
+  std::int32_t& ctr(std::span<std::int32_t> a, int r, int d) {
+    return a[static_cast<std::size_t>(r) * kDirs + static_cast<std::size_t>(d)];
+  }
+  std::int64_t& tk(std::span<std::int64_t> a, int r, int d) {
+    return a[static_cast<std::size_t>(r) * kDirs + static_cast<std::size_t>(d)];
+  }
+};
+
+DeviceState make_device(gpu::Device& dev, const Config& cfg, const Grid& g,
+                        int rpd, int node_id) {
+  DeviceState p;
+  p.cap = cfg.capacity();
+  const std::size_t slots = static_cast<std::size_t>(rpd) * kDirs;
+  const std::size_t slot_doubles = slots * static_cast<std::size_t>(p.cap) * kRec;
+  p.cell = dev.alloc<double>(static_cast<std::size_t>(rpd) *
+                             static_cast<std::size_t>(p.cap) * kRec);
+  p.count = dev.alloc<std::int32_t>(static_cast<std::size_t>(rpd));
+  p.halo = dev.alloc<double>(slot_doubles);
+  p.hcount = dev.alloc<std::int32_t>(slots);
+  p.inbox = dev.alloc<double>(slot_doubles);
+  p.ibcount = dev.alloc<std::int32_t>(slots);
+  p.hsend = dev.alloc<double>(slot_doubles);
+  p.hscount = dev.alloc<std::int32_t>(slots);
+  p.outbox = dev.alloc<double>(slot_doubles);
+  p.obcount = dev.alloc<std::int32_t>(slots);
+  p.ticket = dev.alloc<std::int64_t>(slots);
+  p.tksend = dev.alloc<std::int64_t>(slots);
+  std::fill(p.count.begin(), p.count.end(), 0);
+  std::fill(p.hcount.begin(), p.hcount.end(), 0);
+  std::fill(p.ibcount.begin(), p.ibcount.end(), 0);
+  std::fill(p.hscount.begin(), p.hscount.end(), 0);
+  std::fill(p.obcount.begin(), p.obcount.end(), 0);
+  std::fill(p.ticket.begin(), p.ticket.end(), 0);
+  std::fill(p.tksend.begin(), p.tksend.end(), 0);
+  for (int r = 0; r < rpd; ++r) {
+    const int gc = node_id * rpd + r;
+    const std::vector<std::array<double, kRec>> init =
+        initial_particles(cfg, g, gc);
+    assert(static_cast<int>(init.size()) <= p.cap);
+    for (std::size_t i = 0; i < init.size(); ++i) {
+      std::memcpy(&p.cell_recs(r)[i * kRec], init[i].data(), kRec * sizeof(double));
+    }
+    p.count[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(init.size());
+  }
+  return p;
+}
+
+Result collect(int rpd, std::vector<DeviceState>& devs) {
+  Result res;
+  for (auto& p : devs) {
+    for (int r = 0; r < rpd; ++r) {
+      const std::int32_t cnt = p.count[static_cast<std::size_t>(r)];
+      res.total_particles += cnt;
+      res.max_cell_count = std::max(res.max_cell_count, cnt);
+      const double* rec = p.cell_recs(r);
+      for (int i = 0; i < cnt; ++i) {
+        const double* q = &rec[static_cast<std::size_t>(i) * kRec];
+        res.checksum += std::abs(q[0]) + std::abs(q[1]) + std::abs(q[2]);
+        res.momentum_x += q[3];
+        res.momentum_y += q[4];
+        res.momentum_z += q[5];
+      }
+    }
+  }
+  return res;
+}
+
+// Per-iteration pair-scan imbalance (max over cells / mean over cells).
+void push_imbalance(std::vector<double>& out, const std::int64_t* scans, int cells) {
+  std::int64_t sum = 0, mx = 0;
+  for (int c = 0; c < cells; ++c) {
+    sum += scans[c];
+    mx = std::max(mx, scans[c]);
+  }
+  out.push_back(sum > 0 ? static_cast<double>(mx) * cells / static_cast<double>(sum)
+                        : 1.0);
+}
+
+}  // namespace
+
+int Grid::dir2cell(int cell, int dir) const {
+  const std::array<int, 3> c = coords(cell);
+  const std::array<int, 3> o = dir_offset(dir);
+  const int cx = c[0] + o[0], cy = c[1] + o[1], cz = c[2] + o[2];
+  if (cx < 0 || cx >= gx || cy < 0 || cy >= gy || cz < 0 || cz >= gz) return -1;
+  return cell_at(cx, cy, cz);
+}
+
+std::array<int, kDirs> Grid::dir2rank(int cell) const {
+  std::array<int, kDirs> out;
+  for (int d = 0; d < kDirs; ++d) {
+    out[static_cast<std::size_t>(d)] = d == kSelf ? cell : dir2cell(cell, d);
+  }
+  return out;
+}
+
+std::vector<int> Grid::active_dirs(int cell) const {
+  std::vector<int> out;
+  for (int d = 0; d < kDirs; ++d) {
+    if (d != kSelf && dir2cell(cell, d) >= 0) out.push_back(d);
+  }
+  return out;
+}
+
+Grid make_grid(const Config& cfg, int num_nodes) {
+  const int n = num_nodes * cfg.cells_per_node;
+  Grid g;
+  if (cfg.grid_x > 0 || cfg.grid_y > 0 || cfg.grid_z > 0) {
+    assert(cfg.grid_x > 0 && cfg.grid_y > 0 && cfg.grid_z > 0);
+    g.gx = cfg.grid_x;
+    g.gy = cfg.grid_y;
+    g.gz = cfg.grid_z;
+  } else {
+    const std::array<int, 3> d = net::exact_grid_dims(n);
+    g.gx = d[0];
+    g.gy = d[1];
+    g.gz = d[2];
+  }
+  assert(g.cells() == n && "rank grid must be a bijection onto the ranks");
+  return g;
+}
+
+int initial_count(const Config& cfg, const Grid& grid, int cell) {
+  return initial_counts(cfg, grid)[static_cast<std::size_t>(cell)];
+}
+
+bool ship_to_dir(const Config& cfg, const Grid& grid, int cell, int dir, double x,
+                 double y, double z) {
+  if (dir == kSelf || grid.dir2cell(cell, dir) < 0) return false;
+  const Box b = box_of(cfg, grid, cell);
+  const std::array<int, 3> o = dir_offset(dir);
+  const double pos[3] = {x, y, z};
+  for (int a = 0; a < 3; ++a) {
+    // A particle exactly `cutoff` from the face cannot interact across it
+    // (the force loop excludes r >= cutoff), so the band test is strict.
+    if (o[static_cast<std::size_t>(a)] < 0 && !(pos[a] - b.lo[a] < cfg.cutoff)) {
+      return false;
+    }
+    if (o[static_cast<std::size_t>(a)] > 0 && !(b.hi[a] - pos[a] < cfg.cutoff)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::array<double, 6>> initial_particles(const Config& cfg,
+                                                     const Grid& grid, int cell) {
+  const std::vector<int> counts = initial_counts(cfg, grid);
+  const Box b = box_of(cfg, grid, cell);
+  sim::Rng rng(cfg.seed ^ (0x9e37ull * static_cast<std::uint64_t>(cell + 1)));
+  const double vscale = cfg.cell_width / 10.0;
+  // Coherent drift direction for the skewed blob: mostly +x, so the dense
+  // region marches across the longest grid axis.
+  const double drift[3] = {1.0, 0.5, 0.25};
+  std::vector<std::array<double, 6>> out(
+      static_cast<std::size_t>(counts[static_cast<std::size_t>(cell)]));
+  for (auto& p : out) {
+    for (int a = 0; a < 3; ++a) {
+      p[static_cast<std::size_t>(a)] = b.lo[a] + rng.next_double() * cfg.cell_width;
+    }
+    for (int a = 0; a < 3; ++a) {
+      p[static_cast<std::size_t>(3 + a)] = rng.uniform(-0.5, 0.5) * vscale;
+      if (cfg.density == Density::kSkewed) {
+        p[static_cast<std::size_t>(3 + a)] +=
+            cfg.skew_drift * cfg.cell_width * drift[a];
+      }
+    }
+  }
+  return out;
+}
+
+Result reference(const Config& cfg, int num_nodes) {
+  const Grid g = make_grid(cfg, num_nodes);
+  const int cells = g.cells();
+  const int cap = cfg.capacity();
+  const double L[3] = {g.gx * cfg.cell_width, g.gy * cfg.cell_width,
+                       g.gz * cfg.cell_width};
+
+  const std::size_t slots = static_cast<std::size_t>(cells) * kDirs;
+  const std::size_t slot_doubles = slots * static_cast<std::size_t>(cap) * kRec;
+  std::vector<double> cell(static_cast<std::size_t>(cells) *
+                           static_cast<std::size_t>(cap) * kRec);
+  std::vector<std::int32_t> count(static_cast<std::size_t>(cells), 0);
+  std::vector<double> halo(slot_doubles), outbox(slot_doubles);
+  std::vector<std::int32_t> hcount(slots, 0), obcount(slots, 0);
+  auto cell_recs = [&](int c) {
+    return &cell[static_cast<std::size_t>(c) * static_cast<std::size_t>(cap) * kRec];
+  };
+  auto slot_recs = [&](std::vector<double>& a, int c, int d) {
+    return &a[(static_cast<std::size_t>(c) * kDirs + static_cast<std::size_t>(d)) *
+              static_cast<std::size_t>(cap) * kRec];
+  };
+  auto slot_ctr = [&](std::vector<std::int32_t>& a, int c, int d) -> std::int32_t& {
+    return a[static_cast<std::size_t>(c) * kDirs + static_cast<std::size_t>(d)];
+  };
+
+  for (int c = 0; c < cells; ++c) {
+    const std::vector<std::array<double, kRec>> init = initial_particles(cfg, g, c);
+    for (std::size_t i = 0; i < init.size(); ++i) {
+      std::memcpy(&cell_recs(c)[i * kRec], init[i].data(), kRec * sizeof(double));
+    }
+    count[static_cast<std::size_t>(c)] = static_cast<std::int32_t>(init.size());
+  }
+
+  Result res;
+  std::vector<std::int64_t> scans(static_cast<std::size_t>(cells), 0);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    // 1) halo exchange: pack the sender's band toward each neighbor.
+    if (cfg.exchange) {
+      for (int c = 0; c < cells; ++c) {
+        for (int d = 0; d < kDirs; ++d) {
+          if (d == kSelf) continue;
+          const int nb = g.dir2cell(c, d);
+          if (nb < 0) {
+            slot_ctr(hcount, c, d) = 0;
+            continue;
+          }
+          const int n = pack_halo(cfg, g, nb, cell_recs(nb),
+                                  count[static_cast<std::size_t>(nb)], opposite(d),
+                                  slot_recs(halo, c, d));
+          slot_ctr(hcount, c, d) = static_cast<std::int32_t>(n);
+          res.halo_received_total += n;
+          res.halo_violations += check_halo_slot(
+              cfg, g, c, d, View{slot_recs(halo, c, d), static_cast<std::int32_t>(n)});
+        }
+      }
+    }
+    // 2) force + update.
+    if (cfg.compute) {
+      for (int c = 0; c < cells; ++c) {
+        std::array<View, kDirs> nb;
+        for (int d = 0; d < kDirs; ++d) {
+          nb[static_cast<std::size_t>(d)] =
+              d == kSelf
+                  ? View{cell_recs(c), count[static_cast<std::size_t>(c)]}
+                  : View{slot_recs(halo, c, d),
+                         cfg.exchange ? slot_ctr(hcount, c, d) : 0};
+        }
+        scans[static_cast<std::size_t>(c)] = force_and_update(
+            cfg, nb, cell_recs(c), count[static_cast<std::size_t>(c)], L);
+      }
+    } else {
+      std::fill(scans.begin(), scans.end(), 0);
+    }
+    if (cfg.record_load) push_imbalance(res.iter_imbalance, scans.data(), cells);
+    // 3) sort out movers.
+    if (cfg.compute) {
+      for (int c = 0; c < cells; ++c) {
+        std::array<double*, kDirs> out;
+        for (int d = 0; d < kDirs; ++d) out[static_cast<std::size_t>(d)] =
+            slot_recs(outbox, c, d);
+        const Moves m = sort_out(cfg, g, c, cell_recs(c),
+                                 &count[static_cast<std::size_t>(c)], out);
+        for (int d = 0; d < kDirs; ++d) {
+          slot_ctr(obcount, c, d) = m.n[static_cast<std::size_t>(d)];
+        }
+      }
+    }
+    // 4+5) deliver and integrate, directions ascending — the same order the
+    // parallel variants drain their inbox slots in.
+    if (cfg.exchange && cfg.compute) {
+      for (int c = 0; c < cells; ++c) {
+        for (int d = 0; d < kDirs; ++d) {
+          if (d == kSelf) continue;
+          const int nb = g.dir2cell(c, d);
+          if (nb < 0) continue;
+          const std::int32_t n = slot_ctr(obcount, nb, opposite(d));
+          if (n > 0) {
+            append(cell_recs(c), &count[static_cast<std::size_t>(c)],
+                   slot_recs(outbox, nb, opposite(d)), n, cap);
+          }
+        }
+      }
+    }
+  }
+
+  for (int c = 0; c < cells; ++c) {
+    const std::int32_t cnt = count[static_cast<std::size_t>(c)];
+    res.total_particles += cnt;
+    res.max_cell_count = std::max(res.max_cell_count, cnt);
+    for (int i = 0; i < cnt; ++i) {
+      const double* q = &cell_recs(c)[static_cast<std::size_t>(i) * kRec];
+      res.checksum += std::abs(q[0]) + std::abs(q[1]) + std::abs(q[2]);
+      res.momentum_x += q[3];
+      res.momentum_y += q[4];
+      res.momentum_z += q[5];
+    }
+  }
+  return res;
+}
+
+Result run_dcuda(Cluster& cluster, const Config& cfg) {
+  const int nodes = cluster.num_nodes();
+  const int rpd = cluster.ranks_per_device();
+  assert(cfg.cells_per_node == rpd && "one cell per rank");
+  const Grid grid = make_grid(cfg, nodes);
+  const int cells = grid.cells();
+  const int cap = cfg.capacity();
+  const double L[3] = {grid.gx * cfg.cell_width, grid.gy * cfg.cell_width,
+                       grid.gz * cfg.cell_width};
+
+  std::vector<DeviceState> devs;
+  devs.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    devs.push_back(make_device(cluster.device(n), cfg, grid, rpd, n));
+  }
+
+  // Per-cell accumulators: each rank writes only its own slot, so the
+  // parallel executor lanes stay race-free.
+  std::vector<std::int64_t> halo_recv(static_cast<std::size_t>(cells), 0);
+  std::vector<std::int64_t> halo_bad(static_cast<std::size_t>(cells), 0);
+  std::vector<std::int64_t> tickets(static_cast<std::size_t>(cells), 0);
+  std::vector<std::int64_t> scans_log(
+      cfg.record_load ? static_cast<std::size_t>(cfg.iterations) *
+                            static_cast<std::size_t>(cells)
+                      : 0,
+      0);
+
+  Result res;
+  res.elapsed = cluster.run([&](Context& ctx) -> sim::Proc<void> {
+    const int gc = comm_rank(ctx, kCommWorld);
+    const int node_id = ctx.node->node();
+    const int r = ctx.device_rank;
+    DeviceState& p = devs[static_cast<std::size_t>(node_id)];
+
+    Window wh = co_await win_create(ctx, kCommWorld, p.halo);
+    Window whc = co_await win_create(ctx, kCommWorld, p.hcount);
+    Window wib = co_await win_create(ctx, kCommWorld, p.inbox);
+    Window wibc = co_await win_create(ctx, kCommWorld, p.ibcount);
+    Window wtk = co_await win_create(ctx, kCommWorld, p.ticket);
+
+    const std::array<int, kDirs> d2r = grid.dir2rank(gc);
+    const std::vector<int> active = grid.active_dirs(gc);
+    const int n_active = static_cast<int>(active.size());
+
+    // Slot offsets in the *target* device's (rank-local, direction) layout.
+    auto pay_off = [&](int target, int d) -> std::size_t {
+      return (static_cast<std::size_t>(target % rpd) * kDirs +
+              static_cast<std::size_t>(d)) *
+             static_cast<std::size_t>(cap) * kRec;
+    };
+    auto cnt_off = [&](int target, int d) -> std::size_t {
+      return static_cast<std::size_t>(target % rpd) * kDirs +
+             static_cast<std::size_t>(d);
+    };
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+      const std::int32_t my_count = p.count[static_cast<std::size_t>(r)];
+      std::int64_t shipped = 0;
+
+      // 1) 27-direction halo exchange: one payload put + one notified count
+      // put per active direction — the many-small-messages pattern the
+      // eager-aggregation path batches.
+      if (cfg.exchange) {
+        for (int d : active) {
+          double* buf = p.recs(p.hsend, r, d);
+          const int n = pack_halo(cfg, grid, gc, p.cell_recs(r), my_count, d, buf);
+          p.ctr(p.hscount, r, d) = static_cast<std::int32_t>(n);
+          shipped += n;
+          const int t = d2r[static_cast<std::size_t>(d)];
+          const int od = opposite(d);
+          if (n > 0) {
+            co_await put(ctx, wh, t, pay_off(t, od),
+                         std::span<const double>(buf, static_cast<std::size_t>(n) * kRec));
+          }
+          co_await put_notify(ctx, whc, t, cnt_off(t, od),
+                              std::span<const std::int32_t>(&p.ctr(p.hscount, r, d), 1),
+                              kHaloTag);
+        }
+        co_await flush(ctx);
+        co_await wait_notifications(ctx, whc, kAnySource, kHaloTag, n_active);
+        for (int d = 0; d < kDirs; ++d) {
+          if (d == kSelf) continue;
+          const View v{p.recs(p.halo, r, d), p.ctr(p.hcount, r, d)};
+          halo_recv[static_cast<std::size_t>(gc)] += v.count;
+          halo_bad[static_cast<std::size_t>(gc)] += check_halo_slot(cfg, grid, gc, d, v);
+        }
+      }
+
+      // 2) force + update.
+      std::int64_t scans = 0;
+      if (cfg.compute) {
+        std::array<View, kDirs> nb;
+        for (int d = 0; d < kDirs; ++d) {
+          nb[static_cast<std::size_t>(d)] =
+              d == kSelf ? View{p.cell_recs(r), p.count[static_cast<std::size_t>(r)]}
+                         : View{p.recs(p.halo, r, d),
+                                cfg.exchange ? p.ctr(p.hcount, r, d) : 0};
+        }
+        scans = force_and_update(cfg, nb, p.cell_recs(r),
+                                 p.count[static_cast<std::size_t>(r)], L);
+      }
+      // Rebalance: ship work tickets so underloaded neighbours adopt part of
+      // this rank's pair-scan cost. The halo counts double as the load map,
+      // so the decision needs no extra communication; every rank sends one
+      // (possibly zero) ticket per active direction, keeping wait counts
+      // static. Physics stays bitwise identical — only the charge moves.
+      std::int64_t charge_scans = scans;
+      if (cfg.rebalance && cfg.exchange && cfg.compute) {
+        double load_sum = my_count;
+        for (int d : active) load_sum += p.ctr(p.hcount, r, d);
+        const double avg = load_sum / (n_active + 1);
+        std::array<std::int64_t, kDirs> give{};
+        std::int64_t offloaded = 0;
+        if (my_count > cfg.rebalance_trigger * avg && my_count > 0 && scans > 0) {
+          const std::int64_t target_scans =
+              static_cast<std::int64_t>(scans * ((my_count - avg) / my_count));
+          std::vector<int> under;
+          for (int d : active) {
+            if (p.ctr(p.hcount, r, d) < avg) under.push_back(d);
+          }
+          if (!under.empty()) {
+            const std::int64_t share =
+                target_scans / static_cast<std::int64_t>(under.size());
+            std::int64_t rem = target_scans % static_cast<std::int64_t>(under.size());
+            for (int d : under) {
+              give[static_cast<std::size_t>(d)] = share + (rem > 0 ? 1 : 0);
+              if (rem > 0) --rem;
+              offloaded += give[static_cast<std::size_t>(d)];
+            }
+          }
+        }
+        for (int d : active) {
+          p.tk(p.tksend, r, d) = give[static_cast<std::size_t>(d)];
+          if (give[static_cast<std::size_t>(d)] > 0) {
+            ++tickets[static_cast<std::size_t>(gc)];
+          }
+          co_await put_notify(
+              ctx, wtk, d2r[static_cast<std::size_t>(d)],
+              cnt_off(d2r[static_cast<std::size_t>(d)], opposite(d)),
+              std::span<const std::int64_t>(&p.tk(p.tksend, r, d), 1), kTicketTag);
+        }
+        co_await flush(ctx);
+        co_await wait_notifications(ctx, wtk, kAnySource, kTicketTag, n_active);
+        std::int64_t adopted = 0;
+        for (int d : active) adopted += p.tk(p.ticket, r, d);
+        charge_scans = scans - offloaded + adopted;
+      }
+      if (cfg.record_load) {
+        // The load curve tracks the *charged* scans, so with rebalance on it
+        // shows the flattening that work adoption buys.
+        scans_log[static_cast<std::size_t>(it) * static_cast<std::size_t>(cells) +
+                  static_cast<std::size_t>(gc)] = charge_scans;
+      }
+
+      // 3) sort out movers into the per-direction outboxes.
+      Moves moves{};
+      if (cfg.compute) {
+        std::array<double*, kDirs> out;
+        for (int d = 0; d < kDirs; ++d) {
+          out[static_cast<std::size_t>(d)] = p.recs(p.outbox, r, d);
+        }
+        moves = sort_out(cfg, grid, gc, p.cell_recs(r),
+                         &p.count[static_cast<std::size_t>(r)], out);
+      }
+
+      // 4) migrate movers into the neighbors' inboxes.
+      if (cfg.exchange) {
+        for (int d : active) {
+          const std::int32_t n = cfg.compute ? moves.n[static_cast<std::size_t>(d)] : 0;
+          p.ctr(p.obcount, r, d) = n;
+          const int t = d2r[static_cast<std::size_t>(d)];
+          const int od = opposite(d);
+          if (n > 0) {
+            co_await put(ctx, wib, t, pay_off(t, od),
+                         std::span<const double>(p.recs(p.outbox, r, d),
+                                                 static_cast<std::size_t>(n) * kRec));
+          }
+          co_await put_notify(ctx, wibc, t, cnt_off(t, od),
+                              std::span<const std::int32_t>(&p.ctr(p.obcount, r, d), 1),
+                              kMigrateTag);
+        }
+        co_await flush(ctx);
+        co_await wait_notifications(ctx, wibc, kAnySource, kMigrateTag, n_active);
+      }
+
+      // 5) integrate arrivals, directions ascending.
+      std::int32_t arrivals = 0;
+      if (cfg.exchange) {
+        for (int d = 0; d < kDirs; ++d) {
+          if (d == kSelf) continue;
+          const std::int32_t n = p.ctr(p.ibcount, r, d);
+          if (n > 0) {
+            append(p.cell_recs(r), &p.count[static_cast<std::size_t>(r)],
+                   p.recs(p.inbox, r, d), n, cap);
+          }
+          arrivals += n;
+          p.ctr(p.ibcount, r, d) = 0;
+        }
+      }
+      if (cfg.compute) {
+        co_await charge_iteration(*ctx.block, charge_scans, my_count, shipped,
+                                  moves.total + arrivals);
+      }
+    }
+
+    co_await barrier(ctx, kCommWorld);
+    for (Window* w : {&wh, &whc, &wib, &wibc, &wtk}) {
+      co_await win_free(ctx, *w);
+    }
+  });
+
+  Result out = collect(rpd, devs);
+  out.elapsed = res.elapsed;
+  for (int c = 0; c < cells; ++c) {
+    out.halo_received_total += halo_recv[static_cast<std::size_t>(c)];
+    out.halo_violations += halo_bad[static_cast<std::size_t>(c)];
+    out.work_tickets += tickets[static_cast<std::size_t>(c)];
+  }
+  if (cfg.record_load) {
+    for (int it = 0; it < cfg.iterations; ++it) {
+      push_imbalance(out.iter_imbalance,
+                     &scans_log[static_cast<std::size_t>(it) *
+                                static_cast<std::size_t>(cells)],
+                     cells);
+    }
+  }
+  return out;
+}
+
+Result run_mpi_cuda(Cluster& cluster, const Config& cfg) {
+  const int nodes = cluster.num_nodes();
+  const int rpd = cluster.ranks_per_device();
+  assert(cfg.cells_per_node == rpd && "one cell per rank");
+  const Grid grid = make_grid(cfg, nodes);
+  const int cells = grid.cells();
+  const int cap = cfg.capacity();
+  const double L[3] = {grid.gx * cfg.cell_width, grid.gy * cfg.cell_width,
+                       grid.gz * cfg.cell_width};
+
+  std::vector<DeviceState> devs;
+  std::vector<std::unique_ptr<baseline::HostProgram>> progs;
+  devs.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    devs.push_back(make_device(cluster.device(n), cfg, grid, rpd, n));
+    progs.push_back(
+        std::make_unique<baseline::HostProgram>(cluster.device(n), cluster.mpi(n)));
+  }
+
+  std::vector<std::int64_t> halo_recv(static_cast<std::size_t>(cells), 0);
+  std::vector<std::int64_t> halo_bad(static_cast<std::size_t>(cells), 0);
+  std::vector<std::int64_t> scans_log(
+      cfg.record_load ? static_cast<std::size_t>(cfg.iterations) *
+                            static_cast<std::size_t>(cells)
+                      : 0,
+      0);
+
+  Result res;
+  res.elapsed = cluster.run_hosts([&](int n) -> sim::Proc<void> {
+    baseline::HostProgram& hp = *progs[static_cast<std::size_t>(n)];
+    DeviceState& p = devs[static_cast<std::size_t>(n)];
+    auto& dev = cluster.device(n);
+    const gpu::LaunchConfig lc{rpd, 128, 26};
+    const std::size_t slots = static_cast<std::size_t>(rpd) * kDirs;
+
+    // Host-side mirrors of the bookkeeping counters (the per-iteration D2H
+    // fetches the paper calls out as MPI-CUDA overhead).
+    std::vector<std::int32_t> host_counts(static_cast<std::size_t>(rpd), 0);
+    std::vector<std::int32_t> host_hsc(slots, 0), host_hin(slots, 0);
+    std::vector<std::int32_t> host_obc(slots, 0), host_min(slots, 0);
+    std::vector<std::int64_t> scans(static_cast<std::size_t>(rpd), 0);
+    std::vector<std::int64_t> shipped(static_cast<std::size_t>(rpd), 0);
+    std::vector<std::int32_t> particles(static_cast<std::size_t>(rpd), 0);
+
+    auto slot_off = [&](int r, int d) -> std::size_t {
+      return (static_cast<std::size_t>(r) * kDirs + static_cast<std::size_t>(d)) *
+             static_cast<std::size_t>(cap) * kRec;
+    };
+    auto sidx = [&](int r, int d) -> std::size_t {
+      return static_cast<std::size_t>(r) * kDirs + static_cast<std::size_t>(d);
+    };
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+      co_await hp.copy(
+          gpu::mem_ref(std::span<std::int32_t>(host_counts)), dev.ref(p.count));
+
+      if (cfg.exchange) {
+        // 1a) pack kernel: every active direction's band into its send buffer.
+        co_await hp.launch(lc, [&](gpu::BlockCtx& blk) -> sim::Proc<void> {
+          const int r = blk.block_id();
+          const int gc = n * rpd + r;
+          std::int64_t sh = 0;
+          for (int d : grid.active_dirs(gc)) {
+            const int cnt = pack_halo(cfg, grid, gc, p.cell_recs(r),
+                                      p.count[static_cast<std::size_t>(r)], d,
+                                      p.recs(p.hsend, r, d));
+            p.ctr(p.hscount, r, d) = static_cast<std::int32_t>(cnt);
+            sh += cnt;
+          }
+          shipped[static_cast<std::size_t>(r)] = sh;
+          co_await blk.mem_traffic(static_cast<double>(sh) * kRec * sizeof(double));
+        }, "pack");
+        co_await hp.copy(gpu::mem_ref(std::span<std::int32_t>(host_hsc)),
+                         dev.ref(p.hscount));
+
+        // 1b) device-boundary counts, then sized payloads.
+        std::vector<mpi::Request> pend;
+        for (int r = 0; r < rpd; ++r) {
+          const int gc = n * rpd + r;
+          for (int d : grid.active_dirs(gc)) {
+            const int t = grid.dir2cell(gc, d);
+            const int m = t / rpd;
+            if (m == n) continue;
+            pend.push_back(hp.isend(m, kTagHaloCnt + gc * kDirs + d,
+                                    gpu::mem_ref(&host_hsc[sidx(r, d)], 1)));
+            pend.push_back(hp.irecv(m, kTagHaloCnt + t * kDirs + opposite(d),
+                                    gpu::mem_ref(&host_hin[sidx(r, d)], 1)));
+          }
+        }
+        co_await mpi::wait_all(std::move(pend));
+        std::vector<mpi::Request> pend2;
+        for (int r = 0; r < rpd; ++r) {
+          const int gc = n * rpd + r;
+          for (int d : grid.active_dirs(gc)) {
+            const int t = grid.dir2cell(gc, d);
+            const int m = t / rpd;
+            if (m == n) continue;
+            const std::int32_t sn = host_hsc[sidx(r, d)];
+            if (sn > 0) {
+              pend2.push_back(hp.isend(
+                  m, kTagHaloPay + gc * kDirs + d,
+                  dev.ref(p.hsend.subspan(slot_off(r, d),
+                                          static_cast<std::size_t>(sn) * kRec))));
+            }
+            const std::int32_t in = host_hin[sidx(r, d)];
+            if (in > 0) {
+              pend2.push_back(hp.irecv(
+                  m, kTagHaloPay + t * kDirs + opposite(d),
+                  dev.ref(p.halo.subspan(slot_off(r, d),
+                                         static_cast<std::size_t>(in) * kRec))));
+            }
+            p.ctr(p.hcount, r, d) = in;
+          }
+        }
+        co_await mpi::wait_all(std::move(pend2));
+
+        // 1c) intra-device halos: copy the neighbor's packed send buffer.
+        co_await hp.launch(lc, [&](gpu::BlockCtx& blk) -> sim::Proc<void> {
+          const int r = blk.block_id();
+          const int gc = n * rpd + r;
+          std::int64_t copied = 0;
+          for (int d : grid.active_dirs(gc)) {
+            const int t = grid.dir2cell(gc, d);
+            if (t / rpd != n) continue;  // device edge: MPI filled it
+            const int lnb = t % rpd;
+            const std::int32_t cnt = p.ctr(p.hscount, lnb, opposite(d));
+            std::memcpy(p.recs(p.halo, r, d), p.recs(p.hsend, lnb, opposite(d)),
+                        static_cast<std::size_t>(cnt) * kRec * sizeof(double));
+            p.ctr(p.hcount, r, d) = cnt;
+            copied += cnt;
+          }
+          co_await blk.mem_traffic(2.0 * static_cast<double>(copied) * kRec *
+                                   sizeof(double));
+        }, "halo");
+      }
+
+      // 2) force + update kernel (plus the halo oracle accumulation).
+      co_await hp.launch(lc, [&](gpu::BlockCtx& blk) -> sim::Proc<void> {
+        const int r = blk.block_id();
+        const int gc = n * rpd + r;
+        if (cfg.exchange) {
+          for (int d = 0; d < kDirs; ++d) {
+            if (d == kSelf) continue;
+            const View v{p.recs(p.halo, r, d), p.ctr(p.hcount, r, d)};
+            halo_recv[static_cast<std::size_t>(gc)] += v.count;
+            halo_bad[static_cast<std::size_t>(gc)] +=
+                check_halo_slot(cfg, grid, gc, d, v);
+          }
+        }
+        std::int64_t sc = 0;
+        if (cfg.compute) {
+          particles[static_cast<std::size_t>(r)] =
+              p.count[static_cast<std::size_t>(r)];
+          std::array<View, kDirs> nb;
+          for (int d = 0; d < kDirs; ++d) {
+            nb[static_cast<std::size_t>(d)] =
+                d == kSelf ? View{p.cell_recs(r), p.count[static_cast<std::size_t>(r)]}
+                           : View{p.recs(p.halo, r, d),
+                                  cfg.exchange ? p.ctr(p.hcount, r, d) : 0};
+          }
+          sc = force_and_update(cfg, nb, p.cell_recs(r),
+                                p.count[static_cast<std::size_t>(r)], L);
+          scans[static_cast<std::size_t>(r)] = sc;
+          co_await blk.compute_flops(static_cast<double>(sc) * 18.0 +
+                                     particles[static_cast<std::size_t>(r)] * 12.0);
+          co_await blk.mem_traffic(static_cast<double>(sc) * kRec * sizeof(double) +
+                                   particles[static_cast<std::size_t>(r)] * 12.0 *
+                                       sizeof(double));
+        }
+        if (cfg.record_load) {
+          scans_log[static_cast<std::size_t>(it) * static_cast<std::size_t>(cells) +
+                    static_cast<std::size_t>(gc)] = sc;
+        }
+      }, "force");
+
+      // 3) sort kernel: movers into the per-direction outboxes.
+      if (cfg.compute) {
+        co_await hp.launch(lc, [&](gpu::BlockCtx& blk) -> sim::Proc<void> {
+          const int r = blk.block_id();
+          const int gc = n * rpd + r;
+          std::array<double*, kDirs> out;
+          for (int d = 0; d < kDirs; ++d) {
+            out[static_cast<std::size_t>(d)] = p.recs(p.outbox, r, d);
+          }
+          const Moves m = sort_out(cfg, grid, gc, p.cell_recs(r),
+                                   &p.count[static_cast<std::size_t>(r)], out);
+          for (int d = 0; d < kDirs; ++d) {
+            p.ctr(p.obcount, r, d) = m.n[static_cast<std::size_t>(d)];
+          }
+          co_await blk.mem_traffic(
+              static_cast<double>(p.count[static_cast<std::size_t>(r)]) * kRec *
+              sizeof(double));
+        }, "sort");
+      }
+
+      if (cfg.exchange) {
+        // 4) migrate across the device boundary (second D2H counter fetch).
+        co_await hp.copy(gpu::mem_ref(std::span<std::int32_t>(host_obc)),
+                         dev.ref(p.obcount));
+        std::vector<mpi::Request> pend;
+        for (int r = 0; r < rpd; ++r) {
+          const int gc = n * rpd + r;
+          for (int d : grid.active_dirs(gc)) {
+            const int t = grid.dir2cell(gc, d);
+            const int m = t / rpd;
+            if (m == n) continue;
+            pend.push_back(hp.isend(m, kTagMigCnt + gc * kDirs + d,
+                                    gpu::mem_ref(&host_obc[sidx(r, d)], 1)));
+            pend.push_back(hp.irecv(m, kTagMigCnt + t * kDirs + opposite(d),
+                                    gpu::mem_ref(&host_min[sidx(r, d)], 1)));
+          }
+        }
+        co_await mpi::wait_all(std::move(pend));
+        std::vector<mpi::Request> pend2;
+        for (int r = 0; r < rpd; ++r) {
+          const int gc = n * rpd + r;
+          for (int d : grid.active_dirs(gc)) {
+            const int t = grid.dir2cell(gc, d);
+            const int m = t / rpd;
+            if (m == n) continue;
+            const std::int32_t on = host_obc[sidx(r, d)];
+            if (on > 0) {
+              pend2.push_back(hp.isend(
+                  m, kTagMigPay + gc * kDirs + d,
+                  dev.ref(p.outbox.subspan(slot_off(r, d),
+                                           static_cast<std::size_t>(on) * kRec))));
+            }
+            const std::int32_t in = host_min[sidx(r, d)];
+            if (in > 0) {
+              pend2.push_back(hp.irecv(
+                  m, kTagMigPay + t * kDirs + opposite(d),
+                  dev.ref(p.inbox.subspan(slot_off(r, d),
+                                          static_cast<std::size_t>(in) * kRec))));
+            }
+            p.ctr(p.ibcount, r, d) = in;
+          }
+        }
+        co_await mpi::wait_all(std::move(pend2));
+
+        // 5) integrate kernel: intra-device movers straight from the neighbor
+        // outboxes, device-edge arrivals from the MPI-filled inbox slots —
+        // the same data in the same ascending direction order either way.
+        co_await hp.launch(lc, [&](gpu::BlockCtx& blk) -> sim::Proc<void> {
+          const int r = blk.block_id();
+          const int gc = n * rpd + r;
+          std::int32_t arrivals = 0;
+          for (int d = 0; d < kDirs; ++d) {
+            if (d == kSelf) continue;
+            const int t = grid.dir2cell(gc, d);
+            if (t < 0) continue;
+            if (t / rpd == n) {
+              const int lnb = t % rpd;
+              const std::int32_t cnt = p.ctr(p.obcount, lnb, opposite(d));
+              if (cnt > 0) {
+                append(p.cell_recs(r), &p.count[static_cast<std::size_t>(r)],
+                       p.recs(p.outbox, lnb, opposite(d)), cnt, cap);
+              }
+              arrivals += cnt;
+            } else {
+              const std::int32_t cnt = p.ctr(p.ibcount, r, d);
+              if (cnt > 0) {
+                append(p.cell_recs(r), &p.count[static_cast<std::size_t>(r)],
+                       p.recs(p.inbox, r, d), cnt, cap);
+              }
+              arrivals += cnt;
+              p.ctr(p.ibcount, r, d) = 0;
+            }
+          }
+          co_await blk.mem_traffic(
+              static_cast<double>(arrivals + shipped[static_cast<std::size_t>(r)]) *
+                  kRec * sizeof(double) +
+              particles[static_cast<std::size_t>(r)] * 2.0 * sizeof(double));
+        }, "integrate");
+      }
+    }
+  });
+
+  Result out = collect(rpd, devs);
+  out.elapsed = res.elapsed;
+  for (int c = 0; c < cells; ++c) {
+    out.halo_received_total += halo_recv[static_cast<std::size_t>(c)];
+    out.halo_violations += halo_bad[static_cast<std::size_t>(c)];
+  }
+  if (cfg.record_load) {
+    for (int it = 0; it < cfg.iterations; ++it) {
+      push_imbalance(out.iter_imbalance,
+                     &scans_log[static_cast<std::size_t>(it) *
+                                static_cast<std::size_t>(cells)],
+                     cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace dcuda::apps::dpd3d

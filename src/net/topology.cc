@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 namespace dcuda::net {
 
@@ -30,6 +31,34 @@ int Topology::add_link(int from_switch, int to_switch) {
   // with their node when one exists at the position.
   link_owner_.push_back(from_switch % num_nodes_);
   return num_links_++;
+}
+
+std::array<int, 3> near_cubic_dims(int n) {
+  int x = 1, y = 1, z = 1;
+  while (x * x * x < n) ++x;
+  while (x * y * y < n) ++y;
+  while (x * y * z < n) ++z;
+  return {x, y, z};
+}
+
+std::array<int, 3> exact_grid_dims(int n) {
+  assert(n >= 1);
+  // z: largest divisor of n not above the cube root; then y: largest divisor
+  // of n/z not above the square root of the remainder.
+  int z = 1;
+  for (int d = 1; d * d * d <= n; ++d) {
+    if (n % d == 0) z = d;
+  }
+  const int rest = n / z;
+  int y = 1;
+  for (int d = 1; d * d <= rest; ++d) {
+    if (rest % d == 0) y = d;
+  }
+  // The greedy picks can come out unordered (n=10: z=2 but y=1); restore the
+  // documented x >= y >= z orientation — any axis permutation is the same grid.
+  std::array<int, 3> dims = {rest / y, y, z};
+  std::sort(dims.begin(), dims.end(), std::greater<int>());
+  return dims;
 }
 
 void Topology::build_flat() {
@@ -129,13 +158,10 @@ void Topology::build_torus() {
   dims_[1] = cfg_.torus_y;
   dims_[2] = cfg_.torus_z;
   if (dims_[0] <= 0 || dims_[1] <= 0 || dims_[2] <= 0) {
-    int x = 1, y = 1, z = 1;
-    while (x * x * x < num_nodes_) ++x;
-    while (x * y * y < num_nodes_) ++y;
-    while (x * y * z < num_nodes_) ++z;
-    dims_[0] = x;
-    dims_[1] = y;
-    dims_[2] = z;
+    const std::array<int, 3> fit = near_cubic_dims(num_nodes_);
+    dims_[0] = fit[0];
+    dims_[1] = fit[1];
+    dims_[2] = fit[2];
   }
   assert(dims_[0] * dims_[1] * dims_[2] >= num_nodes_);
   const int routers = dims_[0] * dims_[1] * dims_[2];

@@ -69,6 +69,16 @@ struct TopoConfig {
   bool active() const { return kind != TopologyKind::kFlat || rails > 1; }
 };
 
+// Near-cubic 3-D fit around `n` (x >= y >= z, x*y*z >= n): the smallest box
+// that holds n nodes. The torus auto-dims use it; apps wanting a 3-D rank
+// grid can share the same shape heuristic (docs/TOPOLOGY.md).
+std::array<int, 3> near_cubic_dims(int n);
+
+// Exact near-cubic factorization (x >= y >= z, x*y*z == n): divisor-based,
+// so a bijective cell <-> rank grid exists. Prime n degenerates to n x 1 x 1
+// — the 1-D decomposition as a special case of the 3-D one.
+std::array<int, 3> exact_grid_dims(int n);
+
 inline const char* topology_name(TopologyKind k) {
   switch (k) {
     case TopologyKind::kFatTree: return "fattree";

@@ -120,6 +120,23 @@ TEST(ParticlesApp, MomentumDriftsOnlyThroughWalls) {
   EXPECT_NEAR(r0.momentum_y, z.momentum_y, 1e-6);
 }
 
+TEST(ParticlesApp, SingleCellDomainHasNoNeighbours) {
+  // Latent-assumption audit (docs/TESTING.md): the 1-D chain's neighbor
+  // math must survive the no-neighbor degenerate domain — a single global
+  // cell posts zero halo sends and must wait for zero notifications instead
+  // of hanging or deadlocking on its own boundary.
+  Config cfg = tiny_config(1);
+  const Result ref = reference(cfg, 1);
+  Cluster c1({.machine = machine(1), .ranks_per_device = 1});
+  const Result dc = run_dcuda(c1, cfg);
+  Cluster c2({.machine = machine(1), .ranks_per_device = 1});
+  const Result mc = run_mpi_cuda(c2, cfg);
+  EXPECT_EQ(dc.total_particles, ref.total_particles);
+  EXPECT_EQ(mc.total_particles, ref.total_particles);
+  EXPECT_NEAR(dc.checksum, ref.checksum, 1e-9);
+  EXPECT_NEAR(mc.checksum, ref.checksum, 1e-9);
+}
+
 TEST(ParticlesApp, ExchangeOnlySwitchRuns) {
   Config cfg = tiny_config(4);
   cfg.compute = false;

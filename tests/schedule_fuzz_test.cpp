@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/dpd3d.h"
 #include "apps/particles.h"
 #include "apps/spmv.h"
 #include "apps/stencil.h"
@@ -227,6 +228,64 @@ RunResult run_spmv(std::uint64_t seed, std::uint32_t classes) {
   }
   collect(c, obs, r);
   return r;
+}
+
+// 3-D DPD with the 27-direction halo exchange, skewed density and the
+// work-adoption rebalance tickets in the loop (docs/TESTING.md, label
+// `dpd3d`). The physics core runs in a fixed floating-point order, so the
+// checksum must be *bitwise* equal to the serial reference under every
+// perturbation, fault rung, backend, executor layout and topology lane —
+// and the halo oracle plus particle conservation must stay clean.
+RunResult run_dpd3d_impl(std::uint64_t seed, std::uint32_t classes,
+                         bool break_compaction) {
+  RunResult r;
+  apps::dpd3d::Config cfg;
+  cfg.cells_per_node = 4;  // 2 nodes -> 8 global cells, the 2 x 2 x 2 grid
+  cfg.particles_per_cell = 12;
+  cfg.iterations = 6;
+  cfg.dt = 0.05;
+  cfg.density = apps::dpd3d::Density::kSkewed;
+  cfg.skew_drift = 1.0;
+  cfg.rebalance = true;  // ticket puts ride the same perturbed schedule
+  cfg.break_compaction = break_compaction;
+  Cluster c({.machine = fuzz_machine(2, seed, classes), .ranks_per_device = 4});
+  InvariantObserver obs;
+  c.sim().set_invariant_observer(&obs);
+  apps::dpd3d::Result res = apps::dpd3d::run_dcuda(c, cfg);
+  r.elapsed = res.elapsed;
+  const std::int64_t want_particles = 2ll * 4 * cfg.particles_per_cell;
+  if (res.total_particles != want_particles) {
+    std::ostringstream os;
+    os << "  conservation: " << res.total_particles << " particles, want "
+       << want_particles << "\n";
+    r.errors += os.str();
+  }
+  if (res.halo_violations != 0) {
+    std::ostringstream os;
+    os << "  halo oracle: " << res.halo_violations << " geometry violations\n";
+    r.errors += os.str();
+  }
+  apps::dpd3d::Config clean = cfg;
+  clean.break_compaction = false;
+  static const apps::dpd3d::Result ref = apps::dpd3d::reference(clean, 2);
+  if (!break_compaction && res.checksum != ref.checksum) {
+    std::ostringstream os;
+    os << "  checksum: dpd3d got " << res.checksum << " want " << ref.checksum
+       << " (bitwise)\n";
+    r.errors += os.str();
+  }
+  if (!break_compaction && res.halo_received_total != ref.halo_received_total) {
+    std::ostringstream os;
+    os << "  halo total: got " << res.halo_received_total << " want "
+       << ref.halo_received_total << "\n";
+    r.errors += os.str();
+  }
+  collect(c, obs, r);
+  return r;
+}
+
+RunResult run_dpd3d(std::uint64_t seed, std::uint32_t classes) {
+  return run_dpd3d_impl(seed, classes, /*break_compaction=*/false);
 }
 
 // Collectives and wildcard matching under perturbation: bcast_notify tree,
@@ -480,6 +539,7 @@ constexpr Workload kWorkloads[] = {
     {"collectives", run_collectives},
     {"eager", run_eager},
     {"mixed", run_mixed},
+    {"dpd3d", run_dpd3d},
 };
 constexpr std::size_t kNumWorkloads = sizeof(kWorkloads) / sizeof(kWorkloads[0]);
 
@@ -558,6 +618,21 @@ TEST(ScheduleFuzz, SpmvSweep) { sweep(kWorkloads[2], 0x53000, sweep_count(120));
 TEST(ScheduleFuzz, CollectivesSweep) { sweep(kWorkloads[3], 0x54000, sweep_count(200)); }
 TEST(ScheduleFuzz, EagerAggSweep) { sweep(kWorkloads[4], 0x56000, sweep_count(150)); }
 TEST(ScheduleFuzz, MixedSizeSweep) { sweep(kWorkloads[5], 0x57000, sweep_count(120)); }
+TEST(ScheduleFuzz, Dpd3dSweep) { sweep(kWorkloads[6], 0x59000, sweep_count(120)); }
+
+// In-tree mutation check (docs/TESTING.md): breaking the migration
+// send-buffer compaction must fire the particle-conservation oracle, also
+// under a perturbed lossy schedule — otherwise the dpd3d sweep's oracle is
+// dead weight. A handful of seeds across the fault/backend/executor lanes
+// is enough; each must report a conservation error and nothing may hang.
+TEST(ScheduleFuzz, Dpd3dBrokenCompactionIsCaught) {
+  for (std::uint64_t seed : {0x5a001ull, 0x5a002ull, 0x5a006ull, 0x5a00bull}) {
+    RunResult r = run_dpd3d_impl(seed, Perturbation::kAllClasses,
+                                 /*break_compaction=*/true);
+    EXPECT_NE(r.errors.find("conservation"), std::string::npos)
+        << "seed " << seed << ": mutation survived; errors were:\n" << r.errors;
+  }
+}
 
 // 25-seed smoke across all workloads (the ctest `fuzz` label's quick gate).
 TEST(FuzzSmoke, TwentyFiveSeedsAcrossWorkloads) {

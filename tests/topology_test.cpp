@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <set>
@@ -439,6 +440,37 @@ TEST(TopologyMutation, DisabledResequencerFailsFifoOracle) {
             std::string::npos)
       << "resequencer mutation went undetected:\n" << r.violations;
   EXPECT_FALSE(r.in_order);  // visible end to end, not just to the oracle
+}
+
+// Latent-assumption audit (docs/TESTING.md): the torus fit near_cubic_dims
+// intentionally overshoots (it pads non-cubic counts with hole routers), so
+// it must never be used where a rank bijection is required — that is what
+// exact_grid_dims is for. These regressions pin both contracts so one is
+// not "simplified" into the other.
+TEST(TopologyGridDims, ExactGridDimsIsABijectionForEveryCount) {
+  for (int n = 1; n <= 64; ++n) {
+    const std::array<int, 3> d = net::exact_grid_dims(n);
+    EXPECT_EQ(d[0] * d[1] * d[2], n) << "n=" << n;      // exact, no padding
+    EXPECT_TRUE(d[0] >= d[1] && d[1] >= d[2]) << "n=" << n;
+    EXPECT_GE(d[2], 1) << "n=" << n;
+  }
+  // Primes degenerate to the 1-D chain; perfect cubes come out cubic.
+  EXPECT_EQ(net::exact_grid_dims(13), (std::array<int, 3>{13, 1, 1}));
+  EXPECT_EQ(net::exact_grid_dims(27), (std::array<int, 3>{3, 3, 3}));
+  EXPECT_EQ(net::exact_grid_dims(24), (std::array<int, 3>{4, 3, 2}));
+}
+
+TEST(TopologyGridDims, NearCubicDimsOvershootsButStaysMinimal) {
+  for (int n = 1; n <= 64; ++n) {
+    const std::array<int, 3> d = net::near_cubic_dims(n);
+    EXPECT_GE(d[0] * d[1] * d[2], n) << "n=" << n;  // covers every node
+    // Minimality along the fitting order: shrinking the last-fit dimension
+    // must fall below n (otherwise the torus wastes a whole router plane).
+    EXPECT_LT(d[0] * d[1] * (d[2] - 1), n) << "n=" << n;
+  }
+  // The documented counterexample: 5 nodes pad to a 2 x 2 x 2 torus with
+  // 3 hole routers — a rank grid built on this would lose 3 ranks.
+  EXPECT_EQ(net::near_cubic_dims(5), (std::array<int, 3>{2, 2, 2}));
 }
 
 TEST(TopologyMutation, UncountedLinkCapacityFailsConservationOracle) {
